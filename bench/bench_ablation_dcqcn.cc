@@ -1,0 +1,59 @@
+// Ablation: congestion-control dynamics (§5). The evaluation's fluid model
+// allocates ideal max-min rates instantly; real RoCEv2 deployments run
+// DCQCN, which converges to the same operating point with finite dynamics.
+// This bench shows the convergence timeline — and that MasQ is orthogonal:
+// nothing in the control path cares which CC the fabric runs.
+#include <cstdio>
+
+#include "net/dcqcn.h"
+#include "sim/event_loop.h"
+
+int main() {
+  std::printf(
+      "\n==========================================================\n"
+      "Ablation — DCQCN-lite convergence on a 40 Gbps bottleneck\n"
+      "==========================================================\n");
+  sim::EventLoop loop;
+  net::FluidNet fnet(loop);
+  net::DcqcnController cc(loop, fnet);
+  const auto link = fnet.add_link(40.0, 0);
+
+  const auto f1 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  cc.manage(f1, 40.0);
+  net::FlowId f2 = 0, f3 = 0;
+  loop.schedule_at(sim::milliseconds(10), [&] {
+    f2 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+    cc.manage(f2, 40.0);
+  });
+  loop.schedule_at(sim::milliseconds(25), [&] {
+    f3 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+    cc.manage(f3, 40.0);
+  });
+  loop.schedule_at(sim::milliseconds(45), [&] {
+    fnet.cancel_flow(f2);
+    cc.unmanage(f2);
+  });
+
+  std::printf("%-10s | %8s %8s %8s | %9s\n", "time (ms)", "flow-1", "flow-2",
+              "flow-3", "util %");
+  std::printf("%.56s\n",
+              "--------------------------------------------------------");
+  for (int ms = 1; ms <= 60; ms += 2) {
+    loop.run_until(sim::milliseconds(ms));
+    const double r1 = fnet.current_rate_gbps(f1);
+    const double r2 = f2 != 0 ? fnet.current_rate_gbps(f2) : 0.0;
+    const double r3 = f3 != 0 ? fnet.current_rate_gbps(f3) : 0.0;
+    std::printf("%-10d | %8.1f %8.1f %8.1f | %8.0f%%\n", ms, r1, r2, r3,
+                (r1 + r2 + r3) / 40.0 * 100.0);
+  }
+  fnet.cancel_flow(f1);
+  if (f3 != 0) fnet.cancel_flow(f3);
+  loop.run();
+  std::printf("\n  CNP marks delivered: %llu\n",
+              static_cast<unsigned long long>(cc.marks_delivered()));
+  std::printf("  note: flows converge toward the fair share as members come "
+              "and go; MasQ's mechanisms never see any of it (§5: advanced "
+              "CC algorithms are orthogonal and all of MasQ's properties "
+              "hold under them)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: sensitivity of MasQ's control-path overhead to the virtio
+// round-trip time (the paper measured ~20 us on its testbed; newer
+// hypervisors/vhost implementations differ).
+#include <cstdio>
+
+#include "apps/common.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+double conn_setup_ms(sim::Time oneway) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 16ull << 30;
+  cfg.cal.virtio_costs.guest_to_host = oneway;
+  cfg.cal.virtio_costs.host_to_guest = oneway;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  double ms = 0;
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, double* ms) {
+      struct Srv {
+        static sim::Task<void> run(fabric::Testbed* bed) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+          (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                              bed->instance_vip(0), 7600);
+        }
+      };
+      bed->loop().spawn(Srv::run(bed));
+      const sim::Time t0 = bed->loop().now();
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      (void)co_await apps::connect_client(bed->ctx(0), ep,
+                                          bed->instance_vip(1), 7600);
+      *ms = sim::to_ms(bed->loop().now() - t0);
+    }
+  };
+  loop.spawn(Run::go(&bed, &ms));
+  loop.run();
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation", "virtio round-trip time sweep (control path)");
+  std::printf("%-18s | %22s\n", "virtio RTT (us)", "conn setup incl. OOB "
+                                                   "(ms)");
+  std::printf("%.46s\n", "----------------------------------------------");
+  for (double rtt_us : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    std::printf("%-18.0f | %22.2f\n", rtt_us,
+                conn_setup_ms(sim::microseconds(rtt_us / 2)));
+  }
+  bench::note("the paper's 20 us RTT adds ~0.15 ms over SR-IOV across the "
+              "~6 forwarded verbs of a connection setup; even a 4x worse "
+              "virtqueue keeps the one-time overhead under a millisecond");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 8: (a) 2-byte send/write latency between a pair of VMs on different
+// hosts, all four candidates; (b) per-call overhead of the data-path verbs.
+#include <cstdio>
+
+#include "apps/perftest.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+double lat(fabric::Candidate c, apps::perftest::Op op) {
+  sim::EventLoop loop;
+  auto bed = bench::make_bed(loop, c);
+  apps::perftest::LatConfig cfg;
+  cfg.op = op;
+  cfg.msg_size = 2;
+  cfg.iterations = 1000;
+  return apps::perftest::run_lat(*bed, cfg).mean();
+}
+
+double verb_us(fabric::Candidate c, verbs::DataVerb v) {
+  sim::EventLoop loop;
+  auto bed = bench::make_bed(loop, c);
+  return sim::to_us(bed->ctx(0).data_verb_call_time(v));
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Fig. 8a", "2 B RDMA latency between VMs on different hosts");
+  struct {
+    fabric::Candidate c;
+    double paper_send, paper_write;
+  } rows[] = {
+      {fabric::Candidate::kHostRdma, 0.8, 0.7},
+      {fabric::Candidate::kFreeFlow, 2.1, 1.3},
+      {fabric::Candidate::kSriov, 1.1, 1.0},
+      {fabric::Candidate::kMasq, 1.1, 1.0},
+  };
+  std::printf("%-10s | %12s %12s | %12s %12s\n", "candidate", "send(us)",
+              "paper", "write(us)", "paper");
+  std::printf("%.70s\n",
+              "-----------------------------------------------------------"
+              "-----------");
+  for (const auto& r : rows) {
+    std::printf("%-10s | %12.2f %12.1f | %12.2f %12.1f\n",
+                fabric::to_string(r.c), lat(r.c, apps::perftest::Op::kSend),
+                r.paper_send, lat(r.c, apps::perftest::Op::kWrite),
+                r.paper_write);
+  }
+
+  bench::title("Fig. 8b", "data-path Verbs call overhead");
+  std::printf("%-10s | %12s %12s %12s\n", "candidate", "post_recv(us)",
+              "post_send(us)", "poll_cq(us)");
+  std::printf("%.60s\n",
+              "-----------------------------------------------------------"
+              "-");
+  for (const auto& r : rows) {
+    std::printf("%-10s | %12.2f %12.2f %12.2f\n", fabric::to_string(r.c),
+                verb_us(r.c, verbs::DataVerb::kPostRecv),
+                verb_us(r.c, verbs::DataVerb::kPostSend),
+                verb_us(r.c, verbs::DataVerb::kPollCq));
+  }
+  bench::note("paper: FreeFlow data verbs >= 5x Host-RDMA; MasQ and SR-IOV "
+              "identical to host (zero data-path software)");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 12: MasQ's QP-level QoS — a single ib_write_bw flow under hardware
+// rate limits from 1 to 40 Gbps; the measured rate must track the cap.
+#include <cstdio>
+
+#include "apps/perftest.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+double limited_bw(double cap_gbps) {
+  sim::EventLoop loop;
+  auto bed = bench::make_bed(loop, fabric::Candidate::kMasq);
+  bed->masq_backend(0).set_tenant_rate_limit(bed->config().default_vni,
+                                             cap_gbps);
+  apps::perftest::BwConfig cfg;
+  cfg.op = apps::perftest::Op::kWrite;
+  cfg.msg_size = 65536;
+  cfg.iterations = std::max(16, static_cast<int>(cap_gbps) * 8);
+  return apps::perftest::run_bw(*bed, cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Fig. 12", "hardware rate limiting accuracy (MasQ via VF)");
+  std::printf("%-14s | %-14s | %-10s\n", "cap (Gbps)", "measured (Gbps)",
+              "ratio");
+  std::printf("%.46s\n",
+              "----------------------------------------------");
+  for (double cap : {1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0,
+                     40.0}) {
+    const double got = limited_bw(cap);
+    std::printf("%-14.0f | %-14.2f | %-10.3f\n", cap, got, got / cap);
+  }
+  bench::note("paper: the controlled bandwidth is close to the configured "
+              "limit at every setting, with zero CPU overhead (the limiter "
+              "is the VF's hardware rate limiter). The small gap is RoCEv2 "
+              "header overhead: goodput = cap x payload/wire bytes.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 13: MPI point-to-point latency and bandwidth (OSU micro-benchmarks,
+// two processes on two VMs/hosts/containers).
+#include <cstdio>
+#include <memory>
+
+#include "apps/minimpi.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Rig {
+  sim::EventLoop loop;
+  std::unique_ptr<fabric::Testbed> bed;
+  std::unique_ptr<apps::mpi::Comm> comm;
+
+  explicit Rig(fabric::Candidate c) {
+    bed = bench::make_bed(loop, c);
+    struct Mk {
+      static sim::Task<void> run(Rig* r) {
+        std::vector<std::size_t> ranks{0, 1};
+        r->comm = co_await apps::mpi::Comm::create(*r->bed, ranks);
+      }
+    };
+    loop.spawn(Mk::run(this));
+    loop.run();
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::title("Fig. 13a", "MPI point-to-point latency (us)");
+  const std::uint32_t lat_sizes[] = {4, 64, 1024, 16384};
+  std::printf("%-10s", "size(B)");
+  for (auto s : lat_sizes) std::printf(" %9u", s);
+  std::printf("\n%.55s\n",
+              "-------------------------------------------------------");
+  for (fabric::Candidate c : fabric::kAllCandidates) {
+    Rig rig(c);
+    std::printf("%-10s", fabric::to_string(c));
+    for (auto s : lat_sizes) {
+      std::printf(" %9.2f",
+                  apps::mpi::osu_latency(*rig.bed, *rig.comm, s, 200).mean());
+    }
+    std::printf("\n");
+  }
+
+  bench::title("Fig. 13b", "MPI point-to-point bandwidth (Gbps)");
+  const std::uint32_t bw_sizes[] = {2, 512, 8192, 131072};
+  std::printf("%-10s", "size(B)");
+  for (auto s : bw_sizes) std::printf(" %9u", s);
+  std::printf("\n%.55s\n",
+              "-------------------------------------------------------");
+  for (fabric::Candidate c : fabric::kAllCandidates) {
+    Rig rig(c);
+    std::printf("%-10s", fabric::to_string(c));
+    for (auto s : bw_sizes) {
+      std::printf(" %9.2f", apps::mpi::osu_bw(*rig.bed, *rig.comm, s, 256));
+    }
+    std::printf("\n");
+  }
+  bench::note("paper: MasQ == SR-IOV at every size; FreeFlow pays its FFR "
+              "forwarding on small messages; host is the floor/ceiling");
+  return 0;
+}

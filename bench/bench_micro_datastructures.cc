@@ -1,0 +1,90 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the hot software data
+// structures on MasQ's control path: security-rule evaluation, the
+// (VNI,vGID) mapping cache, max-min rate reallocation, and page-table
+// walks. These bound how much host CPU the *real* implementation of each
+// mechanism would burn.
+#include <benchmark/benchmark.h>
+
+#include "mem/address_space.h"
+#include "net/fluid.h"
+#include "overlay/security.h"
+#include "sdn/controller.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr{v}; }
+
+void BM_RuleChainEvaluate(benchmark::State& state) {
+  overlay::RuleChain chain;
+  const int rules = static_cast<int>(state.range(0));
+  for (int i = 0; i < rules; ++i) {
+    chain.add_rule(overlay::Rule::allow(
+        net::Ipv4Cidr{ip(0xC0A80000u + static_cast<std::uint32_t>(i) * 256),
+                      24},
+        net::Ipv4Cidr::any(), overlay::Proto::kRdma, i));
+  }
+  overlay::FlowTuple t{ip(0xC0A80001), ip(0x0A000001),
+                       overlay::Proto::kRdma};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.evaluate(t));
+  }
+}
+BENCHMARK(BM_RuleChainEvaluate)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MappingCacheLookup(benchmark::State& state) {
+  sim::EventLoop loop;
+  sdn::Controller ctl(loop);
+  const auto peers = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    ctl.register_vgid(100, net::Gid::from_ipv4(ip(0xC0A80000u + i)),
+                      net::Gid::from_ipv4(ip(0x0A000001u + (i % 16))));
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctl.lookup(100, net::Gid::from_ipv4(ip(0xC0A80000u + (i++ % peers)))));
+  }
+  state.SetLabel(std::to_string(peers * sdn::kRecordBytes / 1024) +
+                 " KiB table");
+}
+BENCHMARK(BM_MappingCacheLookup)->Arg(100)->Arg(10000);
+
+void BM_FluidReallocate(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventLoop loop;
+    net::FluidNet fnet(loop);
+    auto l1 = fnet.add_link(40.0, 0);
+    auto l2 = fnet.add_link(40.0, 0);
+    state.ResumeTiming();
+    for (int i = 0; i < flows; ++i) {
+      fnet.start_flow({l1, l2}, 0, i % 4 == 0 ? 10.0 : net::kUncapped,
+                      nullptr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidReallocate)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_PageTableResolve(benchmark::State& state) {
+  mem::HostPhysMap phys(64 << 20);
+  mem::AddressSpace hva("hva", &phys);
+  mem::AddressSpace gpa("gpa", &hva);
+  mem::AddressSpace gva("gva", &gpa);
+  const mem::Addr hpa = phys.alloc_pages(64);
+  hva.map(0x10000000, hpa, 64 * mem::kPageSize);
+  gpa.map(0, 0x10000000, 64 * mem::kPageSize);
+  gva.map(0x7f0000000000ull, 0, 64 * mem::kPageSize);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gva.resolve_hpa(0x7f0000000000ull + (i++ % 64) * mem::kPageSize));
+  }
+}
+BENCHMARK(BM_PageTableResolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

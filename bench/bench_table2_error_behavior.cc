@@ -1,0 +1,117 @@
+// Table 2: observed behaviour of the application and the RNIC when a QP is
+// modified to the ERROR state. Each row is demonstrated live against the
+// simulated device and reported next to the paper's expected behaviour.
+#include <cstdio>
+
+#include "apps/common.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Probe {
+  bool post_recv_allowed = false;
+  bool post_send_allowed = false;
+  bool poll_returns_error_cqe = false;
+  std::uint64_t incoming_dropped = 0;
+  std::uint64_t outgoing_after_error = 0;
+  int flushed_cqes = 0;
+};
+
+sim::Task<void> scenario(fabric::Testbed* bed, Probe* probe) {
+  // Connect a pair, then force the client QP to ERROR.
+  apps::Endpoint server;
+  struct Srv {
+    static sim::Task<void> run(fabric::Testbed* bed, apps::Endpoint* ep) {
+      *ep = co_await apps::setup_endpoint(bed->ctx(1));
+      (void)co_await apps::connect_server(bed->ctx(1), *ep,
+                                          bed->instance_vip(0), 7000);
+    }
+  };
+  bed->loop().spawn(Srv::run(bed, &server));
+  apps::Endpoint client = co_await apps::setup_endpoint(bed->ctx(0));
+  (void)co_await apps::connect_client(bed->ctx(0), client,
+                                      bed->instance_vip(1), 7000);
+
+  verbs::Context& cctx = bed->ctx(0);
+  rnic::QpAttr err;
+  err.state = rnic::QpState::kError;
+  (void)co_await cctx.modify_qp(client.qp, err, rnic::kAttrState);
+
+  const auto tx_before = bed->device(0).counters().tx_msgs;
+
+  // Application rows: posting is allowed, WQEs flush with error CQEs.
+  rnic::RecvWr rwr{1, {client.buf, 64, client.mr.lkey}};
+  probe->post_recv_allowed =
+      cctx.post_recv(client.qp, rwr) == rnic::Status::kOk;
+  rnic::SendWr swr;
+  swr.wr_id = 2;
+  swr.opcode = rnic::WrOpcode::kSend;
+  swr.sge = {client.buf, 8, client.mr.lkey};
+  probe->post_send_allowed =
+      cctx.post_send(client.qp, swr) == rnic::Status::kOk;
+  co_await sim::delay(bed->loop(), sim::microseconds(10));
+  rnic::Completion c;
+  while (cctx.poll_cq(client.scq, 1, &c) == 1) {
+    if (c.status == rnic::WcStatus::kWrFlushErr) {
+      probe->poll_returns_error_cqe = true;
+      ++probe->flushed_cqes;
+    }
+  }
+  while (cctx.poll_cq(client.rcq, 1, &c) == 1) {
+    if (c.status == rnic::WcStatus::kWrFlushErr) ++probe->flushed_cqes;
+  }
+  probe->outgoing_after_error =
+      bed->device(0).counters().tx_msgs - tx_before;
+
+  // RNIC rows: incoming packets to an ERROR QP are dropped.
+  const auto dropped_before = bed->device(0).counters().dropped_bad_state;
+  rnic::SendWr from_server;
+  from_server.wr_id = 3;
+  from_server.opcode = rnic::WrOpcode::kSend;
+  from_server.sge = {server.buf, 8, server.mr.lkey};
+  (void)bed->ctx(1).post_send(server.qp, from_server);
+  co_await sim::delay(bed->loop(), sim::milliseconds(10));
+  probe->incoming_dropped =
+      bed->device(0).counters().dropped_bad_state - dropped_before;
+}
+
+void print_row(const char* side, const char* action, const char* paper,
+               bool pass, const char* observed) {
+  std::printf("%-12s | %-28s | %-32s | %-9s %s\n", side, action, paper,
+              pass ? "OK" : "MISMATCH", observed);
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Table 2", "application / RNIC behaviour in the ERROR state");
+
+  sim::EventLoop loop;
+  auto bed = bench::make_bed(loop, fabric::Candidate::kMasq);
+  Probe probe;
+  bench::run(*bed, scenario(bed.get(), &probe));
+
+  std::printf("%-12s | %-28s | %-32s | %s\n", "actor", "operation",
+              "paper behaviour", "observed");
+  std::printf("%.100s\n",
+              "-----------------------------------------------------------"
+              "--------------------------------------------");
+  print_row("Application", "post receive request", "Allowed",
+            probe.post_recv_allowed, "post_recv returned OK");
+  print_row("Application", "post send request", "Allowed",
+            probe.post_send_allowed, "post_send returned OK");
+  print_row("Application", "poll completion queue",
+            "Allowed but get an error CQE", probe.poll_returns_error_cqe,
+            "flush-error CQEs polled");
+  print_row("RNIC", "recv request processing", "Flushed with error",
+            probe.flushed_cqes >= 2, "recv WQE flushed");
+  print_row("RNIC", "send request processing", "Flushed with error",
+            probe.flushed_cqes >= 2, "send WQE flushed");
+  print_row("RNIC", "incoming packets", "Dropped",
+            probe.incoming_dropped >= 1, "drop counter incremented");
+  print_row("RNIC", "outgoing packets", "None",
+            probe.outgoing_after_error == 0, "no frames transmitted");
+  bench::note("this is the mechanism RConntrack uses to disconnect "
+              "connections that violate updated security rules (§3.3.2)");
+  return 0;
+}

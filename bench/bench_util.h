@@ -1,0 +1,57 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Every binary prints the paper's rows/series next to the values measured
+// on the simulated testbed; absolute numbers need not match the authors'
+// hardware, but the *shape* (who wins, by what factor, where crossovers
+// fall) should. See EXPERIMENTS.md for the recorded comparison.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "fabric/testbed.h"
+
+namespace bench {
+
+inline void title(const std::string& experiment, const std::string& what) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+struct BedOptions {
+  int instances = 2;
+  bool masq_use_pf = false;
+  bool masq_disable_cache = false;
+  std::uint64_t host_dram = 48ull << 30;
+  std::uint64_t vm_mem = 8ull << 30;
+  int num_hosts = 2;
+};
+
+inline std::unique_ptr<fabric::Testbed> make_bed(sim::EventLoop& loop,
+                                                 fabric::Candidate c,
+                                                 BedOptions opts = {}) {
+  fabric::TestbedConfig cfg;
+  cfg.candidate = c;
+  cfg.num_hosts = opts.num_hosts;
+  cfg.masq_use_pf = opts.masq_use_pf;
+  cfg.masq_disable_cache = opts.masq_disable_cache;
+  cfg.cal.host_dram_bytes = opts.host_dram;
+  cfg.cal.vm_mem_bytes = opts.vm_mem;
+  auto bed = std::make_unique<fabric::Testbed>(loop, cfg);
+  bed->add_instances(opts.instances);
+  return bed;
+}
+
+// Runs a coroutine scenario to completion on the bed's loop.
+inline void run(fabric::Testbed& bed, sim::Task<void> scenario) {
+  bed.loop().spawn(std::move(scenario));
+  bed.loop().run();
+}
+
+}  // namespace bench

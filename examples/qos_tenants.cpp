@@ -1,0 +1,103 @@
+// QoS / performance isolation (§3.3.3, the Fig. 17 story as an API demo).
+//
+// Two tenants run bulk transfers over the shared 40 Gbps port. The
+// operator programs per-tenant rate limits through MasQ's backend — which
+// maps each tenant's QP group to an SR-IOV VF hardware rate limiter — and
+// the example samples both tenants' goodput as limits change. No CPU is
+// spent enforcing any of this.
+//
+//   $ ./examples/qos_tenants
+#include <cstdio>
+
+#include "apps/common.h"
+#include "fabric/testbed.h"
+
+namespace {
+
+struct FlowStats {
+  std::uint64_t bytes = 0;
+};
+
+sim::Task<void> bulk_writer(fabric::Testbed& bed, std::size_t src,
+                            std::size_t dst, std::uint16_t port,
+                            FlowStats* stats, sim::Time deadline) {
+  constexpr std::uint32_t kMsg = 4 * 1024 * 1024;
+  struct Srv {
+    static sim::Task<void> run(fabric::Testbed* bed, std::size_t dst,
+                               std::size_t src, std::uint16_t port) {
+      auto ep = co_await apps::setup_endpoint(bed->ctx(dst),
+                                              {.buf_len = kMsg});
+      (void)co_await apps::connect_server(bed->ctx(dst), ep,
+                                          bed->instance_vip(src), port);
+    }
+  };
+  bed.loop().spawn(Srv::run(&bed, dst, src, port));
+  auto ep = co_await apps::setup_endpoint(bed.ctx(src), {.buf_len = kMsg});
+  (void)co_await apps::connect_client(bed.ctx(src), ep,
+                                      bed.instance_vip(dst), port);
+  while (bed.loop().now() < deadline) {
+    if (co_await apps::write_and_wait(bed.ctx(src), ep, 0, 0, kMsg) !=
+        rnic::WcStatus::kSuccess) {
+      break;
+    }
+    stats->bytes += kMsg;
+  }
+}
+
+sim::Task<void> operator_console(fabric::Testbed& bed, FlowStats* a,
+                                 FlowStats* b) {
+  auto sample = [&](const char* phase) {
+    static std::uint64_t last_a = 0, last_b = 0;
+    const double ga = static_cast<double>(a->bytes - last_a) * 8 / 1e9;
+    const double gb = static_cast<double>(b->bytes - last_b) * 8 / 1e9;
+    last_a = a->bytes;
+    last_b = b->bytes;
+    std::printf("  %-34s tenant-A %6.1f Gbps   tenant-B %6.1f Gbps\n",
+                phase, ga, gb);
+  };
+  auto& backend = bed.masq_backend(0);
+  co_await sim::delay(bed.loop(), sim::seconds(1));
+  sample("no limits (fair share):");
+  backend.set_tenant_rate_limit(100, 10.0);
+  co_await sim::delay(bed.loop(), sim::seconds(1));
+  sample("tenant-A capped at 10 Gbps:");
+  backend.set_tenant_rate_limit(100, 5.0);
+  backend.set_tenant_rate_limit(200, 20.0);
+  co_await sim::delay(bed.loop(), sim::seconds(1));
+  sample("A capped 5, B capped 20:");
+  backend.set_tenant_rate_limit(100, 40.0);
+  backend.set_tenant_rate_limit(200, 40.0);
+  co_await sim::delay(bed.loop(), sim::seconds(1));
+  sample("limits lifted:");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MasQ per-tenant QoS demo (QP groups -> VF rate limiters)\n\n");
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 16ull << 30;
+  cfg.cal.vm_mem_bytes = 1ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  (void)bed.add_instance(100);
+  (void)bed.add_instance(100);
+  (void)bed.add_instance(200);
+  (void)bed.add_instance(200);
+  std::printf("tenant A (vni 100) -> VF %d, tenant B (vni 200) -> VF %d on "
+              "%s\n\n",
+              bed.masq_backend(0).tenant_fn(100),
+              bed.masq_backend(0).tenant_fn(200),
+              bed.device(0).config().name.c_str());
+  FlowStats a, b;
+  loop.spawn(bulk_writer(bed, 0, 1, 6001, &a, sim::seconds(4)));
+  loop.spawn(bulk_writer(bed, 2, 3, 6002, &b, sim::seconds(4)));
+  loop.spawn(operator_console(bed, &a, &b));
+  loop.run();
+  std::printf("\ntotal: tenant-A %.1f GB, tenant-B %.1f GB in 4 simulated "
+              "seconds\n",
+              static_cast<double>(a.bytes) / 1e9,
+              static_cast<double>(b.bytes) / 1e9);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Secure multi-tenant scenario (the Fig. 6 walkthrough, end to end).
+//
+// Two tenants share the physical fabric; tenant "red" even reuses tenant
+// "blue"'s virtual IPs. The example shows:
+//   1. tenants are segregated — identical vIPs never collide (RConnrename
+//      keys its mapping by (VNI, vGID));
+//   2. a security rule forbidding cross-subnet RDMA makes connection
+//      establishment fail with permission-denied (RConntrack valid_conn);
+//   3. relaxing the rule lets the connection form; tightening it again
+//      tears the *established* connection down mid-traffic (reset_conn).
+//
+//   $ ./examples/secure_multitenant
+#include <cstdio>
+
+#include "apps/common.h"
+#include "fabric/testbed.h"
+
+namespace {
+
+constexpr std::uint32_t kBlue = 100;
+constexpr std::uint32_t kRed = 200;
+
+void say(fabric::Testbed& bed, const char* msg) {
+  std::printf("[%10s] %s\n", sim::format_time(bed.loop().now()).c_str(), msg);
+}
+
+sim::Task<void> passive_server(fabric::Testbed& bed, std::size_t idx,
+                               std::size_t peer, std::uint16_t port) {
+  auto ep = co_await apps::setup_endpoint(bed.ctx(idx));
+  (void)co_await apps::connect_server(bed.ctx(idx), ep,
+                                      bed.instance_vip(peer), port);
+}
+
+sim::Task<void> scenario(fabric::Testbed& bed) {
+  // ---- 1. tenant segregation despite IP collision --------------------
+  say(bed, "blue VM connects to blue 192.168.1.2 (red has the same vIP)");
+  bed.loop().spawn(passive_server(bed, 1, 0, 5001));
+  auto blue = co_await apps::setup_endpoint(bed.ctx(0));
+  rnic::Status st =
+      co_await apps::connect_client(bed.ctx(0), blue, bed.instance_vip(1),
+                                    5001);
+  std::printf("    -> %s; controller mapped (vni=%u, %s) to %s\n",
+              rnic::to_string(st), kBlue,
+              blue.peer.gid.str().c_str(),
+              bed.device(0).qp_hw_attr(blue.qp).dest_gid.str().c_str());
+  apps::put_string(bed.ctx(0), blue, 0, "blue secret");
+  (void)co_await apps::write_and_wait(bed.ctx(0), blue, 0, 0, 11);
+  say(bed, "blue traffic flows; red tenants saw nothing");
+
+  // ---- 2. rules gate connection establishment ------------------------
+  say(bed, "operator denies RDMA between red's VMs, then red tries to "
+           "connect");
+  auto& pol = bed.policy(kRed);
+  const auto deny_id = pol.firewall(overlay::Chain::kForward)
+                           .add_rule(overlay::Rule::deny(
+                               net::Ipv4Cidr::any(), net::Ipv4Cidr::any(),
+                               overlay::Proto::kRdma, 500));
+  pol.notify_changed();
+  auto red = co_await apps::setup_endpoint(bed.ctx(2));
+  bed.loop().spawn(passive_server(bed, 3, 2, 5002));
+  st = co_await apps::connect_client(bed.ctx(2), red, bed.instance_vip(3),
+                                     5002);
+  std::printf("    -> modify_qp(RTR) rejected: %s (RConntrack valid_conn)\n",
+              rnic::to_string(st));
+
+  // ---- 3. established connections die on rule updates ----------------
+  say(bed, "operator lifts the rule; red reconnects and starts traffic");
+  pol.firewall(overlay::Chain::kForward).remove_rule(deny_id);
+  pol.notify_changed();
+  auto red2 = co_await apps::setup_endpoint(bed.ctx(2));
+  bed.loop().spawn(passive_server(bed, 3, 2, 5003));
+  st = co_await apps::connect_client(bed.ctx(2), red2, bed.instance_vip(3),
+                                     5003);
+  std::printf("    -> %s; QP state = %s\n", rnic::to_string(st),
+              rnic::to_string(bed.device(0).qp_state(red2.qp)));
+  (void)co_await apps::write_and_wait(bed.ctx(2), red2, 0, 0, 1024);
+
+  say(bed, "operator re-installs the deny rule while traffic is live");
+  auto& conntrack = bed.masq_backend(0).conntrack();
+  (void)co_await conntrack.install_rule(
+      pol, pol.firewall(overlay::Chain::kForward),
+      overlay::Rule::deny(net::Ipv4Cidr::any(), net::Ipv4Cidr::any(),
+                          overlay::Proto::kRdma, 500));
+  co_await sim::delay(bed.loop(), sim::milliseconds(2));
+  std::printf("    -> RConntrack reset the connection: QP state = %s, "
+              "resets performed = %llu\n",
+              rnic::to_string(bed.device(0).qp_state(red2.qp)),
+              static_cast<unsigned long long>(conntrack.resets_performed()));
+  const auto wc = co_await apps::send_and_wait(bed.ctx(2), red2, 0, 8);
+  std::printf("    -> further sends flush with: %s (Table 2 semantics)\n",
+              rnic::to_string(wc));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MasQ secure multi-tenant walkthrough\n\n");
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 8ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  (void)bed.add_instance(kBlue);  // 0: blue 192.168.1.1
+  (void)bed.add_instance(kBlue);  // 1: blue 192.168.1.2
+  (void)bed.add_instance(kRed);   // 2: red  192.168.1.1 (collision!)
+  (void)bed.add_instance(kRed);   // 3: red  192.168.1.2 (collision!)
+  std::printf("blue(vni=%u): %s, %s   red(vni=%u): %s, %s\n\n", kBlue,
+              bed.instance_vip(0).str().c_str(),
+              bed.instance_vip(1).str().c_str(), kRed,
+              bed.instance_vip(2).str().c_str(),
+              bed.instance_vip(3).str().c_str());
+  loop.spawn(scenario(bed));
+  loop.run();
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "apps/cm.h"
+
+#include <cstring>
+
+namespace apps::cm {
+
+namespace {
+
+// Fixed-size heads of the two handshake messages; the variable-length
+// private_data follows immediately after.
+struct ReqHead {
+  std::uint32_t client_vip;
+  std::uint16_t reply_port;
+  verbs::ConnInfo info;
+};
+
+struct RespHead {
+  std::uint8_t accepted;
+  verbs::ConnInfo info;
+};
+
+template <typename Head>
+overlay::Blob with_payload(const Head& head, const overlay::Blob& pd) {
+  overlay::Blob out(sizeof(Head) + pd.size());
+  std::memcpy(out.data(), &head, sizeof(Head));
+  if (!pd.empty()) {
+    std::memcpy(out.data() + sizeof(Head), pd.data(), pd.size());
+  }
+  return out;
+}
+
+template <typename Head>
+bool split_payload(const overlay::Blob& blob, Head* head,
+                   overlay::Blob* pd) {
+  if (blob.size() < sizeof(Head)) return false;
+  std::memcpy(head, blob.data(), sizeof(Head));
+  pd->assign(blob.begin() + sizeof(Head), blob.end());
+  return true;
+}
+
+// The client's reply mailbox: unique per (vip, qpn) since QPNs are unique
+// per device and a vip maps to one device function.
+std::uint16_t reply_port_for(rnic::Qpn qpn) {
+  return static_cast<std::uint16_t>(40000 + (qpn % 20000));
+}
+
+}  // namespace
+
+sim::Task<Incoming> Listener::get_request() {
+  while (true) {
+    overlay::Blob blob = co_await ctx_.oob().recv(port_);
+    ReqHead head;
+    Incoming in;
+    if (!split_payload(blob, &head, &in.private_data)) continue;  // garbage
+    in.peer_vip = net::Ipv4Addr{head.client_vip};
+    in.session_port = head.reply_port;
+    in.peer_info = head.info;
+    co_return in;
+  }
+}
+
+sim::Task<rnic::Expected<Endpoint>> Listener::accept(
+    const Incoming& req, EndpointOptions opts, overlay::Blob private_data) {
+  Endpoint ep = co_await setup_endpoint(ctx_, opts);
+  ep.peer = req.peer_info;
+  // Raise our side first so the client's first message finds us in RTS.
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kInit;
+  rnic::Status st = co_await ctx_.modify_qp(ep.qp, attr, rnic::kAttrState);
+  if (st == rnic::Status::kOk) {
+    attr.state = rnic::QpState::kRtr;
+    attr.dest_gid = ep.peer.gid;
+    attr.dest_qpn = ep.peer.qpn;
+    attr.path_mtu = 1024;
+    st = co_await ctx_.modify_qp(ep.qp, attr,
+                                 rnic::kAttrState | rnic::kAttrDestGid |
+                                     rnic::kAttrDestQpn | rnic::kAttrPathMtu);
+  }
+  if (st == rnic::Status::kOk) {
+    attr.state = rnic::QpState::kRts;
+    st = co_await ctx_.modify_qp(ep.qp, attr, rnic::kAttrState);
+  }
+  if (st != rnic::Status::kOk) {
+    co_await destroy_endpoint(ctx_, ep);
+    co_await reject(req);
+    co_return rnic::Expected<Endpoint>::error(st);
+  }
+  RespHead head;
+  head.accepted = 1;
+  head.info = verbs::ConnInfo{ep.qp, ep.local_gid, ep.mr.addr, ep.mr.rkey};
+  overlay::Blob resp = with_payload(head, private_data);
+  st = co_await ctx_.oob().send(req.peer_vip, req.session_port, resp);
+  if (st != rnic::Status::kOk) {
+    co_await destroy_endpoint(ctx_, ep);
+    co_return rnic::Expected<Endpoint>::error(st);
+  }
+  co_return rnic::Expected<Endpoint>::of(std::move(ep));
+}
+
+sim::Task<void> Listener::reject(const Incoming& req, overlay::Blob reason) {
+  RespHead head;
+  head.accepted = 0;
+  head.info = verbs::ConnInfo{};
+  overlay::Blob resp = with_payload(head, reason);
+  (void)co_await ctx_.oob().send(req.peer_vip, req.session_port, resp);
+}
+
+sim::Task<rnic::Expected<Connection>> connect(verbs::Context& ctx,
+                                              net::Ipv4Addr server_vip,
+                                              std::uint16_t port,
+                                              EndpointOptions opts,
+                                              overlay::Blob private_data) {
+  Connection conn;
+  conn.endpoint = co_await setup_endpoint(ctx, opts);
+  Endpoint& ep = conn.endpoint;
+
+  ReqHead head;
+  head.client_vip = ctx.oob().vip().value;
+  head.reply_port = reply_port_for(ep.qp);
+  head.info = verbs::ConnInfo{ep.qp, ep.local_gid, ep.mr.addr, ep.mr.rkey};
+  overlay::Blob req = with_payload(head, private_data);
+  rnic::Status st = co_await ctx.oob().send(server_vip, port, req);
+  if (st != rnic::Status::kOk) {
+    co_await destroy_endpoint(ctx, ep);
+    co_return rnic::Expected<Connection>::error(st);
+  }
+
+  overlay::Blob blob = co_await ctx.oob().recv(head.reply_port);
+  RespHead resp;
+  if (!split_payload(blob, &resp, &conn.private_data)) {
+    co_await destroy_endpoint(ctx, ep);
+    co_return rnic::Expected<Connection>::error(rnic::Status::kInvalidArgument);
+  }
+  if (resp.accepted == 0) {
+    co_await destroy_endpoint(ctx, ep);
+    co_return rnic::Expected<Connection>::error(
+        rnic::Status::kPermissionDenied);
+  }
+  ep.peer = resp.info;
+
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kInit;
+  st = co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
+  if (st == rnic::Status::kOk) {
+    attr.state = rnic::QpState::kRtr;
+    attr.dest_gid = ep.peer.gid;
+    attr.dest_qpn = ep.peer.qpn;
+    attr.path_mtu = 1024;
+    st = co_await ctx.modify_qp(ep.qp, attr,
+                                rnic::kAttrState | rnic::kAttrDestGid |
+                                    rnic::kAttrDestQpn | rnic::kAttrPathMtu);
+  }
+  if (st == rnic::Status::kOk) {
+    attr.state = rnic::QpState::kRts;
+    st = co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
+  }
+  if (st != rnic::Status::kOk) {
+    co_await destroy_endpoint(ctx, ep);
+    co_return rnic::Expected<Connection>::error(st);
+  }
+  co_return rnic::Expected<Connection>::of(std::move(conn));
+}
+
+}  // namespace apps::cm

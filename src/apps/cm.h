@@ -1,0 +1,83 @@
+// librdmacm-flavoured connection management.
+//
+// apps::connect_client/connect_server implement the bare Fig.-1 exchange
+// for exactly one pre-arranged pair. Real RDMA services need more: one
+// well-known port accepting many concurrent clients, application payload
+// piggybacked on the handshake (rdma_cm's private_data), and an explicit
+// accept/reject decision. This module provides that on top of the OOB
+// channel:
+//
+//   // server
+//   cm::Listener listener(ctx, 4791);
+//   auto req = co_await listener.get_request();        // REQ + private_data
+//   auto ep  = co_await listener.accept(req, opts, reply_blob);
+//
+//   // client
+//   auto conn = co_await cm::connect(ctx, server_vip, 4791, opts, hello);
+//   // conn.value.endpoint is RTS; conn.value.private_data = server's blob
+//
+// The handshake itself traverses the tenant's virtual TCP network, so it
+// is subject to security groups exactly like the paper requires (§3.3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+#include "overlay/oob.h"
+
+namespace apps::cm {
+
+// A connection request as seen by the listener.
+struct Incoming {
+  net::Ipv4Addr peer_vip;
+  std::uint16_t session_port = 0;  // private port for this handshake
+  verbs::ConnInfo peer_info;
+  overlay::Blob private_data;
+};
+
+// The client-side result of connect().
+struct Connection {
+  Endpoint endpoint;
+  overlay::Blob private_data;  // server's accept payload
+};
+
+class Listener {
+ public:
+  // Listens on `port` of ctx's OOB endpoint. Session ports are carved
+  // from `port + 1` upward, one per accepted handshake.
+  Listener(verbs::Context& ctx, std::uint16_t port)
+      : ctx_(ctx), port_(port), next_session_(port + 1) {}
+
+  // Waits for the next REQ.
+  sim::Task<Incoming> get_request();
+
+  // Builds local resources, answers with ACCEPT (+ private_data) and
+  // raises the QP to RTS against the requester.
+  sim::Task<rnic::Expected<Endpoint>> accept(const Incoming& req,
+                                             EndpointOptions opts = {},
+                                             overlay::Blob private_data = {});
+
+  // Answers with REJECT (+ optional reason); no resources are created.
+  sim::Task<void> reject(const Incoming& req, overlay::Blob reason = {});
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  verbs::Context& ctx_;
+  std::uint16_t port_;
+  std::uint16_t next_session_;
+};
+
+// Client side: sets up an endpoint, sends REQ with `private_data`, and on
+// ACCEPT raises the QP to RTS. kPermissionDenied if security rules block
+// the handshake or the connection; kNotFound if no listener answered the
+// tenant network; a rejected handshake also returns kPermissionDenied
+// with the server's reason in `Connection::private_data`.
+sim::Task<rnic::Expected<Connection>> connect(verbs::Context& ctx,
+                                              net::Ipv4Addr server_vip,
+                                              std::uint16_t port,
+                                              EndpointOptions opts = {},
+                                              overlay::Blob private_data = {});
+
+}  // namespace apps::cm

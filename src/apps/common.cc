@@ -1,0 +1,175 @@
+#include "apps/common.h"
+
+#include "overlay/oob.h"
+
+namespace apps {
+
+sim::Task<Endpoint> setup_endpoint(verbs::Context& ctx, EndpointOptions opts) {
+  Endpoint ep;
+  ep.buf_len = opts.buf_len;
+  auto pd = co_await ctx.alloc_pd();
+  if (!pd.ok()) throw std::runtime_error("alloc_pd failed");
+  ep.pd = pd.value;
+  ep.buf = ctx.alloc_buffer(opts.buf_len);
+  auto mr = co_await ctx.reg_mr(ep.pd, ep.buf, opts.buf_len, kFullAccess);
+  if (!mr.ok()) throw std::runtime_error("reg_mr failed");
+  ep.mr = mr.value;
+  auto scq = co_await ctx.create_cq(opts.cq_entries);
+  auto rcq = co_await ctx.create_cq(opts.cq_entries);
+  if (!scq.ok() || !rcq.ok()) throw std::runtime_error("create_cq failed");
+  ep.scq = scq.value;
+  ep.rcq = rcq.value;
+  rnic::QpInitAttr attr;
+  attr.type = opts.type;
+  attr.pd = ep.pd;
+  attr.send_cq = ep.scq;
+  attr.recv_cq = ep.rcq;
+  attr.caps.max_send_wr = opts.max_wr;
+  attr.caps.max_recv_wr = opts.max_wr;
+  auto qp = co_await ctx.create_qp(attr);
+  if (!qp.ok()) throw std::runtime_error("create_qp failed");
+  ep.qp = qp.value;
+  auto gid = co_await ctx.query_gid();
+  if (!gid.ok()) throw std::runtime_error("query_gid failed");
+  ep.local_gid = gid.value;
+  co_return ep;
+}
+
+sim::Task<void> destroy_endpoint(verbs::Context& ctx, Endpoint& ep) {
+  (void)co_await ctx.destroy_qp(ep.qp);
+  (void)co_await ctx.destroy_cq(ep.scq);
+  (void)co_await ctx.destroy_cq(ep.rcq);
+  (void)co_await ctx.dereg_mr(ep.mr);
+  (void)co_await ctx.dealloc_pd(ep.pd);
+}
+
+namespace {
+
+// Shared tail of connect_client/connect_server: INIT -> RTR(peer) -> RTS.
+sim::Task<rnic::Status> raise_to_rts(verbs::Context& ctx, Endpoint& ep) {
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kInit;
+  rnic::Status st = co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
+  if (st != rnic::Status::kOk) co_return st;
+  attr.state = rnic::QpState::kRtr;
+  attr.dest_gid = ep.peer.gid;
+  attr.dest_qpn = ep.peer.qpn;
+  attr.path_mtu = 1024;
+  st = co_await ctx.modify_qp(ep.qp, attr,
+                              rnic::kAttrState | rnic::kAttrDestGid |
+                                  rnic::kAttrDestQpn | rnic::kAttrPathMtu);
+  if (st != rnic::Status::kOk) co_return st;
+  attr.state = rnic::QpState::kRts;
+  co_return co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
+}
+
+verbs::ConnInfo local_info(const Endpoint& ep) {
+  verbs::ConnInfo info;
+  info.qpn = ep.qp;
+  info.gid = ep.local_gid;
+  info.raddr = ep.mr.addr;
+  info.rkey = ep.mr.rkey;
+  return info;
+}
+
+}  // namespace
+
+sim::Task<rnic::Status> connect_client(verbs::Context& ctx, Endpoint& ep,
+                                       net::Ipv4Addr server_vip,
+                                       std::uint16_t port) {
+  // Fig. 1 step 3: exchange connection information over TCP. The client
+  // sends first, then waits for the server's info.
+  overlay::Blob blob = overlay::pack(local_info(ep));
+  const rnic::Status st = co_await ctx.oob().send(server_vip, port, blob);
+  if (st != rnic::Status::kOk) co_return st;
+  overlay::Blob reply = co_await ctx.oob().recv(port);
+  ep.peer = overlay::unpack<verbs::ConnInfo>(reply);
+  co_return co_await raise_to_rts(ctx, ep);
+}
+
+sim::Task<rnic::Status> connect_server(verbs::Context& ctx, Endpoint& ep,
+                                       net::Ipv4Addr client_vip,
+                                       std::uint16_t port) {
+  overlay::Blob blob = co_await ctx.oob().recv(port);
+  ep.peer = overlay::unpack<verbs::ConnInfo>(blob);
+  overlay::Blob reply = overlay::pack(local_info(ep));
+  const rnic::Status st = co_await ctx.oob().send(client_vip, port, reply);
+  if (st != rnic::Status::kOk) co_return st;
+  co_return co_await raise_to_rts(ctx, ep);
+}
+
+sim::Task<rnic::WcStatus> send_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                        std::uint64_t offset,
+                                        std::uint32_t len) {
+  rnic::SendWr wr;
+  wr.wr_id = 100;
+  wr.opcode = rnic::WrOpcode::kSend;
+  wr.sge = {ep.buf + offset, len, ep.mr.lkey};
+  if (ctx.post_send(ep.qp, wr) != rnic::Status::kOk) {
+    co_return rnic::WcStatus::kLocQpOpErr;
+  }
+  rnic::Completion c = co_await ctx.wait_completion(ep.scq);
+  co_return c.status;
+}
+
+sim::Task<rnic::Completion> recv_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                          std::uint64_t offset,
+                                          std::uint32_t len) {
+  rnic::RecvWr wr;
+  wr.wr_id = 1;
+  wr.sge = {ep.buf + offset, len, ep.mr.lkey};
+  if (ctx.post_recv(ep.qp, wr) != rnic::Status::kOk) {
+    throw std::runtime_error("post_recv failed");
+  }
+  co_return co_await ctx.wait_completion(ep.rcq);
+}
+
+sim::Task<rnic::WcStatus> write_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                         std::uint64_t local_offset,
+                                         std::uint64_t remote_offset,
+                                         std::uint32_t len) {
+  rnic::SendWr wr;
+  wr.wr_id = 2;
+  wr.opcode = rnic::WrOpcode::kRdmaWrite;
+  wr.sge = {ep.buf + local_offset, len, ep.mr.lkey};
+  wr.remote_addr = ep.peer.raddr + remote_offset;
+  wr.rkey = ep.peer.rkey;
+  if (ctx.post_send(ep.qp, wr) != rnic::Status::kOk) {
+    co_return rnic::WcStatus::kLocQpOpErr;
+  }
+  rnic::Completion c = co_await ctx.wait_completion(ep.scq);
+  co_return c.status;
+}
+
+sim::Task<rnic::WcStatus> read_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                        std::uint64_t local_offset,
+                                        std::uint64_t remote_offset,
+                                        std::uint32_t len) {
+  rnic::SendWr wr;
+  wr.wr_id = 3;
+  wr.opcode = rnic::WrOpcode::kRdmaRead;
+  wr.sge = {ep.buf + local_offset, len, ep.mr.lkey};
+  wr.remote_addr = ep.peer.raddr + remote_offset;
+  wr.rkey = ep.peer.rkey;
+  if (ctx.post_send(ep.qp, wr) != rnic::Status::kOk) {
+    co_return rnic::WcStatus::kLocQpOpErr;
+  }
+  rnic::Completion c = co_await ctx.wait_completion(ep.scq);
+  co_return c.status;
+}
+
+void put_string(verbs::Context& ctx, const Endpoint& ep, std::uint64_t offset,
+                const std::string& s) {
+  ctx.write_buffer(ep.buf + offset,
+                   {reinterpret_cast<const std::uint8_t*>(s.data()),
+                    s.size()});
+}
+
+std::string get_string(verbs::Context& ctx, const Endpoint& ep,
+                       std::uint64_t offset, std::size_t n) {
+  std::vector<std::uint8_t> buf(n);
+  ctx.read_buffer(ep.buf + offset, buf);
+  return std::string(buf.begin(), buf.end());
+}
+
+}  // namespace apps

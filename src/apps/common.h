@@ -1,0 +1,88 @@
+// Shared application-level helpers: the canonical client/server RDMA flow
+// of Fig. 1 — resource setup, OOB exchange of connection information over
+// the virtual TCP network, QP state ladder, teardown.
+//
+// Everything here is written against verbs::Context only, so it runs
+// unmodified on all four virtualization candidates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rnic/types.h"
+#include "verbs/api.h"
+
+namespace apps {
+
+inline constexpr std::uint32_t kFullAccess =
+    rnic::kLocalWrite | rnic::kRemoteWrite | rnic::kRemoteRead;
+
+// One side's RDMA resources (Fig. 1, setup phase).
+struct Endpoint {
+  rnic::PdId pd = 0;
+  rnic::Cqn scq = 0;
+  rnic::Cqn rcq = 0;
+  rnic::Qpn qp = 0;
+  verbs::MrHandle mr;
+  mem::Addr buf = 0;
+  std::uint64_t buf_len = 0;
+  net::Gid local_gid;
+  verbs::ConnInfo peer;  // filled by connect_*()
+};
+
+struct EndpointOptions {
+  std::uint64_t buf_len = 64 * 1024;
+  int cq_entries = 1024;
+  std::uint32_t max_wr = 512;
+  rnic::QpType type = rnic::QpType::kRc;
+};
+
+// Allocates PD/MR/CQ/QP and queries the (virtual) GID.
+sim::Task<Endpoint> setup_endpoint(verbs::Context& ctx,
+                                   EndpointOptions opts = {});
+
+// Releases everything (Fig. 1, cleanup phase).
+sim::Task<void> destroy_endpoint(verbs::Context& ctx, Endpoint& ep);
+
+// Full connection establishment between a client and a server that have
+// already run setup_endpoint(): exchange (QPN, GID, MR) over the OOB
+// channel, then walk both QPs RESET -> INIT -> RTR -> RTS.
+// `server_vip`/`client_vip` are tenant-virtual addresses; `port`
+// disambiguates concurrent exchanges. Returns kPermissionDenied if either
+// the TCP exchange or the RDMA connection is blocked by security rules.
+sim::Task<rnic::Status> connect_client(verbs::Context& ctx, Endpoint& ep,
+                                       net::Ipv4Addr server_vip,
+                                       std::uint16_t port);
+sim::Task<rnic::Status> connect_server(verbs::Context& ctx, Endpoint& ep,
+                                       net::Ipv4Addr client_vip,
+                                       std::uint16_t port);
+
+// Data-plane conveniences -----------------------------------------------
+
+// Posts a send of [ep.buf+offset, +len) and waits for the send CQE.
+sim::Task<rnic::WcStatus> send_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                        std::uint64_t offset,
+                                        std::uint32_t len);
+// Posts a recv and waits for the incoming message's CQE.
+sim::Task<rnic::Completion> recv_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                          std::uint64_t offset,
+                                          std::uint32_t len);
+// RDMA-writes into the peer's MR (address from the OOB exchange).
+sim::Task<rnic::WcStatus> write_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                         std::uint64_t local_offset,
+                                         std::uint64_t remote_offset,
+                                         std::uint32_t len);
+// RDMA-reads from the peer's MR into the local buffer.
+sim::Task<rnic::WcStatus> read_and_wait(verbs::Context& ctx, Endpoint& ep,
+                                        std::uint64_t local_offset,
+                                        std::uint64_t remote_offset,
+                                        std::uint32_t len);
+
+// Buffer I/O with std::string payloads (tests / examples).
+void put_string(verbs::Context& ctx, const Endpoint& ep, std::uint64_t offset,
+                const std::string& s);
+std::string get_string(verbs::Context& ctx, const Endpoint& ep,
+                       std::uint64_t offset, std::size_t n);
+
+}  // namespace apps

@@ -1,0 +1,459 @@
+#include "apps/graph500.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "apps/minimpi.h"
+#include "sim/join.h"
+#include "sim/rng.h"
+
+namespace apps::graph500 {
+
+namespace {
+
+struct Edge {
+  std::uint32_t u;
+  std::uint32_t v;
+  std::uint8_t w;
+};
+
+// R-MAT/Kronecker edge generation with the Graph500 reference parameters.
+std::vector<Edge> generate_edges(const Config& cfg) {
+  const std::uint64_t n = 1ull << cfg.scale;
+  const std::uint64_t m = n * static_cast<std::uint64_t>(cfg.edge_factor);
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  sim::Rng rng(cfg.seed);
+  // Vertex scramble: odd multiplier makes (a*x + b) mod 2^scale a bijection.
+  const std::uint64_t mul = (rng.next_u64() | 1) & (n - 1);
+  const std::uint64_t add = rng.next_u64() & (n - 1);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (int bit = 0; bit < cfg.scale; ++bit) {
+      const double r = rng.next_double();
+      int quadrant;
+      if (r < kA) {
+        quadrant = 0;
+      } else if (r < kA + kB) {
+        quadrant = 1;
+      } else if (r < kA + kB + kC) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      u |= static_cast<std::uint64_t>(quadrant >> 1) << bit;
+      v |= static_cast<std::uint64_t>(quadrant & 1) << bit;
+    }
+    u = (mul * u + add) & (n - 1);
+    v = (mul * v + add) & (n - 1);
+    edges.push_back(Edge{static_cast<std::uint32_t>(u),
+                         static_cast<std::uint32_t>(v),
+                         static_cast<std::uint8_t>(1 + rng.next_below(255))});
+  }
+  return edges;
+}
+
+// A (vertex, payload) pair shipped between ranks during BFS/SSSP.
+struct Update {
+  std::uint32_t v;
+  std::uint32_t aux;  // BFS: parent; SSSP: low 32 bits handled separately
+  std::uint64_t dist; // SSSP candidate distance (unused by BFS)
+};
+
+std::vector<std::uint8_t> pack_updates(const std::vector<Update>& u) {
+  std::vector<std::uint8_t> out(u.size() * sizeof(Update));
+  if (!u.empty()) std::memcpy(out.data(), u.data(), out.size());
+  return out;
+}
+
+std::vector<Update> unpack_updates(const std::vector<std::uint8_t>& b) {
+  std::vector<Update> out(b.size() / sizeof(Update));
+  if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+struct Graph {
+  int num_ranks;
+  std::uint64_t n;
+  std::uint64_t m;
+  // adj[rank][local_index] = list of (neighbor, weight); vertex v is owned
+  // by rank v % num_ranks with local index v / num_ranks.
+  std::vector<std::vector<std::vector<std::pair<std::uint32_t,
+                                                std::uint8_t>>>> adj;
+
+  int owner(std::uint32_t v) const { return static_cast<int>(v) % num_ranks; }
+  std::uint32_t local(std::uint32_t v) const {
+    return v / static_cast<std::uint32_t>(num_ranks);
+  }
+  const std::vector<std::pair<std::uint32_t, std::uint8_t>>& neighbors(
+      std::uint32_t v) const {
+    return adj[static_cast<std::size_t>(owner(v))][local(v)];
+  }
+};
+
+// Kernel 1: distribute edges to their owners (both directions) and build
+// adjacency lists. Communication goes through the real alltoall.
+sim::Task<double> build_graph(fabric::Testbed& bed, apps::mpi::Comm& comm,
+                              const Config& cfg,
+                              const std::vector<Edge>& edges, Graph* g) {
+  const int n_ranks = cfg.num_ranks;
+  const sim::Time t0 = bed.loop().now();
+  g->num_ranks = n_ranks;
+  g->n = 1ull << cfg.scale;
+  g->m = edges.size();
+  g->adj.assign(static_cast<std::size_t>(n_ranks), {});
+  for (int r = 0; r < n_ranks; ++r) {
+    g->adj[static_cast<std::size_t>(r)].resize(
+        (g->n + static_cast<std::uint64_t>(n_ranks) - 1) /
+        static_cast<std::uint64_t>(n_ranks));
+  }
+  // Edges start round-robin on their generating rank; ship both endpoints.
+  std::vector<std::vector<std::vector<Update>>> outgoing(
+      static_cast<std::size_t>(n_ranks),
+      std::vector<std::vector<Update>>(static_cast<std::size_t>(n_ranks)));
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.u == e.v) continue;  // self-loops dropped, per the spec
+    const int gen_rank = static_cast<int>(i) % n_ranks;
+    outgoing[gen_rank][g->owner(e.u)].push_back(Update{e.u, e.v, e.w});
+    outgoing[gen_rank][g->owner(e.v)].push_back(Update{e.v, e.u, e.w});
+  }
+  std::vector<std::vector<std::vector<std::uint8_t>>> buffers(
+      static_cast<std::size_t>(n_ranks),
+      std::vector<std::vector<std::uint8_t>>(
+          static_cast<std::size_t>(n_ranks)));
+  std::uint64_t insertions = 0;
+  for (int i = 0; i < n_ranks; ++i) {
+    for (int j = 0; j < n_ranks; ++j) {
+      insertions += outgoing[i][j].size();
+      buffers[i][j] = pack_updates(outgoing[i][j]);
+    }
+  }
+  std::vector<std::vector<std::vector<std::uint8_t>>> received;
+  co_await comm.alltoallv(buffers, &received);
+  // Parallel per-rank adjacency construction (charged CPU).
+  std::vector<sim::Task<void>> tasks;
+  for (int r = 0; r < n_ranks; ++r) {
+    struct Build {
+      static sim::Task<void> run(
+          apps::mpi::Comm* comm, Graph* g, int r, const Config* cfg,
+          const std::vector<std::vector<std::uint8_t>>* inbox) {
+        std::uint64_t count = 0;
+        for (const auto& blob : *inbox) {
+          for (const Update& u : unpack_updates(blob)) {
+            g->adj[static_cast<std::size_t>(r)][g->local(u.v)]
+                .emplace_back(u.aux, static_cast<std::uint8_t>(u.dist));
+            ++count;
+          }
+        }
+        co_await comm->ctx(r).compute(cfg->per_edge_cpu *
+                                      static_cast<sim::Time>(count));
+      }
+    };
+    tasks.push_back(Build::run(&comm, g, r, &cfg,
+                               &received[static_cast<std::size_t>(r)]));
+  }
+  // Re-encode weight into Update::dist for construction.
+  co_await sim::join_all(bed.loop(), std::move(tasks));
+  (void)insertions;
+  co_return sim::to_s(bed.loop().now() - t0);
+}
+
+// Kernel 2: level-synchronous BFS from `root`. Returns (time, parent map).
+sim::Task<double> run_bfs(fabric::Testbed& bed, apps::mpi::Comm& comm,
+                          const Config& cfg, const Graph& g,
+                          std::uint32_t root,
+                          std::vector<std::int64_t>* parent,
+                          std::vector<std::int64_t>* depth) {
+  const int n_ranks = cfg.num_ranks;
+  const sim::Time t0 = bed.loop().now();
+  parent->assign(g.n, -1);
+  depth->assign(g.n, -1);
+  (*parent)[root] = root;
+  (*depth)[root] = 0;
+  std::vector<std::vector<std::uint32_t>> frontier(
+      static_cast<std::size_t>(n_ranks));
+  frontier[static_cast<std::size_t>(g.owner(root))].push_back(root);
+  std::int64_t level = 0;
+  while (true) {
+    // Scan phase, parallel per rank.
+    std::vector<std::vector<std::vector<Update>>> buckets(
+        static_cast<std::size_t>(n_ranks),
+        std::vector<std::vector<Update>>(static_cast<std::size_t>(n_ranks)));
+    std::vector<sim::Task<void>> scans;
+    for (int r = 0; r < n_ranks; ++r) {
+      struct Scan {
+        static sim::Task<void> run(apps::mpi::Comm* comm, const Config* cfg,
+                                   const Graph* g, int r,
+                                   const std::vector<std::uint32_t>* front,
+                                   std::vector<std::vector<Update>>* out) {
+          std::uint64_t scanned = 0;
+          for (std::uint32_t u : *front) {
+            for (const auto& [v, w] : g->neighbors(u)) {
+              (*out)[static_cast<std::size_t>(g->owner(v))].push_back(
+                  Update{v, u, 0});
+              ++scanned;
+            }
+          }
+          co_await comm->ctx(r).compute(
+              cfg->per_edge_cpu * static_cast<sim::Time>(scanned) +
+              cfg->per_vertex_cpu *
+                  static_cast<sim::Time>(front->size()));
+        }
+      };
+      scans.push_back(Scan::run(&comm, &cfg, &g, r,
+                                &frontier[static_cast<std::size_t>(r)],
+                                &buckets[static_cast<std::size_t>(r)]));
+    }
+    co_await sim::join_all(bed.loop(), std::move(scans));
+
+    // Exchange discovered vertices.
+    std::vector<std::vector<std::vector<std::uint8_t>>> wire(
+        static_cast<std::size_t>(n_ranks),
+        std::vector<std::vector<std::uint8_t>>(
+            static_cast<std::size_t>(n_ranks)));
+    for (int i = 0; i < n_ranks; ++i) {
+      for (int j = 0; j < n_ranks; ++j) {
+        wire[i][j] = pack_updates(buckets[i][j]);
+      }
+    }
+    std::vector<std::vector<std::vector<std::uint8_t>>> received;
+    co_await comm.alltoallv(wire, &received);
+
+    // Accept phase, parallel per rank.
+    std::vector<std::vector<std::uint32_t>> next(
+        static_cast<std::size_t>(n_ranks));
+    std::vector<sim::Task<void>> accepts;
+    for (int r = 0; r < n_ranks; ++r) {
+      struct Accept {
+        static sim::Task<void> run(
+            apps::mpi::Comm* comm, const Config* cfg, int r,
+            const std::vector<std::vector<std::uint8_t>>* inbox,
+            std::vector<std::int64_t>* parent,
+            std::vector<std::int64_t>* depth, std::int64_t level,
+            std::vector<std::uint32_t>* next) {
+          std::uint64_t handled = 0;
+          for (const auto& blob : *inbox) {
+            for (const Update& u : unpack_updates(blob)) {
+              ++handled;
+              if ((*parent)[u.v] < 0) {
+                (*parent)[u.v] = u.aux;
+                (*depth)[u.v] = level + 1;
+                next->push_back(u.v);
+              }
+            }
+          }
+          co_await comm->ctx(r).compute(cfg->per_vertex_cpu *
+                                        static_cast<sim::Time>(handled));
+        }
+      };
+      accepts.push_back(Accept::run(&comm, &cfg, r,
+                                    &received[static_cast<std::size_t>(r)],
+                                    parent, depth, level,
+                                    &next[static_cast<std::size_t>(r)]));
+    }
+    co_await sim::join_all(bed.loop(), std::move(accepts));
+
+    // Global termination check (allreduce of frontier sizes).
+    std::vector<std::vector<std::int64_t>> counts;
+    for (int r = 0; r < n_ranks; ++r) {
+      counts.push_back({static_cast<std::int64_t>(
+          next[static_cast<std::size_t>(r)].size())});
+    }
+    co_await comm.allreduce_sum(&counts);
+    frontier = std::move(next);
+    ++level;
+    if (counts[0][0] == 0) break;
+  }
+  co_return sim::to_s(bed.loop().now() - t0);
+}
+
+// Kernel 3: SSSP by synchronous Bellman-Ford rounds.
+sim::Task<double> run_sssp(fabric::Testbed& bed, apps::mpi::Comm& comm,
+                           const Config& cfg, const Graph& g,
+                           std::uint32_t root,
+                           std::vector<std::uint64_t>* dist) {
+  const int n_ranks = cfg.num_ranks;
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  const sim::Time t0 = bed.loop().now();
+  dist->assign(g.n, kInf);
+  (*dist)[root] = 0;
+  std::vector<std::vector<std::uint32_t>> active(
+      static_cast<std::size_t>(n_ranks));
+  active[static_cast<std::size_t>(g.owner(root))].push_back(root);
+  while (true) {
+    std::vector<std::vector<std::vector<Update>>> buckets(
+        static_cast<std::size_t>(n_ranks),
+        std::vector<std::vector<Update>>(static_cast<std::size_t>(n_ranks)));
+    std::vector<sim::Task<void>> relaxes;
+    for (int r = 0; r < n_ranks; ++r) {
+      struct Relax {
+        static sim::Task<void> run(apps::mpi::Comm* comm, const Config* cfg,
+                                   const Graph* g, int r,
+                                   const std::vector<std::uint32_t>* act,
+                                   const std::vector<std::uint64_t>* dist,
+                                   std::vector<std::vector<Update>>* out) {
+          std::uint64_t relaxed = 0;
+          for (std::uint32_t u : *act) {
+            const std::uint64_t du = (*dist)[u];
+            for (const auto& [v, w] : g->neighbors(u)) {
+              (*out)[static_cast<std::size_t>(g->owner(v))].push_back(
+                  Update{v, u, du + w});
+              ++relaxed;
+            }
+          }
+          co_await comm->ctx(r).compute(cfg->per_edge_cpu *
+                                        static_cast<sim::Time>(relaxed));
+        }
+      };
+      relaxes.push_back(Relax::run(&comm, &cfg, &g, r,
+                                   &active[static_cast<std::size_t>(r)],
+                                   dist,
+                                   &buckets[static_cast<std::size_t>(r)]));
+    }
+    co_await sim::join_all(bed.loop(), std::move(relaxes));
+
+    std::vector<std::vector<std::vector<std::uint8_t>>> wire(
+        static_cast<std::size_t>(n_ranks),
+        std::vector<std::vector<std::uint8_t>>(
+            static_cast<std::size_t>(n_ranks)));
+    for (int i = 0; i < n_ranks; ++i) {
+      for (int j = 0; j < n_ranks; ++j) {
+        wire[i][j] = pack_updates(buckets[i][j]);
+      }
+    }
+    std::vector<std::vector<std::vector<std::uint8_t>>> received;
+    co_await comm.alltoallv(wire, &received);
+
+    std::vector<std::vector<std::uint32_t>> next(
+        static_cast<std::size_t>(n_ranks));
+    std::vector<sim::Task<void>> settles;
+    for (int r = 0; r < n_ranks; ++r) {
+      struct Settle {
+        static sim::Task<void> run(
+            apps::mpi::Comm* comm, const Config* cfg, int r,
+            const std::vector<std::vector<std::uint8_t>>* inbox,
+            std::vector<std::uint64_t>* dist,
+            std::vector<std::uint32_t>* next) {
+          std::uint64_t handled = 0;
+          for (const auto& blob : *inbox) {
+            for (const Update& u : unpack_updates(blob)) {
+              ++handled;
+              if (u.dist < (*dist)[u.v]) {
+                (*dist)[u.v] = u.dist;
+                next->push_back(u.v);
+              }
+            }
+          }
+          // Deduplicate re-activated vertices.
+          std::sort(next->begin(), next->end());
+          next->erase(std::unique(next->begin(), next->end()), next->end());
+          co_await comm->ctx(r).compute(cfg->per_vertex_cpu *
+                                        static_cast<sim::Time>(handled));
+        }
+      };
+      settles.push_back(Settle::run(&comm, &cfg, r,
+                                    &received[static_cast<std::size_t>(r)],
+                                    dist, &next[static_cast<std::size_t>(r)]));
+    }
+    co_await sim::join_all(bed.loop(), std::move(settles));
+
+    std::vector<std::vector<std::int64_t>> counts;
+    for (int r = 0; r < n_ranks; ++r) {
+      counts.push_back({static_cast<std::int64_t>(
+          next[static_cast<std::size_t>(r)].size())});
+    }
+    co_await comm.allreduce_sum(&counts);
+    active = std::move(next);
+    if (counts[0][0] == 0) break;
+  }
+  co_return sim::to_s(bed.loop().now() - t0);
+}
+
+bool validate_bfs(const Graph& g, std::uint32_t root,
+                  const std::vector<std::int64_t>& parent,
+                  const std::vector<std::int64_t>& depth) {
+  if (parent[root] != static_cast<std::int64_t>(root) || depth[root] != 0) {
+    return false;
+  }
+  for (std::uint32_t v = 0; v < g.n; ++v) {
+    if (parent[v] < 0 || v == root) continue;
+    const auto p = static_cast<std::uint32_t>(parent[v]);
+    if (depth[v] != depth[p] + 1) return false;
+    const auto& nbrs = g.neighbors(v);
+    const bool edge_exists =
+        std::any_of(nbrs.begin(), nbrs.end(),
+                    [&](const auto& e) { return e.first == p; });
+    if (!edge_exists) return false;
+  }
+  return true;
+}
+
+bool validate_sssp(const Graph& g, std::uint32_t root,
+                   const std::vector<std::uint64_t>& dist) {
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  if (dist[root] != 0) return false;
+  for (std::uint32_t u = 0; u < g.n; ++u) {
+    if (dist[u] == kInf) continue;
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (dist[v] > dist[u] + w) return false;  // unrelaxed edge
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result run(fabric::Testbed& bed, Config cfg) {
+  Result result;
+  struct Driver {
+    static sim::Task<void> go(fabric::Testbed* bed, Config cfg,
+                              Result* result) {
+      // Ranks round-robin over the two instances (paper's placement).
+      std::vector<std::size_t> mapping;
+      for (int r = 0; r < cfg.num_ranks; ++r) {
+        mapping.push_back(static_cast<std::size_t>(r % 2));
+      }
+      auto comm = co_await apps::mpi::Comm::create(*bed, mapping,
+                                                   cfg.base_port);
+      const auto edges = generate_edges(cfg);
+      Graph g;
+      result->construction_s =
+          co_await build_graph(*bed, *comm, cfg, edges, &g);
+
+      sim::Rng root_rng(cfg.seed ^ 0x5eed);
+      double bfs_time = 0, sssp_time = 0;
+      bool bfs_ok = true, sssp_ok = true;
+      for (int i = 0; i < cfg.num_roots; ++i) {
+        // Pick roots with at least one neighbor, like the reference code.
+        std::uint32_t root;
+        do {
+          root = static_cast<std::uint32_t>(root_rng.next_below(g.n));
+        } while (g.neighbors(root).empty());
+        std::vector<std::int64_t> parent, depth;
+        bfs_time += co_await run_bfs(*bed, *comm, cfg, g, root, &parent,
+                                     &depth);
+        bfs_ok = bfs_ok && validate_bfs(g, root, parent, depth);
+        std::vector<std::uint64_t> dist;
+        sssp_time += co_await run_sssp(*bed, *comm, cfg, g, root, &dist);
+        sssp_ok = sssp_ok && validate_sssp(g, root, dist);
+      }
+      result->bfs.mean_time_s = bfs_time / cfg.num_roots;
+      result->bfs.edges = g.m;
+      result->bfs.teps = static_cast<double>(g.m) / result->bfs.mean_time_s;
+      result->bfs.validated = bfs_ok;
+      result->sssp.mean_time_s = sssp_time / cfg.num_roots;
+      result->sssp.edges = g.m;
+      result->sssp.teps =
+          static_cast<double>(g.m) / result->sssp.mean_time_s;
+      result->sssp.validated = sssp_ok;
+    }
+  };
+  bed.loop().spawn(Driver::go(&bed, cfg, &result));
+  bed.loop().run();
+  return result;
+}
+
+}  // namespace apps::graph500

@@ -1,0 +1,196 @@
+#include "apps/kvs.h"
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+#include "apps/minimpi.h"
+#include "sim/join.h"
+#include "sim/rng.h"
+#include "sim/service_queue.h"
+
+namespace apps::kvs {
+
+namespace {
+
+constexpr std::size_t kKeyBytes = 16;
+constexpr std::size_t kValueBytes = 32;
+
+enum class OpCode : std::uint8_t { kGet = 0, kPut = 1 };
+enum class RespCode : std::uint8_t { kHit = 0, kMiss = 1, kOk = 2 };
+
+struct Request {
+  OpCode op;
+  std::array<std::uint8_t, kKeyBytes> key;
+  std::array<std::uint8_t, kValueBytes> value;  // PUT only
+};
+
+struct Reply {
+  RespCode code;
+  std::array<std::uint8_t, kValueBytes> value;  // GET hit only
+};
+
+std::array<std::uint8_t, kKeyBytes> make_key(std::uint64_t idx) {
+  std::array<std::uint8_t, kKeyBytes> k{};
+  std::memcpy(k.data(), &idx, 8);
+  k[8] = 0x4b;  // 'K'
+  return k;
+}
+
+std::array<std::uint8_t, kValueBytes> make_value(std::uint64_t idx,
+                                                 std::uint64_t version) {
+  std::array<std::uint8_t, kValueBytes> v{};
+  std::memcpy(v.data(), &idx, 8);
+  std::memcpy(v.data() + 8, &version, 8);
+  return v;
+}
+
+struct KeyHash {
+  std::size_t operator()(const std::array<std::uint8_t, kKeyBytes>& k) const {
+    std::uint64_t a, b;
+    std::memcpy(&a, k.data(), 8);
+    std::memcpy(&b, k.data() + 8, 8);
+    return a * 0x9e3779b97f4a7c15ull ^ b;
+  }
+};
+
+struct Shared {
+  // The store: real bytes, pre-populated like HERD.
+  std::unordered_map<std::array<std::uint8_t, kKeyBytes>,
+                     std::array<std::uint8_t, kValueBytes>, KeyHash>
+      store;
+  std::unordered_map<std::uint64_t, std::uint64_t> versions;  // oracle
+  Result result;
+  sim::Time measure_start = 0;
+  sim::Time measure_end = 0;
+  bool done = false;
+};
+
+// Server-side handler for one client connection: recv request, visit the
+// worker pool, answer. Responses are spawned so the next request can be
+// picked up immediately (workers pipeline).
+sim::Task<void> server_conn(apps::mpi::Comm* comm, int client_rank,
+                            Shared* shared, sim::ServiceQueue* workers,
+                            sim::Time op_cpu) {
+  struct Respond {
+    static sim::Task<void> run(apps::mpi::Comm* comm, int client_rank,
+                               Reply reply) {
+      co_await comm->send(0, client_rank, overlay::pack(reply));
+    }
+  };
+  while (!shared->done) {
+    auto blob = co_await comm->recv(0, client_rank);
+    if (shared->done) co_return;
+    const Request req = overlay::unpack<Request>(blob);
+    co_await workers->submit(op_cpu);
+    Reply reply{};
+    if (req.op == OpCode::kGet) {
+      auto it = shared->store.find(req.key);
+      if (it != shared->store.end()) {
+        reply.code = RespCode::kHit;
+        reply.value = it->second;
+      } else {
+        reply.code = RespCode::kMiss;
+      }
+    } else {
+      shared->store[req.key] = req.value;
+      reply.code = RespCode::kOk;
+    }
+    comm->ctx(0).loop().spawn(Respond::run(comm, client_rank, reply));
+  }
+}
+
+// One pipelined request slot of one client thread.
+sim::Task<void> client_slot(apps::mpi::Comm* comm, int rank, Shared* shared,
+                            Config cfg, std::uint64_t slot_seed) {
+  sim::Rng rng(slot_seed);
+  sim::EventLoop& loop = comm->ctx(rank).loop();
+  while (loop.now() < shared->measure_end) {
+    const std::uint64_t idx = rng.next_below(cfg.num_keys);
+    Request req{};
+    req.key = make_key(idx);
+    const bool is_get = rng.next_bool(cfg.get_fraction);
+    std::uint64_t version = 0;
+    if (is_get) {
+      req.op = OpCode::kGet;
+    } else {
+      req.op = OpCode::kPut;
+      version = ++shared->versions[idx];
+      req.value = make_value(idx, version);
+    }
+    co_await comm->send(rank, 0, overlay::pack(req));
+    auto blob = co_await comm->recv(rank, 0);
+    const Reply reply = overlay::unpack<Reply>(blob);
+    const sim::Time now = loop.now();
+    if (now >= shared->measure_start && now < shared->measure_end) {
+      ++shared->result.ops;
+      if (is_get) {
+        ++shared->result.gets;
+        if (reply.code == RespCode::kHit) {
+          ++shared->result.get_hits;
+          // Integrity: the stored bytes must identify the right key.
+          std::uint64_t got_idx;
+          std::memcpy(&got_idx, reply.value.data(), 8);
+          if (got_idx != idx) ++shared->result.value_mismatches;
+        }
+      } else {
+        ++shared->result.puts;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result run(fabric::Testbed& bed, Config cfg) {
+  auto shared = std::make_unique<Shared>();
+  // Pre-populate the store (server-local, before the clock matters).
+  for (std::uint64_t i = 0; i < cfg.num_keys; ++i) {
+    shared->store[make_key(i)] = make_value(i, 0);
+  }
+
+  struct Driver {
+    static sim::Task<void> run(fabric::Testbed* bed, Config cfg,
+                               Shared* shared) {
+      // Rank 0 = server (instance 0); ranks 1..C = client threads, all on
+      // instance 1 (a separate machine).
+      std::vector<std::size_t> mapping{0};
+      for (int c = 0; c < cfg.num_clients; ++c) mapping.push_back(1);
+      auto comm = co_await apps::mpi::Comm::create(*bed, mapping,
+                                                   cfg.base_port);
+      sim::ServiceQueue workers(bed->loop());
+      // num_workers parallel workers approximated as one server with
+      // service time cpu/num_workers (same sustained rate).
+      const sim::Time effective_cpu =
+          bed->ctx(0).scale_compute(cfg.worker_cpu_per_op) /
+          cfg.num_workers;
+      for (int c = 1; c <= cfg.num_clients; ++c) {
+        bed->loop().spawn(server_conn(comm.get(), c, shared, &workers,
+                                      effective_cpu));
+      }
+      shared->measure_start = bed->loop().now() + cfg.warmup;
+      shared->measure_end = shared->measure_start + cfg.measure;
+      std::vector<sim::Task<void>> slots;
+      for (int c = 1; c <= cfg.num_clients; ++c) {
+        for (int p = 0; p < cfg.pipeline; ++p) {
+          slots.push_back(client_slot(comm.get(), c, shared, cfg,
+                                      cfg.seed * 7919 + c * 131 + p));
+        }
+      }
+      co_await sim::join_all(bed->loop(), std::move(slots));
+      shared->done = true;
+      // Unblock server handlers waiting in recv() with empty shutdown
+      // messages.
+      for (int c = 1; c <= cfg.num_clients; ++c) {
+        co_await comm->send(c, 0, std::vector<std::uint8_t>{});
+      }
+    }
+  };
+  bed.loop().spawn(Driver::run(&bed, cfg, shared.get()));
+  bed.loop().run();
+  shared->result.mops = static_cast<double>(shared->result.ops) /
+                        sim::to_us(cfg.measure);
+  return shared->result;
+}
+
+}  // namespace apps::kvs

@@ -1,0 +1,47 @@
+// HERD-style key-value store (§4.4.2, Fig. 21), derived from rdma_bench's
+// design with the RPC revised to use RC, as in the paper.
+//
+// One server instance runs `num_workers` worker threads behind a shared
+// store; a separate machine runs `num_clients` client threads, each with
+// its own RC connection and a small pipeline of outstanding requests. The
+// workload is 95% GET / 5% PUT over 16-byte keys and 32-byte values chosen
+// uniformly at random. Real bytes are stored and verified: a GET returns
+// the value a previous PUT wrote through the RNIC DMA path.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/testbed.h"
+
+namespace apps::kvs {
+
+struct Config {
+  int num_workers = 14;
+  int num_clients = 14;
+  std::uint64_t num_keys = 100'000;  // scaled from HERD's 8 M per worker
+  double get_fraction = 0.95;
+  int pipeline = 2;  // outstanding requests per client thread
+  sim::Time warmup = sim::milliseconds(2);
+  sim::Time measure = sim::milliseconds(10);
+  // Per-request worker CPU. With 14 workers this sustains ~10.8 Mops, so
+  // the RNIC message rate (~9.8 Mops) is the bottleneck at peak — the
+  // paper's observation for Fig. 21.
+  sim::Time worker_cpu_per_op = sim::microseconds(1.3);
+  std::uint16_t base_port = 30000;
+  std::uint64_t seed = 1;
+};
+
+struct Result {
+  double mops = 0;  // measured throughput
+  std::uint64_t ops = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t value_mismatches = 0;  // integrity check failures
+};
+
+// Server on instance 0, all client threads on instance 1 (two machines,
+// like the paper's testbed).
+Result run(fabric::Testbed& bed, Config cfg);
+
+}  // namespace apps::kvs

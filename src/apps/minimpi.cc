@@ -1,0 +1,510 @@
+#include "apps/minimpi.h"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/join.h"
+
+namespace apps::mpi {
+
+namespace {
+// Eager-protocol header carried in every wire message: total message
+// length + chunk offset (16 bytes, like an MPI match header).
+constexpr std::uint32_t kHeaderBytes = 16;
+constexpr std::uint32_t kSlots = 32;
+// Shared-memory latency for ranks co-located on one instance.
+constexpr sim::Time kLocalLatency = sim::nanoseconds(800);
+}  // namespace
+
+struct Comm::Channel {
+  bool local = false;
+  int from = 0;
+  int to = 0;
+  std::uint32_t slot_size = 0;  // payload capacity + header
+
+  // RDMA path state.
+  Endpoint src_ep;  // lives on instance(from)
+  Endpoint dst_ep;  // lives on instance(to)
+  verbs::Context* src_ctx = nullptr;
+  verbs::Context* dst_ctx = nullptr;
+
+  // Sender: sliding window over slots. tx_busy serializes whole messages
+  // so chunks of concurrent send() calls never interleave on the wire.
+  bool tx_busy = false;
+  std::deque<sim::Promise<bool>> tx_waiters;
+  std::uint64_t seq = 0;
+  std::uint64_t acked = 0;
+  std::unordered_map<std::uint64_t, sim::Promise<bool>> pending_sends;
+  std::deque<sim::Promise<bool>> window_waiters;
+  bool send_pump_running = false;
+
+  // Receiver: reassembly of chunked messages + delivery queue.
+  std::vector<std::uint8_t> assembling;
+  std::uint64_t assembled = 0;
+  std::uint64_t expect_total = 0;
+  std::deque<std::vector<std::uint8_t>> arrived;
+  std::deque<sim::Promise<bool>> recv_waiters;
+  bool recv_pump_running = false;
+};
+
+Comm::Comm(fabric::Testbed& bed, std::vector<std::size_t> mapping,
+           std::uint32_t max_msg)
+    : bed_(bed), ranks_(std::move(mapping)), max_msg_(max_msg) {}
+
+Comm::~Comm() = default;
+
+verbs::Context& Comm::ctx(int rank) {
+  return bed_.ctx(ranks_.at(static_cast<std::size_t>(rank)));
+}
+
+Comm::Channel& Comm::channel(int from, int to) {
+  return *channels_.at(static_cast<std::size_t>(from) * ranks_.size() + to);
+}
+
+sim::Task<std::unique_ptr<Comm>> Comm::create(
+    fabric::Testbed& bed, std::vector<std::size_t> rank_to_instance,
+    std::uint16_t base_port, std::uint32_t max_msg) {
+  std::unique_ptr<Comm> comm(new Comm(bed, std::move(rank_to_instance),
+                                      max_msg));
+  comm->channels_.resize(comm->ranks_.size() * comm->ranks_.size());
+  co_await comm->wireup(base_port);
+  co_return comm;
+}
+
+sim::Task<void> Comm::wireup(std::uint16_t base_port) {
+  const int n = size();
+  // Per-channel endpoint buffers: kSlots slots of (max chunk + header).
+  const std::uint32_t slot_size = std::min<std::uint32_t>(max_msg_, 64 * 1024)
+                                  + kHeaderBytes;
+  std::uint16_t port = base_port;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      auto ch = std::make_unique<Channel>();
+      ch->from = i;
+      ch->to = j;
+      ch->slot_size = slot_size;
+      if (ranks_[i] == ranks_[j]) {
+        ch->local = true;  // co-located ranks use shared memory
+        channels_[static_cast<std::size_t>(i) * n + j] = std::move(ch);
+        continue;
+      }
+      ch->src_ctx = &ctx(i);
+      ch->dst_ctx = &ctx(j);
+      EndpointOptions opts;
+      opts.buf_len = static_cast<std::uint64_t>(kSlots) * slot_size;
+      opts.max_wr = kSlots;
+      // Wire up both sides concurrently (client = sender side).
+      struct Srv {
+        static sim::Task<void> run(Comm* c, Channel* ch, std::uint16_t p,
+                                   EndpointOptions o) {
+          ch->dst_ep = co_await setup_endpoint(*ch->dst_ctx, o);
+          (void)co_await connect_server(
+              *ch->dst_ctx, ch->dst_ep,
+              c->bed_.instance_vip(c->ranks_[ch->from]), p);
+          // Pre-post every receive slot.
+          for (std::uint32_t s = 0; s < kSlots; ++s) {
+            rnic::RecvWr rwr{s, {ch->dst_ep.buf + s * ch->slot_size,
+                                 ch->slot_size, ch->dst_ep.mr.lkey}};
+            (void)ch->dst_ctx->post_recv(ch->dst_ep.qp, rwr);
+          }
+        }
+      };
+      bed_.loop().spawn(Srv::run(this, ch.get(), port, opts));
+      ch->src_ep = co_await setup_endpoint(*ch->src_ctx, opts);
+      const rnic::Status st = co_await connect_client(
+          *ch->src_ctx, ch->src_ep, bed_.instance_vip(ranks_[j]), port);
+      if (st != rnic::Status::kOk) {
+        throw std::runtime_error("mpi wireup failed");
+      }
+      ++port;
+      channels_[static_cast<std::size_t>(i) * n + j] = std::move(ch);
+    }
+  }
+  // Let the server halves finish their QP ladders before first use.
+  co_await sim::delay(bed_.loop(), sim::milliseconds(5));
+}
+
+// Sender-side completion pump: resolves per-seq promises in order.
+sim::Task<void> Comm::pump_channel(Channel* ch) {
+  while (!ch->pending_sends.empty()) {
+    rnic::Completion c = co_await ch->src_ctx->wait_completion(ch->src_ep.scq);
+    auto it = ch->pending_sends.find(c.wr_id);
+    if (it != ch->pending_sends.end()) {
+      it->second.set_value(c.status == rnic::WcStatus::kSuccess);
+      ch->pending_sends.erase(it);
+    }
+    ++ch->acked;
+    if (!ch->window_waiters.empty()) {
+      auto w = std::move(ch->window_waiters.front());
+      ch->window_waiters.pop_front();
+      w.set_value(true);
+    }
+  }
+  ch->send_pump_running = false;
+}
+
+// Receiver-side pump: drains recv CQEs, reassembles chunks, re-posts slots.
+sim::Task<void> Comm::pump_recv(Channel* ch) {
+  while (true) {
+    rnic::Completion c =
+        co_await ch->dst_ctx->wait_completion(ch->dst_ep.rcq);
+    if (c.status != rnic::WcStatus::kSuccess) break;  // flushed: stop
+    const std::uint32_t slot = static_cast<std::uint32_t>(c.wr_id);
+    std::vector<std::uint8_t> wire(c.byte_len);
+    ch->dst_ctx->read_buffer(ch->dst_ep.buf + slot * ch->slot_size, wire);
+    // Re-post the slot immediately (keeps the queue deep).
+    rnic::RecvWr rwr{slot, {ch->dst_ep.buf + slot * ch->slot_size,
+                            ch->slot_size, ch->dst_ep.mr.lkey}};
+    (void)ch->dst_ctx->post_recv(ch->dst_ep.qp, rwr);
+    // Parse the eager header.
+    std::uint64_t total, offset;
+    std::memcpy(&total, wire.data(), 8);
+    std::memcpy(&offset, wire.data() + 8, 8);
+    if (ch->assembling.empty() && ch->assembled == 0) {
+      ch->expect_total = total;
+      ch->assembling.resize(total);
+    }
+    std::memcpy(ch->assembling.data() + offset, wire.data() + kHeaderBytes,
+                wire.size() - kHeaderBytes);
+    ch->assembled += wire.size() - kHeaderBytes;
+    if (ch->assembled >= ch->expect_total) {
+      ch->arrived.push_back(std::move(ch->assembling));
+      ch->assembling.clear();
+      ch->assembled = 0;
+      ch->expect_total = 0;
+      if (!ch->recv_waiters.empty()) {
+        auto w = std::move(ch->recv_waiters.front());
+        ch->recv_waiters.pop_front();
+        w.set_value(true);
+      }
+    }
+  }
+  ch->recv_pump_running = false;
+}
+
+sim::Task<void> Comm::send(int from, int to,
+                           std::span<const std::uint8_t> data) {
+  Channel& ch = channel(from, to);
+  if (ch.local) {
+    // Shared-memory path for co-located ranks.
+    co_await sim::delay(bed_.loop(), kLocalLatency);
+    ch.arrived.emplace_back(data.begin(), data.end());
+    if (!ch.recv_waiters.empty()) {
+      auto w = std::move(ch.recv_waiters.front());
+      ch.recv_waiters.pop_front();
+      w.set_value(true);
+    }
+    co_return;
+  }
+  // Acquire the channel's transmit lock (messages are not interleaved).
+  while (ch.tx_busy) {
+    sim::Promise<bool> p(bed_.loop());
+    auto f = p.get_future();
+    ch.tx_waiters.push_back(std::move(p));
+    co_await f;
+  }
+  ch.tx_busy = true;
+  const std::uint32_t chunk_cap = ch.slot_size - kHeaderBytes;
+  std::uint64_t off = 0;
+  std::vector<sim::Future<bool>> chunk_done;
+  const std::uint64_t total = data.size();
+  do {
+    // Window backpressure.
+    while (ch.seq - ch.acked >= kSlots) {
+      sim::Promise<bool> p(bed_.loop());
+      auto f = p.get_future();
+      ch.window_waiters.push_back(std::move(p));
+      co_await f;
+    }
+    const std::uint64_t n = std::min<std::uint64_t>(chunk_cap, total - off);
+    const std::uint64_t seq = ch.seq++;
+    const std::uint32_t slot = static_cast<std::uint32_t>(seq % kSlots);
+    const mem::Addr slot_addr = ch.src_ep.buf + slot * ch.slot_size;
+    std::vector<std::uint8_t> wire(kHeaderBytes + n);
+    std::memcpy(wire.data(), &total, 8);
+    std::memcpy(wire.data() + 8, &off, 8);
+    if (n > 0) std::memcpy(wire.data() + kHeaderBytes, data.data() + off, n);
+    ch.src_ctx->write_buffer(slot_addr, wire);
+    rnic::SendWr wr;
+    wr.wr_id = seq;
+    wr.opcode = rnic::WrOpcode::kSend;
+    wr.sge = {slot_addr, static_cast<std::uint32_t>(wire.size()),
+              ch.src_ep.mr.lkey};
+    sim::Promise<bool> done(bed_.loop());
+    chunk_done.push_back(done.get_future());
+    ch.pending_sends.emplace(seq, std::move(done));
+    if (ch.src_ctx->post_send(ch.src_ep.qp, wr) != rnic::Status::kOk) {
+      throw std::runtime_error("mpi send: post_send failed");
+    }
+    if (!ch.send_pump_running) {
+      ch.send_pump_running = true;
+      bed_.loop().spawn(pump_channel(&ch));
+    }
+    off += n;
+  } while (off < total);
+  // All chunks are posted in order; release the lock, then await the
+  // completions (the next message may pipeline behind this one).
+  ch.tx_busy = false;
+  if (!ch.tx_waiters.empty()) {
+    auto w = std::move(ch.tx_waiters.front());
+    ch.tx_waiters.pop_front();
+    w.set_value(true);
+  }
+  for (auto& f : chunk_done) {
+    if (!co_await f) throw std::runtime_error("mpi send: completion error");
+  }
+}
+
+sim::Task<std::vector<std::uint8_t>> Comm::recv(int at, int from) {
+  Channel& ch = channel(from, at);
+  if (!ch.local && !ch.recv_pump_running) {
+    ch.recv_pump_running = true;
+    bed_.loop().spawn(pump_recv(&ch));
+  }
+  while (ch.arrived.empty()) {
+    sim::Promise<bool> p(bed_.loop());
+    auto f = p.get_future();
+    ch.recv_waiters.push_back(std::move(p));
+    co_await f;
+  }
+  std::vector<std::uint8_t> out = std::move(ch.arrived.front());
+  ch.arrived.pop_front();
+  co_return out;
+}
+
+sim::Task<void> Comm::transfer(int from, int to,
+                               std::vector<std::uint8_t> data,
+                               std::vector<std::uint8_t>* out) {
+  struct Rx {
+    static sim::Task<void> run(Comm* c, int at, int from,
+                               std::vector<std::uint8_t>* out) {
+      auto v = co_await c->recv(at, from);
+      if (out != nullptr) *out = std::move(v);
+    }
+  };
+  std::vector<sim::Task<void>> both;
+  both.push_back(send(from, to, data));
+  both.push_back(Rx::run(this, to, from, out));
+  co_await sim::join_all(bed_.loop(), std::move(both));
+}
+
+sim::Task<void> Comm::bcast(
+    int root, const std::vector<std::uint8_t>& payload,
+    std::vector<std::vector<std::uint8_t>>* rank_data) {
+  const int n = size();
+  rank_data->assign(static_cast<std::size_t>(n), {});
+  (*rank_data)[static_cast<std::size_t>(root)] = payload;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    std::vector<sim::Task<void>> round;
+    for (int rel = 0; rel < mask; ++rel) {
+      if (rel + mask >= n) break;
+      const int src = (root + rel) % n;
+      const int dst = (root + rel + mask) % n;
+      round.push_back(transfer(src, dst,
+                               (*rank_data)[static_cast<std::size_t>(src)],
+                               &(*rank_data)[static_cast<std::size_t>(dst)]));
+    }
+    co_await sim::join_all(bed_.loop(), std::move(round));
+  }
+}
+
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::vector<std::int64_t>& v) {
+  std::vector<std::uint8_t> out(v.size() * 8);
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+std::vector<std::int64_t> from_bytes(const std::vector<std::uint8_t>& b) {
+  std::vector<std::int64_t> out(b.size() / 8);
+  std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+void add_into(std::vector<std::int64_t>* acc,
+              const std::vector<std::int64_t>& v) {
+  for (std::size_t i = 0; i < acc->size(); ++i) (*acc)[i] += v[i];
+}
+
+}  // namespace
+
+sim::Task<void> Comm::allreduce_sum(
+    std::vector<std::vector<std::int64_t>>* data) {
+  const int n = size();
+  int p2 = 1;
+  while (p2 * 2 <= n) p2 *= 2;
+  // Fold ranks >= p2 into their partner below.
+  {
+    std::vector<sim::Task<void>> fold;
+    std::vector<std::vector<std::uint8_t>> tmp(static_cast<std::size_t>(n));
+    for (int r = p2; r < n; ++r) {
+      fold.push_back(transfer(r, r - p2, to_bytes((*data)[r]),
+                              &tmp[static_cast<std::size_t>(r - p2)]));
+    }
+    co_await sim::join_all(bed_.loop(), std::move(fold));
+    for (int r = p2; r < n; ++r) {
+      add_into(&(*data)[static_cast<std::size_t>(r - p2)],
+               from_bytes(tmp[static_cast<std::size_t>(r - p2)]));
+    }
+  }
+  // Recursive doubling among [0, p2).
+  for (int mask = 1; mask < p2; mask <<= 1) {
+    std::vector<std::vector<std::uint8_t>> incoming(
+        static_cast<std::size_t>(p2));
+    std::vector<sim::Task<void>> round;
+    for (int r = 0; r < p2; ++r) {
+      const int partner = r ^ mask;
+      round.push_back(transfer(r, partner, to_bytes((*data)[r]),
+                               &incoming[static_cast<std::size_t>(partner)]));
+    }
+    co_await sim::join_all(bed_.loop(), std::move(round));
+    for (int r = 0; r < p2; ++r) {
+      add_into(&(*data)[static_cast<std::size_t>(r)],
+               from_bytes(incoming[static_cast<std::size_t>(r)]));
+    }
+  }
+  // Unfold: send results back to ranks >= p2.
+  {
+    std::vector<sim::Task<void>> unfold;
+    std::vector<std::vector<std::uint8_t>> tmp(static_cast<std::size_t>(n));
+    for (int r = p2; r < n; ++r) {
+      unfold.push_back(transfer(r - p2, r, to_bytes((*data)[r - p2]),
+                                &tmp[static_cast<std::size_t>(r)]));
+    }
+    co_await sim::join_all(bed_.loop(), std::move(unfold));
+    for (int r = p2; r < n; ++r) {
+      (*data)[static_cast<std::size_t>(r)] =
+          from_bytes(tmp[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+sim::Task<void> Comm::barrier() {
+  std::vector<std::vector<std::int64_t>> ones(
+      static_cast<std::size_t>(size()), std::vector<std::int64_t>{1});
+  co_await allreduce_sum(&ones);
+}
+
+sim::Task<void> Comm::alltoallv(
+    const std::vector<std::vector<std::vector<std::uint8_t>>>& buffers,
+    std::vector<std::vector<std::vector<std::uint8_t>>>* received) {
+  const int n = size();
+  received->assign(static_cast<std::size_t>(n),
+                   std::vector<std::vector<std::uint8_t>>(
+                       static_cast<std::size_t>(n)));
+  std::vector<sim::Task<void>> all;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const auto& payload = buffers[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(j)];
+      auto* out =
+          &(*received)[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+      if (i == j) {
+        *out = payload;  // local copy
+        continue;
+      }
+      if (payload.empty()) continue;
+      all.push_back(transfer(i, j, payload, out));
+    }
+  }
+  co_await sim::join_all(bed_.loop(), std::move(all));
+}
+
+// ---------------------------------------------------------------- OSU bench
+
+sim::Stats osu_latency(fabric::Testbed& bed, Comm& comm,
+                       std::uint32_t msg_size, int iterations) {
+  sim::Stats out;
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, Comm* comm,
+                              std::uint32_t size, int iters,
+                              sim::Stats* out) {
+      std::vector<std::uint8_t> payload(size, 0x5a);
+      for (int i = 0; i < iters; ++i) {
+        const sim::Time t0 = bed->loop().now();
+        co_await comm->transfer(0, 1, payload, nullptr);
+        co_await comm->transfer(1, 0, payload, nullptr);
+        out->add(sim::to_us(bed->loop().now() - t0) / 2.0);
+      }
+    }
+  };
+  bed.loop().spawn(Run::go(&bed, &comm, msg_size, iterations, &out));
+  bed.loop().run();
+  return out;
+}
+
+double osu_bw(fabric::Testbed& bed, Comm& comm, std::uint32_t msg_size,
+              int iterations, int window) {
+  double gbps = 0;
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, Comm* comm,
+                              std::uint32_t size, int iters, int window,
+                              double* out) {
+      std::vector<std::uint8_t> payload(size, 0x5a);
+      const sim::Time t0 = bed->loop().now();
+      int sent = 0;
+      while (sent < iters) {
+        const int batch = std::min(window, iters - sent);
+        std::vector<sim::Task<void>> ops;
+        for (int k = 0; k < batch; ++k) {
+          ops.push_back(comm->transfer(0, 1, payload, nullptr));
+        }
+        co_await sim::join_all(bed->loop(), std::move(ops));
+        sent += batch;
+      }
+      const sim::Time dt = bed->loop().now() - t0;
+      *out = static_cast<double>(size) * iters * 8.0 /
+             static_cast<double>(dt);
+    }
+  };
+  bed.loop().spawn(Run::go(&bed, &comm, msg_size, iterations, window, &gbps));
+  bed.loop().run();
+  return gbps;
+}
+
+double osu_bcast(fabric::Testbed& bed, Comm& comm, std::uint32_t msg_size,
+                 int iterations) {
+  double us = 0;
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, Comm* comm,
+                              std::uint32_t size, int iters, double* out) {
+      std::vector<std::uint8_t> payload(size, 0x7c);
+      const sim::Time t0 = bed->loop().now();
+      std::vector<std::vector<std::uint8_t>> sink;
+      for (int i = 0; i < iters; ++i) {
+        co_await comm->bcast(0, payload, &sink);
+      }
+      *out = sim::to_us(bed->loop().now() - t0) / iters;
+    }
+  };
+  bed.loop().spawn(Run::go(&bed, &comm, msg_size, iterations, &us));
+  bed.loop().run();
+  return us;
+}
+
+double osu_allreduce(fabric::Testbed& bed, Comm& comm,
+                     std::uint32_t msg_size, int iterations) {
+  double us = 0;
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, Comm* comm,
+                              std::uint32_t size, int iters, double* out) {
+      const std::size_t elems = std::max<std::size_t>(1, size / 8);
+      const sim::Time t0 = bed->loop().now();
+      for (int i = 0; i < iters; ++i) {
+        std::vector<std::vector<std::int64_t>> data(
+            static_cast<std::size_t>(comm->size()),
+            std::vector<std::int64_t>(elems, 1));
+        co_await comm->allreduce_sum(&data);
+      }
+      *out = sim::to_us(bed->loop().now() - t0) / iters;
+    }
+  };
+  bed.loop().spawn(Run::go(&bed, &comm, msg_size, iterations, &us));
+  bed.loop().run();
+  return us;
+}
+
+}  // namespace apps::mpi

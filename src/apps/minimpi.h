@@ -1,0 +1,96 @@
+// Mini-MPI over the Verbs API — the MVAPICH2/OSU substrate of §4.2.2.
+//
+// A Comm wires up every rank pair with an RC connection (eager protocol
+// over pre-posted receive slots); ranks co-located on an instance use a
+// shared-memory channel, mirroring how MPI launches multiple processes per
+// VM in the paper's Graph500 runs. Collectives are the textbook
+// algorithms: binomial-tree broadcast and recursive-doubling allreduce —
+// their latency emerges from the concurrent point-to-point transfers.
+//
+// Real data moves: allreduce really sums vectors, and tests verify the
+// arithmetic end to end through the RNIC DMA path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "apps/common.h"
+#include "fabric/testbed.h"
+#include "sim/stats.h"
+
+namespace apps::mpi {
+
+class Comm {
+ public:
+  // rank r runs on instance rank_to_instance[r]. Connections are
+  // established during create() (MPI wire-up).
+  static sim::Task<std::unique_ptr<Comm>> create(
+      fabric::Testbed& bed, std::vector<std::size_t> rank_to_instance,
+      std::uint16_t base_port = 20000, std::uint32_t max_msg = 256 * 1024);
+
+  ~Comm();
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  verbs::Context& ctx(int rank);
+
+  // Point-to-point (FIFO per ordered pair; eager protocol).
+  sim::Task<void> send(int from, int to, std::span<const std::uint8_t> data);
+  sim::Task<std::vector<std::uint8_t>> recv(int at, int from);
+
+  // One transfer = matched send+recv; completes when the data has landed.
+  // Takes the payload by value: transfers are frequently built into a
+  // round and executed later (join_all), so the task must own its bytes.
+  sim::Task<void> transfer(int from, int to, std::vector<std::uint8_t> data,
+                           std::vector<std::uint8_t>* out = nullptr);
+
+  // ---- collectives -------------------------------------------------------
+  // Binomial-tree broadcast of `payload` from `root`; on return every
+  // rank's slot in `rank_data` holds the payload.
+  sim::Task<void> bcast(int root, const std::vector<std::uint8_t>& payload,
+                        std::vector<std::vector<std::uint8_t>>* rank_data);
+  // Recursive-doubling sum-allreduce over per-rank int64 vectors (all
+  // vectors must have equal length; works for any rank count by folding
+  // non-power-of-two ranks into the nearest power of two).
+  sim::Task<void> allreduce_sum(std::vector<std::vector<std::int64_t>>* data);
+  sim::Task<void> barrier();
+
+  // All-to-all personalized exchange: buffers[i][j] goes from rank i to
+  // rank j; on return received[j][i] holds it. The workhorse of the
+  // Graph500 BFS frontier exchange.
+  sim::Task<void> alltoallv(
+      const std::vector<std::vector<std::vector<std::uint8_t>>>& buffers,
+      std::vector<std::vector<std::vector<std::uint8_t>>>* received);
+
+ private:
+  Comm(fabric::Testbed& bed, std::vector<std::size_t> mapping,
+       std::uint32_t max_msg);
+
+  struct Channel;
+  Channel& channel(int from, int to);
+  sim::Task<void> wireup(std::uint16_t base_port);
+  sim::Task<void> pump_channel(Channel* ch);
+  sim::Task<void> pump_recv(Channel* ch);
+
+  fabric::Testbed& bed_;
+  std::vector<std::size_t> ranks_;  // rank -> instance index
+  std::uint32_t max_msg_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // [from * n + to]
+};
+
+// ---- OSU micro-benchmarks (§4.2.2) ---------------------------------------
+
+// osu_latency between ranks 0 and 1: ping-pong, returns one-way us.
+sim::Stats osu_latency(fabric::Testbed& bed, Comm& comm,
+                       std::uint32_t msg_size, int iterations);
+// osu_bw: windowed unidirectional bandwidth in Gbps.
+double osu_bw(fabric::Testbed& bed, Comm& comm, std::uint32_t msg_size,
+              int iterations, int window = 64);
+// osu_bcast / osu_allreduce: mean time per operation in us.
+double osu_bcast(fabric::Testbed& bed, Comm& comm, std::uint32_t msg_size,
+                 int iterations);
+double osu_allreduce(fabric::Testbed& bed, Comm& comm,
+                     std::uint32_t msg_size, int iterations);
+
+}  // namespace apps::mpi

@@ -1,0 +1,209 @@
+#include "apps/perftest.h"
+
+#include <memory>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace apps::perftest {
+
+namespace {
+
+struct LatShared {
+  sim::Stats samples;
+};
+
+sim::Task<void> lat_server(fabric::Testbed& bed, LatConfig cfg) {
+  verbs::Context& ctx = bed.ctx(1);
+  Endpoint ep = co_await setup_endpoint(ctx, {.buf_len = 65536});
+  (void)co_await connect_server(ctx, ep, bed.instance_vip(0), cfg.port);
+  if (cfg.op == Op::kSend) {
+    // The recv for ping i+1 is always posted before pong i leaves, so the
+    // client's next ping can never hit an empty receive queue.
+    rnic::RecvWr rwr{0, {ep.buf, cfg.msg_size, ep.mr.lkey}};
+    (void)ctx.post_recv(ep.qp, rwr);
+    for (int i = 0; i < cfg.iterations; ++i) {
+      (void)co_await ctx.wait_completion(ep.rcq);
+      if (i + 1 < cfg.iterations) {
+        rwr.wr_id = static_cast<std::uint64_t>(i + 1);
+        (void)ctx.post_recv(ep.qp, rwr);
+      }
+      rnic::SendWr swr;
+      swr.wr_id = 1000 + i;
+      swr.opcode = rnic::WrOpcode::kSend;
+      swr.sge = {ep.buf, cfg.msg_size, ep.mr.lkey};
+      (void)ctx.post_send(ep.qp, swr);
+      (void)co_await ctx.wait_completion(ep.scq);
+    }
+  } else {
+    // ib_write_lat: spin on the buffer until the peer's write lands, then
+    // write back. The watch for ping i+1 is armed before pong i is sent.
+    auto ping = ctx.next_rx_event(ep.qp);
+    for (int i = 0; i < cfg.iterations; ++i) {
+      co_await ping;
+      if (i + 1 < cfg.iterations) ping = ctx.next_rx_event(ep.qp);
+      rnic::SendWr swr;
+      swr.wr_id = 1000 + i;
+      swr.opcode = rnic::WrOpcode::kRdmaWrite;
+      swr.sge = {ep.buf, cfg.msg_size, ep.mr.lkey};
+      swr.remote_addr = ep.peer.raddr;
+      swr.rkey = ep.peer.rkey;
+      (void)ctx.post_send(ep.qp, swr);
+      (void)co_await ctx.wait_completion(ep.scq);
+    }
+  }
+}
+
+sim::Task<void> lat_client(fabric::Testbed& bed, LatConfig cfg,
+                           LatShared* shared) {
+  verbs::Context& ctx = bed.ctx(0);
+  Endpoint ep = co_await setup_endpoint(ctx, {.buf_len = 65536});
+  (void)co_await connect_client(ctx, ep, bed.instance_vip(1), cfg.port);
+  for (int i = 0; i < cfg.iterations; ++i) {
+    const sim::Time t0 = ctx.loop().now();
+    if (cfg.op == Op::kSend) {
+      rnic::RecvWr rwr{static_cast<std::uint64_t>(i),
+                       {ep.buf, cfg.msg_size, ep.mr.lkey}};
+      (void)ctx.post_recv(ep.qp, rwr);
+      rnic::SendWr swr;
+      swr.wr_id = 2000 + i;
+      swr.opcode = rnic::WrOpcode::kSend;
+      swr.sge = {ep.buf, cfg.msg_size, ep.mr.lkey};
+      swr.signaled = false;  // like perftest, only the pong is awaited
+      (void)ctx.post_send(ep.qp, swr);
+      (void)co_await ctx.wait_completion(ep.rcq);
+    } else {
+      auto pong = ctx.next_rx_event(ep.qp);
+      rnic::SendWr swr;
+      swr.wr_id = 2000 + i;
+      swr.opcode = rnic::WrOpcode::kRdmaWrite;
+      swr.sge = {ep.buf, cfg.msg_size, ep.mr.lkey};
+      swr.remote_addr = ep.peer.raddr;
+      swr.rkey = ep.peer.rkey;
+      swr.signaled = false;
+      (void)ctx.post_send(ep.qp, swr);
+      co_await pong;
+    }
+    // perftest reports one-way latency as RTT/2.
+    shared->samples.add(sim::to_us(ctx.loop().now() - t0) / 2.0);
+  }
+}
+
+}  // namespace
+
+sim::Stats run_lat(fabric::Testbed& bed, LatConfig cfg) {
+  LatShared shared;
+  bed.loop().spawn(lat_server(bed, cfg));
+  bed.loop().spawn(lat_client(bed, cfg, &shared));
+  bed.loop().run();
+  return shared.samples;
+}
+
+namespace {
+
+struct BwShared {
+  std::uint64_t payload_bytes = 0;
+  sim::Time start = -1;
+  sim::Time end = 0;
+  int connections_ready = 0;
+};
+
+sim::Task<void> bw_server_one(fabric::Testbed& bed, std::size_t idx,
+                              BwConfig cfg, std::uint16_t port) {
+  verbs::Context& ctx = bed.ctx(idx);
+  Endpoint ep = co_await setup_endpoint(
+      ctx, {.buf_len = cfg.msg_size, .max_wr =
+                static_cast<std::uint32_t>(cfg.window)});
+  (void)co_await connect_server(ctx, ep, bed.instance_vip(idx - 1), port);
+  if (cfg.op != Op::kSend) co_return;  // write needs no receiver action
+  int posted = 0;
+  int completed = 0;
+  while (posted < cfg.iterations &&
+         posted - completed < cfg.window) {
+    rnic::RecvWr rwr{static_cast<std::uint64_t>(posted),
+                     {ep.buf, cfg.msg_size, ep.mr.lkey}};
+    (void)ctx.post_recv(ep.qp, rwr);
+    ++posted;
+  }
+  while (completed < cfg.iterations) {
+    (void)co_await ctx.wait_completion(ep.rcq);
+    ++completed;
+    if (posted < cfg.iterations) {
+      rnic::RecvWr rwr{static_cast<std::uint64_t>(posted),
+                       {ep.buf, cfg.msg_size, ep.mr.lkey}};
+      (void)ctx.post_recv(ep.qp, rwr);
+      ++posted;
+    }
+  }
+}
+
+sim::Task<void> bw_client_one(fabric::Testbed& bed, std::size_t idx,
+                              BwConfig cfg, std::uint16_t port,
+                              BwShared* shared) {
+  verbs::Context& ctx = bed.ctx(idx);
+  Endpoint ep = co_await setup_endpoint(
+      ctx, {.buf_len = cfg.msg_size, .max_wr =
+                static_cast<std::uint32_t>(cfg.window)});
+  (void)co_await connect_client(ctx, ep, bed.instance_vip(idx + 1), port);
+  if (shared->start < 0) shared->start = ctx.loop().now();
+  int posted = 0;
+  int completed = 0;
+  auto post_one = [&] {
+    rnic::SendWr wr;
+    wr.wr_id = static_cast<std::uint64_t>(posted);
+    wr.opcode = cfg.op == Op::kSend ? rnic::WrOpcode::kSend
+                                    : rnic::WrOpcode::kRdmaWrite;
+    wr.sge = {ep.buf, cfg.msg_size, ep.mr.lkey};
+    wr.remote_addr = ep.peer.raddr;
+    wr.rkey = ep.peer.rkey;
+    (void)ctx.post_send(ep.qp, wr);
+    ++posted;
+  };
+  while (posted < cfg.iterations && posted < cfg.window) post_one();
+  while (completed < cfg.iterations) {
+    (void)co_await ctx.wait_completion(ep.scq);
+    ++completed;
+    shared->payload_bytes += cfg.msg_size;
+    if (posted < cfg.iterations) post_one();
+  }
+  shared->end = std::max(shared->end, ctx.loop().now());
+}
+
+// Multi-QP variant: all QPs between the same instance pair (Fig. 11).
+sim::Task<void> bw_multi_qp(fabric::Testbed& bed, BwConfig cfg,
+                            BwShared* shared) {
+  for (int q = 0; q < cfg.num_qps; ++q) {
+    const auto port = static_cast<std::uint16_t>(cfg.port + q);
+    bed.loop().spawn(bw_server_one(bed, 1, cfg, port));
+    bed.loop().spawn(bw_client_one(bed, 0, cfg, port, shared));
+  }
+  co_return;
+}
+
+}  // namespace
+
+double run_bw(fabric::Testbed& bed, BwConfig cfg) {
+  BwShared shared;
+  bed.loop().spawn(bw_multi_qp(bed, cfg, &shared));
+  bed.loop().run();
+  if (shared.end <= shared.start) return 0.0;
+  return static_cast<double>(shared.payload_bytes) * 8.0 /
+         static_cast<double>(shared.end - shared.start);
+}
+
+double run_bw_pairs(fabric::Testbed& bed, int num_pairs, BwConfig cfg) {
+  BwShared shared;
+  for (int p = 0; p < num_pairs; ++p) {
+    const auto port = static_cast<std::uint16_t>(cfg.port + p);
+    BwConfig c = cfg;
+    c.num_qps = 1;
+    bed.loop().spawn(bw_server_one(bed, 2 * p + 1, c, port));
+    bed.loop().spawn(bw_client_one(bed, 2 * p, c, port, &shared));
+  }
+  bed.loop().run();
+  if (shared.end <= shared.start) return 0.0;
+  return static_cast<double>(shared.payload_bytes) * 8.0 /
+         static_cast<double>(shared.end - shared.start);
+}
+
+}  // namespace apps::perftest

@@ -1,0 +1,43 @@
+// perftest clone: ib_send_lat / ib_write_lat / ib_send_bw / ib_write_bw
+// plus the multi-QP aggregate used by Fig. 11. Drives any Testbed pair
+// through the public Verbs API exactly like the Mellanox tools (§4.2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/testbed.h"
+#include "sim/stats.h"
+
+namespace apps::perftest {
+
+enum class Op { kSend, kWrite };
+
+struct LatConfig {
+  Op op = Op::kSend;
+  std::uint32_t msg_size = 2;
+  int iterations = 1000;
+  std::uint16_t port = 9000;
+};
+
+// Ping-pong between instances 0 (client) and 1 (server); reports one-way
+// latency samples in microseconds (RTT/2, like perftest).
+sim::Stats run_lat(fabric::Testbed& bed, LatConfig cfg);
+
+struct BwConfig {
+  Op op = Op::kWrite;
+  std::uint32_t msg_size = 65536;
+  int iterations = 512;
+  int window = 128;      // outstanding WQEs (tx depth)
+  int num_qps = 1;       // Fig. 11: concurrent QP connections
+  std::uint16_t port = 9100;
+};
+
+// Unidirectional bandwidth from instance 0 to instance 1. Returns
+// application goodput in Gbps (payload bytes over the transfer time).
+double run_bw(fabric::Testbed& bed, BwConfig cfg);
+
+// Fig. 19: one ib_write_bw flow per instance pair (2i -> 2i+1), all
+// concurrent; returns aggregate goodput in Gbps.
+double run_bw_pairs(fabric::Testbed& bed, int num_pairs, BwConfig cfg);
+
+}  // namespace apps::perftest

@@ -1,0 +1,105 @@
+#include "baselines/host_context.h"
+
+namespace baselines {
+
+namespace {
+sim::Time lib_share(sim::Time driver_cost) { return driver_cost / 9; }
+constexpr sim::Time kPostSendCpu = sim::nanoseconds(200);
+constexpr sim::Time kPollCqCpu = sim::nanoseconds(30);
+}  // namespace
+
+HostContext::HostContext(hyp::Host& host, rnic::RnicDevice& device,
+                         overlay::OobEndpoint& oob, verbs::DriverCosts costs)
+    : host_(host), device_(device), oob_(oob),
+      driver_(host.loop(), device, rnic::kPf, costs) {
+  driver_.set_profile(&profile_, verbs::Layer::kRdmaDriver);
+}
+
+sim::Task<void> HostContext::lib_charge(const char* verb, sim::Time t) {
+  profile_.add(verb, verbs::Layer::kVerbsLib, t);
+  co_await sim::delay(loop(), t);
+}
+
+sim::Task<rnic::Expected<rnic::PdId>> HostContext::alloc_pd() {
+  co_await lib_charge("alloc_pd", lib_share(driver_.costs().alloc_pd));
+  co_return co_await driver_.alloc_pd();
+}
+
+sim::Task<rnic::Expected<verbs::MrHandle>> HostContext::reg_mr(
+    rnic::PdId pd, mem::Addr addr, std::uint64_t len, std::uint32_t access) {
+  co_await lib_charge("reg_mr", lib_share(driver_.costs().reg_mr_base));
+  co_return co_await driver_.reg_mr(pd, host_.hva(), addr, len, access);
+}
+
+sim::Task<rnic::Expected<rnic::Cqn>> HostContext::create_cq(int cqe) {
+  co_await lib_charge("create_cq", lib_share(driver_.costs().create_cq_base));
+  co_return co_await driver_.create_cq(cqe);
+}
+
+sim::Task<rnic::Expected<rnic::Qpn>> HostContext::create_qp(
+    const rnic::QpInitAttr& attr) {
+  co_await lib_charge("create_qp", lib_share(driver_.costs().create_qp));
+  co_return co_await driver_.create_qp(attr);
+}
+
+sim::Task<rnic::Status> HostContext::modify_qp(rnic::Qpn qpn,
+                                               const rnic::QpAttr& attr,
+                                               std::uint32_t mask) {
+  sim::Time lib = lib_share(driver_.costs().modify_rtr);
+  if (mask & rnic::kAttrState) {
+    if (attr.state == rnic::QpState::kInit) {
+      lib = lib_share(driver_.costs().modify_init);
+    } else if (attr.state == rnic::QpState::kRts) {
+      lib = lib_share(driver_.costs().modify_rts);
+    }
+  }
+  co_await lib_charge("modify_qp", lib);
+  co_return co_await driver_.modify_qp(qpn, attr, mask);
+}
+
+sim::Task<rnic::Expected<net::Gid>> HostContext::query_gid() {
+  co_await lib_charge("query_gid", lib_share(driver_.costs().query_gid));
+  co_return co_await driver_.query_gid();
+}
+
+sim::Task<rnic::Expected<rnic::QpAttr>> HostContext::query_qp(rnic::Qpn qpn) {
+  // Bare-metal / passthrough: the application's view IS the hardware QPC.
+  co_await lib_charge("query_qp", lib_share(driver_.costs().query_gid));
+  if (!device_.qp_exists(qpn)) {
+    co_return rnic::Expected<rnic::QpAttr>::error(rnic::Status::kNotFound);
+  }
+  co_return rnic::Expected<rnic::QpAttr>::of(device_.qp_hw_attr(qpn));
+}
+
+sim::Task<rnic::Status> HostContext::destroy_qp(rnic::Qpn qpn) {
+  co_await lib_charge("destroy_qp", lib_share(driver_.costs().destroy_qp));
+  co_return co_await driver_.destroy_qp(qpn);
+}
+
+sim::Task<rnic::Status> HostContext::destroy_cq(rnic::Cqn cq) {
+  co_await lib_charge("destroy_cq", lib_share(driver_.costs().destroy_cq));
+  co_return co_await driver_.destroy_cq(cq);
+}
+
+sim::Task<rnic::Status> HostContext::dereg_mr(const verbs::MrHandle& mr) {
+  co_await lib_charge("dereg_mr", lib_share(driver_.costs().dereg_mr));
+  co_return co_await driver_.dereg_mr(mr.lkey);
+}
+
+sim::Task<rnic::Status> HostContext::dealloc_pd(rnic::PdId pd) {
+  co_await lib_charge("dealloc_pd", lib_share(driver_.costs().dealloc_pd));
+  co_return co_await driver_.dealloc_pd(pd);
+}
+
+sim::Time HostContext::data_verb_call_time(verbs::DataVerb v) const {
+  switch (v) {
+    case verbs::DataVerb::kPostSend:
+    case verbs::DataVerb::kPostRecv:
+      return kPostSendCpu;
+    case verbs::DataVerb::kPollCq:
+      return kPollCqCpu;
+  }
+  return 0;
+}
+
+}  // namespace baselines

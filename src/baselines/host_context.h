@@ -1,0 +1,80 @@
+// Host-RDMA baseline: an application on bare metal driving the PF through
+// the unmodified kernel driver. The performance upper bound every figure
+// compares against (Fig. 7, leftmost stack).
+#pragma once
+
+#include "hyp/host.h"
+#include "overlay/oob.h"
+#include "verbs/api.h"
+#include "verbs/kernel_driver.h"
+
+namespace baselines {
+
+class HostContext : public verbs::Context {
+ public:
+  HostContext(hyp::Host& host, rnic::RnicDevice& device,
+              overlay::OobEndpoint& oob, verbs::DriverCosts costs = {});
+
+  std::string name() const override { return "Host-RDMA"; }
+  sim::EventLoop& loop() override { return host_.loop(); }
+
+  mem::Addr alloc_buffer(std::uint64_t len) override {
+    return host_.alloc_host_buffer(len);
+  }
+  void write_buffer(mem::Addr addr,
+                    std::span<const std::uint8_t> in) override {
+    host_.hva().write(addr, in);
+  }
+  void read_buffer(mem::Addr addr, std::span<std::uint8_t> out) override {
+    host_.hva().read(addr, out);
+  }
+
+  sim::Task<rnic::Expected<rnic::PdId>> alloc_pd() override;
+  sim::Task<rnic::Expected<verbs::MrHandle>> reg_mr(
+      rnic::PdId pd, mem::Addr addr, std::uint64_t len,
+      std::uint32_t access) override;
+  sim::Task<rnic::Expected<rnic::Cqn>> create_cq(int cqe) override;
+  sim::Task<rnic::Expected<rnic::Qpn>> create_qp(
+      const rnic::QpInitAttr& attr) override;
+  sim::Task<rnic::Status> modify_qp(rnic::Qpn qpn, const rnic::QpAttr& attr,
+                                    std::uint32_t mask) override;
+  sim::Task<rnic::Expected<net::Gid>> query_gid() override;
+  sim::Task<rnic::Expected<rnic::QpAttr>> query_qp(rnic::Qpn qpn) override;
+  sim::Task<rnic::Status> destroy_qp(rnic::Qpn qpn) override;
+  sim::Task<rnic::Status> destroy_cq(rnic::Cqn cq) override;
+  sim::Task<rnic::Status> dereg_mr(const verbs::MrHandle& mr) override;
+  sim::Task<rnic::Status> dealloc_pd(rnic::PdId pd) override;
+
+  rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) override {
+    return device_.post_send(qpn, wr);
+  }
+  rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) override {
+    return device_.post_recv(qpn, wr);
+  }
+  int poll_cq(rnic::Cqn cq, int max_entries,
+              rnic::Completion* out) override {
+    return device_.poll_cq(cq, max_entries, out);
+  }
+  sim::Future<bool> cq_nonempty(rnic::Cqn cq) override {
+    return device_.cq_nonempty(cq);
+  }
+  sim::Future<bool> next_rx_event(rnic::Qpn qpn) override {
+    return device_.next_rx_event(qpn);
+  }
+  sim::Time data_verb_call_time(verbs::DataVerb v) const override;
+
+  overlay::OobEndpoint& oob() override { return oob_; }
+  sim::Time scale_compute(sim::Time host_time) const override {
+    return host_time;  // bare metal
+  }
+
+ private:
+  sim::Task<void> lib_charge(const char* verb, sim::Time t);
+
+  hyp::Host& host_;
+  rnic::RnicDevice& device_;
+  overlay::OobEndpoint& oob_;
+  verbs::KernelDriver driver_;
+};
+
+}  // namespace baselines

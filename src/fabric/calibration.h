@@ -1,0 +1,46 @@
+// Central calibration of the simulated testbed — one place for every
+// latency/cost constant, each anchored to a number in the paper.
+//
+// Testbed shape (Table 3): two servers, Mellanox CX-3 Pro 40 Gbps RoCE,
+// direct-connected; 96 GB DRAM; QEMU VMs; Docker containers; OVS+VXLAN
+// (VMs) / Weave (containers) virtual TCP networks.
+#pragma once
+
+#include "masq/backend.h"
+#include "baselines/freeflow.h"
+#include "rnic/costs.h"
+#include "sim/time.h"
+#include "verbs/driver_costs.h"
+#include "virtio/virtqueue.h"
+
+namespace fabric {
+
+struct Calibration {
+  // ---- physical fabric (Table 3) ----
+  double link_gbps = 40.0;
+  sim::Time link_prop_oneway = sim::nanoseconds(200);
+  std::uint64_t host_dram_bytes = 96ull << 30;
+  int num_vfs = 8;  // non-ARI PCIe exposes 8 VFs (Table 5)
+
+  // ---- instances ----
+  std::uint64_t vm_mem_bytes = 512ull << 20;  // Table 5 scalability setup
+  std::uint64_t vm_overhead_bytes = 100ull << 20;
+  double vm_compute_overhead = 1.18;  // Fig. 23 FlatMap gap
+
+  // ---- virtual TCP overlay ----
+  sim::Time oob_oneway = sim::microseconds(25);
+
+  // ---- SDN control plane (§3.3.1 / §4.2.3) ----
+  sim::Time controller_rtt = sim::microseconds(100);
+  sim::Time mapping_cache_hit = sim::microseconds(2);
+
+  // ---- per-layer cost models (anchored in their own headers) ----
+  rnic::DataPathCosts data_costs;        // Fig. 8/9/18/21 anchors
+  verbs::DriverCosts driver_costs;       // Table 1 / Fig. 15 anchors
+  virtio::ChannelCosts virtio_costs;     // Table 1 "w/ virtio" (+20 us)
+  baselines::FfCosts freeflow_costs;     // Fig. 8b/15/21 anchors
+  sim::Time masq_command_overhead = sim::microseconds(2);  // Fig. 16b
+  masq::RConntrackCosts conntrack_costs; // Table 4
+};
+
+}  // namespace fabric

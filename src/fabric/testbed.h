@@ -1,0 +1,142 @@
+// Testbed factory: assembles the paper's evaluation setup (Fig. 7) for any
+// of the four candidates and hands out candidate-agnostic verbs::Context
+// handles, so every application and benchmark runs unmodified on all four.
+//
+//   fabric::TestbedConfig cfg;
+//   cfg.candidate = fabric::Candidate::kMasq;
+//   fabric::Testbed bed(loop, cfg);
+//   bed.add_instances(2);
+//   verbs::Context& client = bed.ctx(0);   // on host 0
+//   verbs::Context& server = bed.ctx(1);   // on host 1
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/freeflow.h"
+#include "baselines/host_context.h"
+#include "baselines/sriov_context.h"
+#include "fabric/calibration.h"
+#include "hyp/host.h"
+#include "hyp/instance.h"
+#include "masq/backend.h"
+#include "masq/frontend.h"
+#include "net/fluid.h"
+#include "overlay/oob.h"
+#include "rnic/device.h"
+#include "sdn/controller.h"
+#include "sim/event_loop.h"
+#include "verbs/api.h"
+
+namespace fabric {
+
+enum class Candidate { kHostRdma, kSriov, kFreeFlow, kMasq };
+
+const char* to_string(Candidate c);
+inline constexpr Candidate kAllCandidates[] = {
+    Candidate::kHostRdma, Candidate::kFreeFlow, Candidate::kSriov,
+    Candidate::kMasq};
+
+struct TestbedConfig {
+  Candidate candidate = Candidate::kMasq;
+  int num_hosts = 2;
+  std::uint32_t default_vni = 100;
+  // Fig. 9: map MasQ tenants to the PF instead of VFs.
+  bool masq_use_pf = false;
+  // Ablation: RConnrename queries the controller on every connection.
+  bool masq_disable_cache = false;
+  Calibration cal;
+};
+
+class Testbed : public rnic::FabricRouter {
+ public:
+  Testbed(sim::EventLoop& loop, TestbedConfig config);
+  ~Testbed() override;
+
+  // Adds one instance (VM / container / host process, by candidate) on
+  // host `i % num_hosts`, joined to tenant `vni`. Returns the instance
+  // index, or nullopt when the platform cannot host it (out of VFs for
+  // SR-IOV, out of DRAM for MasQ — the Table 5 limiters).
+  std::optional<std::size_t> add_instance(
+      std::optional<std::uint32_t> vni = std::nullopt);
+  // Adds n instances; throws if any fails (benchmark convenience).
+  void add_instances(int n);
+
+  std::size_t size() const { return instances_.size(); }
+  verbs::Context& ctx(std::size_t i) { return *instances_.at(i)->ctx; }
+  net::Ipv4Addr instance_vip(std::size_t i) const {
+    return instances_.at(i)->vip;
+  }
+  std::uint32_t instance_vni(std::size_t i) const {
+    return instances_.at(i)->vni;
+  }
+  std::size_t instance_host(std::size_t i) const {
+    return instances_.at(i)->host_idx;
+  }
+
+  sim::EventLoop& loop() { return loop_; }
+  net::FluidNet& fluid() { return fluid_; }
+  overlay::VirtualNetwork& vnet() { return vnet_; }
+  sdn::Controller& controller() { return controller_; }
+  hyp::Host& host(std::size_t i) { return *hosts_.at(i); }
+  rnic::RnicDevice& device(std::size_t host_idx) {
+    return hosts_.at(host_idx)->rnic(0);
+  }
+  std::size_t num_hosts() const { return hosts_.size(); }
+  const TestbedConfig& config() const { return config_; }
+
+  // MasQ-only handles (throws for other candidates).
+  masq::Backend& masq_backend(std::size_t host_idx);
+  baselines::FfRouter& ffr(std::size_t host_idx);
+
+  // Tenant policy shortcuts.
+  overlay::SecurityPolicy& policy(std::uint32_t vni) {
+    return vnet_.policy(vni);
+  }
+  // Installs allow-all firewall + security-group rules for a tenant.
+  void allow_all(std::uint32_t vni);
+
+  // App-assisted live migration (§5, MasQ only): moves instance `i` to
+  // `target_host`, preserving its tenant identity (vIP, MAC, VNI). The
+  // caller must have torn down the instance's RDMA resources first (the
+  // application falls back to TCP during the blackout). vBond re-registers
+  // the unchanged vGID against the new host's physical GID and the
+  // controller pushes the update to every host cache. ctx(i) is replaced.
+  rnic::Status migrate_instance(std::size_t i, std::size_t target_host);
+
+  // rnic::FabricRouter: route underlay IPs to devices.
+  rnic::RnicDevice* device_by_ip(net::Ipv4Addr underlay_ip) override;
+
+ private:
+  struct Instance {
+    std::size_t host_idx = 0;
+    std::uint32_t vni = 0;
+    net::Ipv4Addr vip;
+    std::unique_ptr<hyp::Vm> vm;
+    std::unique_ptr<hyp::Container> container;
+    overlay::OobEndpoint* oob = nullptr;
+    std::unique_ptr<verbs::Context> ctx;
+  };
+
+  net::Ipv4Addr next_vip(std::uint32_t vni);
+  // Programs SR-IOV tunnel tables for a newly added instance.
+  void program_tunnels_for(const Instance& inst);
+
+  sim::EventLoop& loop_;
+  TestbedConfig config_;
+  net::FluidNet fluid_;
+  overlay::VirtualNetwork vnet_;
+  sdn::Controller controller_;
+  std::vector<std::unique_ptr<hyp::Host>> hosts_;
+  std::vector<std::unique_ptr<masq::Backend>> backends_;    // per host (MasQ)
+  std::vector<std::unique_ptr<baselines::FfRouter>> ffrs_;  // per host (FF)
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::unordered_map<net::Ipv4Addr, rnic::RnicDevice*> by_underlay_ip_;
+  std::unordered_map<std::uint32_t, std::uint32_t> vip_counter_;  // per vni
+  std::vector<int> vf_in_use_;  // per host (SR-IOV assignment)
+};
+
+}  // namespace fabric

@@ -1,0 +1,42 @@
+#include "hyp/host.h"
+
+namespace hyp {
+
+namespace {
+// Host kernel VA window for driver/FFR buffers and VM RAM mappings.
+constexpr mem::Addr kHvaBase = 0x0000'5000'0000'0000ull;
+constexpr mem::Addr kHvaWindow = mem::Addr{1} << 45;  // 32 TiB of VA
+}  // namespace
+
+Host::Host(sim::EventLoop& loop, net::FluidNet& net, std::string name,
+           std::uint64_t dram_bytes)
+    : loop_(loop),
+      net_(net),
+      name_(std::move(name)),
+      phys_(dram_bytes),
+      hva_(name_ + "-hva", &phys_),
+      hva_alloc_(kHvaBase, kHvaWindow) {}
+
+mem::Addr Host::alloc_host_buffer(std::uint64_t len) {
+  len = mem::page_ceil(len);
+  const mem::Addr hpa = phys_.alloc_pages(len / mem::kPageSize);
+  const mem::Addr hva = hva_alloc_.alloc(len);
+  hva_.map(hva, hpa, len);
+  return hva;
+}
+
+void Host::free_host_buffer(mem::Addr hva, std::uint64_t len) {
+  len = mem::page_ceil(len);
+  const mem::Addr hpa = hva_.translate_or_throw(hva);
+  hva_.unmap(hva, len);
+  hva_alloc_.free(hva, len);
+  phys_.free_pages(hpa, len / mem::kPageSize);
+}
+
+rnic::RnicDevice& Host::add_rnic(rnic::DeviceConfig config) {
+  rnics_.push_back(
+      std::make_unique<rnic::RnicDevice>(loop_, net_, phys_, std::move(config)));
+  return *rnics_.back();
+}
+
+}  // namespace hyp

@@ -1,0 +1,100 @@
+#include "hyp/instance.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace hyp {
+
+namespace {
+constexpr mem::Addr kGvaBase = 0x0000'7f00'0000'0000ull;
+constexpr mem::Addr kGvaWindow = mem::Addr{1} << 40;
+// MMIO windows sit in guest-physical space above RAM.
+constexpr mem::Addr kGpaMmioGap = mem::Addr{1} << 36;
+}  // namespace
+
+Vm::Vm(Host& host, Config config)
+    : host_(host),
+      config_(std::move(config)),
+      hpa_base_(0),
+      hva_base_(0),
+      gpa_(config_.name + "-gpa", &host.hva()),
+      gva_(config_.name + "-gva", &gpa_),
+      gpa_alloc_(0, mem::page_ceil(config_.mem_bytes)),
+      gva_alloc_(kGvaBase, kGvaWindow),
+      gpa_mmio_alloc_(mem::page_ceil(config_.mem_bytes) + kGpaMmioGap,
+                      mem::Addr{1} << 32) {
+  const mem::Addr ram = mem::page_ceil(config_.mem_bytes);
+  const mem::Addr overhead = mem::page_ceil(config_.qemu_overhead_bytes);
+  // Reserve VM RAM plus hypervisor bookkeeping from host DRAM. Throws
+  // std::bad_alloc if the host is out of memory — the Table 5 limiter.
+  hpa_base_ = host_.phys().alloc_pages((ram + overhead) / mem::kPageSize);
+  hva_base_ = host_.hva_alloc().alloc(ram);
+  // The QEMU mapping HVA -> HPA for VM RAM is established lazily alongside
+  // guest allocations; the reservation above is the accounting.
+}
+
+Vm::~Vm() {
+  const mem::Addr ram = mem::page_ceil(config_.mem_bytes);
+  const mem::Addr overhead = mem::page_ceil(config_.qemu_overhead_bytes);
+  // Note: page-table entries for allocated buffers are torn down by the
+  // address spaces' destruction; here we return the reservation.
+  host_.phys().free_pages(hpa_base_, (ram + overhead) / mem::kPageSize);
+  host_.hva_alloc().free(hva_base_, ram);
+}
+
+mem::Addr Vm::alloc_guest_buffer(std::uint64_t len) {
+  len = mem::page_ceil(len);
+  const mem::Addr gpa_addr = gpa_alloc_.alloc(len);
+  const mem::Addr gva_addr = gva_alloc_.alloc(len);
+  // VM RAM is contiguous: GPA x lives at HVA hva_base_+x and HPA
+  // hpa_base_+x.
+  const mem::Addr hva_addr = hva_base_ + gpa_addr;
+  const mem::Addr hpa_addr = hpa_base_ + gpa_addr;
+  host_.hva().map(hva_addr, hpa_addr, len);
+  gpa_.map(gpa_addr, hva_addr, len);
+  gva_.map(gva_addr, gpa_addr, len);
+  return gva_addr;
+}
+
+void Vm::free_guest_buffer(mem::Addr gva_addr, std::uint64_t len) {
+  len = mem::page_ceil(len);
+  const mem::Addr gpa_addr = gva_.translate_or_throw(gva_addr);
+  const mem::Addr hva_addr = gpa_.translate_or_throw(gpa_addr);
+  gva_.unmap(gva_addr, len);
+  gpa_.unmap(gpa_addr, len);
+  host_.hva().unmap(hva_addr, len);
+  gva_alloc_.free(gva_addr, len);
+  gpa_alloc_.free(gpa_addr, len);
+}
+
+mem::Addr Vm::map_mmio_into_guest(mem::Addr bar_hpa, std::uint64_t len) {
+  len = mem::page_ceil(len);
+  if (!host_.phys().is_mmio(bar_hpa)) {
+    throw std::invalid_argument("map_mmio_into_guest: not an MMIO address");
+  }
+  const mem::Addr hva_addr = host_.hva_alloc().alloc(len);
+  host_.hva().map(hva_addr, bar_hpa, len);
+  const mem::Addr gpa_addr = gpa_mmio_alloc_.alloc(len);
+  gpa_.map(gpa_addr, hva_addr, len);
+  const mem::Addr gva_addr = gva_alloc_.alloc(len);
+  gva_.map(gva_addr, gpa_addr, len);
+  return gva_addr;
+}
+
+Container::Container(Host& host, Config config)
+    : host_(host),
+      config_(std::move(config)),
+      va_(config_.name + "-va", &host.phys()),
+      va_alloc_(kGvaBase, kGvaWindow) {}
+
+mem::Addr Container::alloc_buffer(std::uint64_t len) {
+  len = mem::page_ceil(len);
+  if (used_ + len > config_.mem_limit_bytes) throw std::bad_alloc();
+  used_ += len;
+  const mem::Addr hpa = host_.phys().alloc_pages(len / mem::kPageSize);
+  const mem::Addr va = va_alloc_.alloc(len);
+  va_.map(va, hpa, len);
+  return va;
+}
+
+}  // namespace hyp

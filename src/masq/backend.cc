@@ -1,0 +1,248 @@
+#include "masq/backend.h"
+
+namespace masq {
+
+Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
+                 sdn::Controller& controller, overlay::VirtualNetwork& vnet,
+                 BackendConfig config)
+    : loop_(loop),
+      device_(device),
+      controller_(controller),
+      vnet_(vnet),
+      config_(std::move(config)),
+      cache_(loop, controller, config_.mapping_cache_hit),
+      conntrack_(loop, vnet, config_.conntrack_costs) {
+  // §3.3.1: "the controller can be configured to push down the mappings in
+  // advance" — keep the host-local cache coherent with every (re)binding,
+  // which also makes live migration transparent to later connections.
+  controller_.subscribe(
+      [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
+        cache_.insert(vni, vgid, pgid);
+      });
+}
+
+rnic::FnId Backend::tenant_fn(std::uint32_t vni) {
+  if (config_.map_tenants_to_pf) return rnic::kPf;
+  auto it = tenant_fn_.find(vni);
+  if (it != tenant_fn_.end()) return it->second;
+  // Default QoS grouping policy (§3.3.3): group QPs by tenant, then map
+  // each group to one VF-backed rate limiter. When tenants outnumber VFs,
+  // groups share limiters round-robin.
+  const int num_vfs = device_.num_functions() - 1;
+  if (num_vfs == 0) return rnic::kPf;
+  const rnic::FnId fn = next_vf_;
+  next_vf_ = static_cast<rnic::FnId>(next_vf_ % num_vfs + 1);
+  tenant_fn_[vni] = fn;
+  return fn;
+}
+
+void Backend::set_tenant_rate_limit(std::uint32_t vni, double gbps) {
+  const rnic::FnId fn = tenant_fn(vni);
+  if (fn == rnic::kPf) {
+    throw std::logic_error(
+        "QoS requires VF-backed tenants (backend is in PF mode)");
+  }
+  device_.set_vf_rate_limit(fn, gbps);
+}
+
+Backend::Session& Backend::register_vm(hyp::Vm& vm) {
+  const rnic::FnId fn = tenant_fn(vm.config().vni);
+  sessions_.push_back(std::make_unique<Session>(*this, vm, fn));
+  return *sessions_.back();
+}
+
+Backend::Session::Session(Backend& backend, hyp::Vm& vm, rnic::FnId fn)
+    : backend_(backend),
+      vm_(vm),
+      fn_(fn),
+      driver_(backend.loop(), backend.device(), fn,
+              backend.config().driver_costs),
+      vbond_(backend.controller(), vm.config().vni, vm.config().mac,
+             backend.device().gid(rnic::kPf)) {
+  // vBond initialization: the vEth already carries a valid IP, so bind
+  // immediately and publish the (VNI, vGID) -> pGID mapping.
+  vbond_.bind(vm.config().vip);
+  backend_.conntrack().watch_tenant(vm.config().vni);
+}
+
+void Backend::Session::set_profile(verbs::LayerProfile* profile) {
+  profile_ = profile;
+  driver_.set_profile(profile, verbs::Layer::kRdmaDriver);
+}
+
+sim::Task<Response> Backend::Session::handle(Command cmd) {
+  // MasQ driver processing (frontend marshalling + backend dispatch).
+  if (profile_ != nullptr) {
+    const char* verb = std::visit(
+        [](const auto& c) -> const char* {
+          using T = std::decay_t<decltype(c)>;
+          if constexpr (std::is_same_v<T, CmdRegMr>) return "reg_mr";
+          else if constexpr (std::is_same_v<T, CmdCreateCq>) return "create_cq";
+          else if constexpr (std::is_same_v<T, CmdCreateQp>) return "create_qp";
+          else if constexpr (std::is_same_v<T, CmdModifyQp>) {
+            if ((c.mask & rnic::kAttrState) != 0) {
+              switch (c.attr.state) {
+                case rnic::QpState::kInit: return "modify_qp(INIT)";
+                case rnic::QpState::kRtr: return "modify_qp(RTR)";
+                case rnic::QpState::kRts: return "modify_qp(RTS)";
+                case rnic::QpState::kError: return "modify_qp(ERROR)";
+                default: return "modify_qp";
+              }
+            }
+            return "modify_qp";
+          }
+          else if constexpr (std::is_same_v<T, CmdQueryQp>) return "query_qp";
+          else if constexpr (std::is_same_v<T, CmdDestroyQp>) return "destroy_qp";
+          else if constexpr (std::is_same_v<T, CmdDestroyCq>) return "destroy_cq";
+          else if constexpr (std::is_same_v<T, CmdDeregMr>) return "dereg_mr";
+          else return "ud_send";
+        },
+        cmd);
+    profile_->add(verb, verbs::Layer::kMasqDriver,
+                  backend_.config().command_overhead);
+  }
+  co_await sim::delay(backend_.loop(), backend_.config().command_overhead);
+
+  if (auto* c = std::get_if<CmdRegMr>(&cmd)) co_return co_await on_reg_mr(*c);
+  if (auto* c = std::get_if<CmdCreateCq>(&cmd)) {
+    co_return co_await on_create_cq(*c);
+  }
+  if (auto* c = std::get_if<CmdCreateQp>(&cmd)) {
+    co_return co_await on_create_qp(*c);
+  }
+  if (auto* c = std::get_if<CmdModifyQp>(&cmd)) {
+    co_return co_await on_modify_qp(*c);
+  }
+  if (auto* c = std::get_if<CmdQueryQp>(&cmd)) {
+    co_return co_await on_query_qp(*c);
+  }
+  if (auto* c = std::get_if<CmdDestroyQp>(&cmd)) {
+    co_return co_await on_destroy_qp(*c);
+  }
+  if (auto* c = std::get_if<CmdDestroyCq>(&cmd)) {
+    co_return co_await on_destroy_cq(*c);
+  }
+  if (auto* c = std::get_if<CmdDeregMr>(&cmd)) {
+    co_return co_await on_dereg_mr(*c);
+  }
+  if (auto* c = std::get_if<CmdUdSend>(&cmd)) {
+    co_return co_await on_ud_send(*c);
+  }
+  co_return Response{rnic::Status::kInvalidArgument, 0, 0};
+}
+
+sim::Task<Response> Backend::Session::alloc_pd_local() {
+  auto pd = co_await driver_.alloc_pd();
+  co_return Response{pd.status, pd.value, 0};
+}
+
+sim::Task<Response> Backend::Session::dealloc_pd_local(rnic::PdId pd) {
+  co_return Response{co_await driver_.dealloc_pd(pd), 0, 0};
+}
+
+sim::Task<Response> Backend::Session::on_reg_mr(const CmdRegMr& cmd) {
+  // The frontend shipped the (GVA, GPA) mapping; pinning the host levels
+  // and building the MTT happens in the kernel driver (Appendix B.2).
+  auto mr = co_await driver_.reg_mr(cmd.pd, vm_.gva(), cmd.gva, cmd.len,
+                                    cmd.access);
+  co_return Response{mr.status, mr.value.lkey, mr.value.rkey};
+}
+
+sim::Task<Response> Backend::Session::on_create_cq(const CmdCreateCq& cmd) {
+  auto cq = co_await driver_.create_cq(cmd.cqe);
+  co_return Response{cq.status, cq.value, 0};
+}
+
+sim::Task<Response> Backend::Session::on_create_qp(const CmdCreateQp& cmd) {
+  auto qp = co_await driver_.create_qp(cmd.attr);
+  co_return Response{qp.status, qp.value, 0};
+}
+
+sim::Task<Response> Backend::Session::on_modify_qp(const CmdModifyQp& cmd) {
+  rnic::QpAttr attr = cmd.attr;
+  const bool to_rtr = (cmd.mask & rnic::kAttrState) != 0 &&
+                      attr.state == rnic::QpState::kRtr;
+  const bool has_dest = (cmd.mask & rnic::kAttrDestGid) != 0 &&
+                        !attr.dest_gid.is_zero();
+  if (to_rtr && has_dest) {
+    const auto dst_vip = attr.dest_gid.to_ipv4();
+    if (!dst_vip) co_return Response{rnic::Status::kInvalidArgument, 0, 0};
+
+    // RConntrack: an RDMA connection cannot be established unless the
+    // security rules explicitly allow it (Fig. 6 step (1)).
+    const bool allowed = co_await backend_.conntrack().validate(
+        vni(), vm_.config().vip, *dst_vip);
+    if (!allowed) co_return Response{rnic::Status::kPermissionDenied, 0, 0};
+
+    // RConnrename: replace the peer's virtual GID with the physical GID
+    // (Fig. 4 step (4)). The application keeps seeing the virtual view;
+    // only the hardware QPC gets the physical address.
+    auto pgid = backend_.config().disable_mapping_cache
+                    ? co_await backend_.controller().query(vni(),
+                                                           attr.dest_gid)
+                    : co_await backend_.mapping_cache().resolve(
+                          vni(), attr.dest_gid);
+    if (!pgid) co_return Response{rnic::Status::kNotFound, 0, 0};
+    attr.dest_gid = *pgid;
+
+    const rnic::Status st =
+        co_await driver_.modify_qp(cmd.qpn, attr, cmd.mask);
+    if (st == rnic::Status::kOk) {
+      co_await backend_.conntrack().track(RConntrack::Entry{
+          vni(), vm_.config().vip, *dst_vip, cmd.qpn, &driver_});
+      // The tenant keeps seeing the QPC it configured (virtual GID); only
+      // the hardware view was renamed.
+      tenant_view_[cmd.qpn] = cmd.attr;
+    }
+    co_return Response{st, 0, 0};
+  }
+  const rnic::Status st = co_await driver_.modify_qp(cmd.qpn, attr, cmd.mask);
+  if (st == rnic::Status::kOk) {
+    rnic::QpAttr& view = tenant_view_[cmd.qpn];
+    if (cmd.mask & rnic::kAttrState) view.state = cmd.attr.state;
+    if (cmd.mask & rnic::kAttrDestGid) view.dest_gid = cmd.attr.dest_gid;
+    if (cmd.mask & rnic::kAttrDestQpn) view.dest_qpn = cmd.attr.dest_qpn;
+    if (cmd.mask & rnic::kAttrPathMtu) view.path_mtu = cmd.attr.path_mtu;
+    if (cmd.mask & rnic::kAttrQkey) view.qkey = cmd.attr.qkey;
+  }
+  co_return Response{st, 0, 0};
+}
+
+sim::Task<Response> Backend::Session::on_query_qp(const CmdQueryQp& cmd) {
+  // The device validates existence and supplies hardware-owned fields
+  // (current state); the addressing fields come from the tenant view.
+  if (!backend_.device().qp_exists(cmd.qpn)) {
+    co_return Response{rnic::Status::kNotFound, 0, 0};
+  }
+  Response r;
+  auto it = tenant_view_.find(cmd.qpn);
+  r.attr = it != tenant_view_.end() ? it->second : rnic::QpAttr{};
+  r.attr.state = backend_.device().qp_state(cmd.qpn);
+  co_return r;
+}
+
+sim::Task<Response> Backend::Session::on_destroy_qp(const CmdDestroyQp& cmd) {
+  tenant_view_.erase(cmd.qpn);
+  co_await backend_.conntrack().untrack(cmd.qpn, vni());
+  co_return Response{co_await driver_.destroy_qp(cmd.qpn), 0, 0};
+}
+
+sim::Task<Response> Backend::Session::on_destroy_cq(const CmdDestroyCq& cmd) {
+  co_return Response{co_await driver_.destroy_cq(cmd.cq), 0, 0};
+}
+
+sim::Task<Response> Backend::Session::on_dereg_mr(const CmdDeregMr& cmd) {
+  co_return Response{co_await driver_.dereg_mr(cmd.lkey), 0, 0};
+}
+
+sim::Task<Response> Backend::Session::on_ud_send(const CmdUdSend& cmd) {
+  // §3.3.4: the datagram WQE carries its own destination; rename it like a
+  // connection destination, then hand the WQE to the device.
+  rnic::SendWr wr = cmd.wr;
+  auto pgid = co_await backend_.mapping_cache().resolve(vni(), wr.ud.gid);
+  if (!pgid) co_return Response{rnic::Status::kNotFound, 0, 0};
+  wr.ud.gid = *pgid;
+  co_return Response{backend_.device().post_send(cmd.qpn, wr), 0, 0};
+}
+
+}  // namespace masq

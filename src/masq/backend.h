@@ -1,0 +1,130 @@
+// MasQ backend driver (Fig. 3): the host-side half of the split driver.
+//
+// One Backend per host RNIC. It receives control commands from each VM's
+// frontend over virtio, and before handing them to the unmodified kernel
+// RDMA driver it applies the three MasQ mechanisms:
+//   * vBond        — one per VM session; maintains the virtual GID,
+//   * RConnrename  — rewrites the peer's virtual GID to the physical GID
+//                    in modify_qp(RTR) / UD WQEs, via the controller +
+//                    host-local mapping cache,
+//   * RConntrack   — validates connections against security rules, tracks
+//                    them, and tears down violators.
+// It also implements QP-level QoS (§3.3.3): QPs are grouped by tenant and
+// each group is mapped to an SR-IOV VF whose hardware rate limiter
+// enforces the tenant's policy.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hyp/instance.h"
+#include "masq/commands.h"
+#include "masq/rconntrack.h"
+#include "masq/vbond.h"
+#include "overlay/oob.h"
+#include "rnic/device.h"
+#include "sdn/controller.h"
+#include "sim/event_loop.h"
+#include "verbs/api.h"
+#include "verbs/kernel_driver.h"
+
+namespace masq {
+
+struct BackendConfig {
+  // Map tenants to the PF instead of VFs: trades QoS isolation for
+  // bare-metal latency (Fig. 9's "MasQ (PF)" variant).
+  bool map_tenants_to_pf = false;
+  // Per-command processing in the MasQ frontend+backend pair. Anchor:
+  // Fig. 16b — the "MasQ Driver" layer is < 20% of each verb's cost.
+  sim::Time command_overhead = sim::microseconds(2);
+  // Ablation: disable the host-local mapping cache so every RConnrename
+  // pays the controller round trip (§4.2.3 discussion).
+  bool disable_mapping_cache = false;
+  verbs::DriverCosts driver_costs;
+  RConntrackCosts conntrack_costs;
+  sim::Time mapping_cache_hit = sim::microseconds(2);  // §3.3.1
+};
+
+class Backend {
+ public:
+  Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
+          sdn::Controller& controller, overlay::VirtualNetwork& vnet,
+          BackendConfig config = {});
+
+  // One Session per served VM — the state the backend keeps for a tenant
+  // instance (assigned function, kernel-driver handle, vBond).
+  class Session {
+   public:
+    Session(Backend& backend, hyp::Vm& vm, rnic::FnId fn);
+
+    // Processes one frontend command. The virtqueue transit time is
+    // charged by the frontend; this charges backend processing + the
+    // kernel driver + any RConnrename/RConntrack work.
+    sim::Task<Response> handle(Command cmd);
+
+    Backend& backend() { return backend_; }
+    hyp::Vm& vm() { return vm_; }
+    rnic::FnId fn() const { return fn_; }
+    verbs::KernelDriver& driver() { return driver_; }
+    VBond& vbond() { return vbond_; }
+    std::uint32_t vni() const { return vm_.config().vni; }
+
+    // Lets the frontend's LayerProfile observe backend-side charges.
+    void set_profile(verbs::LayerProfile* profile);
+
+    // Not forwarded over virtio (Table 1: pure software).
+    sim::Task<Response> alloc_pd_local();
+    sim::Task<Response> dealloc_pd_local(rnic::PdId pd);
+
+   private:
+    sim::Task<Response> on_reg_mr(const CmdRegMr& cmd);
+    sim::Task<Response> on_query_qp(const CmdQueryQp& cmd);
+    sim::Task<Response> on_create_cq(const CmdCreateCq& cmd);
+    sim::Task<Response> on_create_qp(const CmdCreateQp& cmd);
+    sim::Task<Response> on_modify_qp(const CmdModifyQp& cmd);
+    sim::Task<Response> on_destroy_qp(const CmdDestroyQp& cmd);
+    sim::Task<Response> on_destroy_cq(const CmdDestroyCq& cmd);
+    sim::Task<Response> on_dereg_mr(const CmdDeregMr& cmd);
+    sim::Task<Response> on_ud_send(const CmdUdSend& cmd);
+
+    Backend& backend_;
+    hyp::Vm& vm_;
+    rnic::FnId fn_;
+    verbs::KernelDriver driver_;
+    VBond vbond_;
+    verbs::LayerProfile* profile_ = nullptr;
+    // The tenant's view of each QPC — virtual addresses as the application
+    // configured them, maintained alongside the renamed hardware view.
+    std::unordered_map<rnic::Qpn, rnic::QpAttr> tenant_view_;
+  };
+
+  // Registers a VM with this backend: assigns a device function by the
+  // QoS grouping policy and boots the session's vBond.
+  Session& register_vm(hyp::Vm& vm);
+
+  // QoS (§3.3.3): programs the hardware rate limiter of a tenant's VF.
+  void set_tenant_rate_limit(std::uint32_t vni, double gbps);
+  rnic::FnId tenant_fn(std::uint32_t vni);
+
+  sim::EventLoop& loop() { return loop_; }
+  rnic::RnicDevice& device() { return device_; }
+  sdn::Controller& controller() { return controller_; }
+  sdn::MappingCache& mapping_cache() { return cache_; }
+  RConntrack& conntrack() { return conntrack_; }
+  const BackendConfig& config() const { return config_; }
+
+ private:
+  sim::EventLoop& loop_;
+  rnic::RnicDevice& device_;
+  sdn::Controller& controller_;
+  overlay::VirtualNetwork& vnet_;
+  BackendConfig config_;
+  sdn::MappingCache cache_;
+  RConntrack conntrack_;
+  std::unordered_map<std::uint32_t, rnic::FnId> tenant_fn_;
+  rnic::FnId next_vf_ = 1;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace masq

@@ -1,0 +1,77 @@
+// The command protocol between MasQ's frontend driver (in the VM) and
+// backend driver (on the host), carried over a virtio virtqueue (Fig. 2).
+// Only control-path verbs appear here — data-path operations never cross
+// this channel (§3.1), with the single documented exception of UD WQEs
+// (§3.3.4), which are forwarded so that RConnrename can rewrite their
+// per-WQE destination.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "mem/physical_memory.h"
+#include "net/addr.h"
+#include "rnic/types.h"
+
+namespace masq {
+
+struct CmdRegMr {
+  rnic::PdId pd = 0;
+  mem::Addr gva = 0;  // guest VA; the frontend ships (GVA, GPA) mappings
+  std::uint64_t len = 0;
+  std::uint32_t access = 0;
+};
+
+struct CmdCreateCq {
+  int cqe = 0;
+};
+
+struct CmdCreateQp {
+  rnic::QpInitAttr attr;
+};
+
+struct CmdModifyQp {
+  rnic::Qpn qpn = 0;
+  rnic::QpAttr attr;  // dest_gid is *virtual* here; the backend renames it
+  std::uint32_t mask = 0;
+};
+
+struct CmdDestroyQp {
+  rnic::Qpn qpn = 0;
+};
+
+// ibv_query_qp: returns the *tenant's* view of the QPC — RConnrename keeps
+// the virtual addresses the application configured, even though the
+// hardware QPC holds physical ones ("two different views of the same QPC",
+// §3.3.1).
+struct CmdQueryQp {
+  rnic::Qpn qpn = 0;
+};
+
+struct CmdDestroyCq {
+  rnic::Cqn cq = 0;
+};
+
+struct CmdDeregMr {
+  rnic::Key lkey = 0;
+};
+
+// §3.3.4: a UD datagram WQE forwarded through the control path so the
+// backend can rename the destination before handing it to the device.
+struct CmdUdSend {
+  rnic::Qpn qpn = 0;
+  rnic::SendWr wr;
+};
+
+using Command = std::variant<CmdRegMr, CmdCreateCq, CmdCreateQp, CmdModifyQp,
+                             CmdQueryQp, CmdDestroyQp, CmdDestroyCq,
+                             CmdDeregMr, CmdUdSend>;
+
+struct Response {
+  rnic::Status status = rnic::Status::kOk;
+  std::uint64_t v0 = 0;  // pd / lkey / cqn / qpn, depending on the command
+  std::uint64_t v1 = 0;
+  rnic::QpAttr attr;     // CmdQueryQp only
+};
+
+}  // namespace masq

@@ -1,0 +1,218 @@
+#include "masq/frontend.h"
+
+namespace masq {
+
+namespace {
+// User-space library share of each verb (see verbs::kLibFraction): the
+// kernel+device costs in DriverCosts are 90% of the Table-1 totals, so the
+// lib share equals driver_cost / 9.
+sim::Time lib_share(sim::Time driver_cost) { return driver_cost / 9; }
+
+constexpr sim::Time kPostSendCpu = sim::nanoseconds(200);  // Table 1 row 11
+constexpr sim::Time kPostRecvCpu = sim::nanoseconds(200);
+constexpr sim::Time kPollCqCpu = sim::nanoseconds(30);     // Table 1 row 12
+}  // namespace
+
+MasqContext::MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
+                         virtio::ChannelCosts virtio_costs)
+    : session_(session), oob_(oob), vq_(session.backend().loop(),
+                                        virtio_costs) {
+  session_.set_profile(&profile_);
+  vq_.set_backend(
+      [this](Command cmd) -> sim::Task<Response> {
+        return session_.handle(std::move(cmd));
+      });
+  // Appendix B.1: map the device's doorbell BAR into the application's
+  // address space so data-path doorbells bypass the hypervisor.
+  doorbell_gva_ = session_.vm().map_mmio_into_guest(
+      session_.backend().device().doorbell_bar(), 64 * 1024 * 8);
+}
+
+sim::Task<void> MasqContext::lib_charge(const char* verb, sim::Time t) {
+  profile_.add(verb, verbs::Layer::kVerbsLib, t);
+  co_await sim::delay(loop(), t);
+}
+
+sim::Task<Response> MasqContext::call(const char* verb, sim::Time lib_time,
+                                      Command cmd) {
+  co_await lib_charge(verb, lib_time);
+  profile_.add(verb, verbs::Layer::kVirtio, vq_.costs().round_trip());
+  co_return co_await vq_.call(std::move(cmd));
+}
+
+sim::Task<rnic::Expected<rnic::PdId>> MasqContext::alloc_pd() {
+  // Table 1: not forwarded to the RNIC — handled without a virtqueue trip.
+  const auto& costs = session_.backend().config().driver_costs;
+  co_await lib_charge("alloc_pd", lib_share(costs.alloc_pd));
+  Response r = co_await session_.alloc_pd_local();
+  if (r.status != rnic::Status::kOk) {
+    co_return rnic::Expected<rnic::PdId>::error(r.status);
+  }
+  co_return rnic::Expected<rnic::PdId>::of(
+      static_cast<rnic::PdId>(r.v0));
+}
+
+sim::Task<rnic::Expected<verbs::MrHandle>> MasqContext::reg_mr(
+    rnic::PdId pd, mem::Addr addr, std::uint64_t len, std::uint32_t access) {
+  const auto& costs = session_.backend().config().driver_costs;
+  Response r = co_await call("reg_mr", lib_share(costs.reg_mr_base),
+                             CmdRegMr{pd, addr, len, access});
+  if (r.status != rnic::Status::kOk) {
+    co_return rnic::Expected<verbs::MrHandle>::error(r.status);
+  }
+  co_return rnic::Expected<verbs::MrHandle>::of(
+      verbs::MrHandle{static_cast<rnic::Key>(r.v0),
+                      static_cast<rnic::Key>(r.v1), addr, len});
+}
+
+sim::Task<rnic::Expected<rnic::Cqn>> MasqContext::create_cq(int cqe) {
+  const auto& costs = session_.backend().config().driver_costs;
+  Response r = co_await call("create_cq", lib_share(costs.create_cq_base),
+                             CmdCreateCq{cqe});
+  if (r.status != rnic::Status::kOk) {
+    co_return rnic::Expected<rnic::Cqn>::error(r.status);
+  }
+  co_return rnic::Expected<rnic::Cqn>::of(static_cast<rnic::Cqn>(r.v0));
+}
+
+sim::Task<rnic::Expected<rnic::Qpn>> MasqContext::create_qp(
+    const rnic::QpInitAttr& attr) {
+  const auto& costs = session_.backend().config().driver_costs;
+  Response r = co_await call("create_qp", lib_share(costs.create_qp),
+                             CmdCreateQp{attr});
+  if (r.status != rnic::Status::kOk) {
+    co_return rnic::Expected<rnic::Qpn>::error(r.status);
+  }
+  const auto qpn = static_cast<rnic::Qpn>(r.v0);
+  qp_types_[qpn] = attr.type;
+  co_return rnic::Expected<rnic::Qpn>::of(qpn);
+}
+
+sim::Task<rnic::Status> MasqContext::modify_qp(rnic::Qpn qpn,
+                                               const rnic::QpAttr& attr,
+                                               std::uint32_t mask) {
+  const auto& costs = session_.backend().config().driver_costs;
+  sim::Time lib = lib_share(costs.modify_rtr);
+  const char* verb = "modify_qp";
+  if (mask & rnic::kAttrState) {
+    switch (attr.state) {
+      case rnic::QpState::kInit:
+        lib = lib_share(costs.modify_init);
+        verb = "modify_qp(INIT)";
+        break;
+      case rnic::QpState::kRtr:
+        verb = "modify_qp(RTR)";
+        break;
+      case rnic::QpState::kRts:
+        lib = lib_share(costs.modify_rts);
+        verb = "modify_qp(RTS)";
+        break;
+      case rnic::QpState::kError:
+        verb = "modify_qp(ERROR)";
+        break;
+      default:
+        break;
+    }
+  }
+  Response r = co_await call(verb, lib, CmdModifyQp{qpn, attr, mask});
+  co_return r.status;
+}
+
+sim::Task<rnic::Expected<net::Gid>> MasqContext::query_gid() {
+  // vBond answers locally from the frontend (§3.3.1): the virtual GID is
+  // kept in sync with the vEth IP, no device round trip needed.
+  co_await lib_charge("query_gid", sim::microseconds(2));
+  profile_.add("query_gid", verbs::Layer::kMasqDriver, sim::microseconds(2));
+  co_await sim::delay(loop(), sim::microseconds(2));
+  co_return rnic::Expected<net::Gid>::of(session_.vbond().vgid());
+}
+
+sim::Task<rnic::Expected<rnic::QpAttr>> MasqContext::query_qp(
+    rnic::Qpn qpn) {
+  co_await lib_charge("query_qp", sim::microseconds(2));
+  profile_.add("query_qp", verbs::Layer::kVirtio, vq_.costs().round_trip());
+  Response r = co_await vq_.call(CmdQueryQp{qpn});
+  if (r.status != rnic::Status::kOk) {
+    co_return rnic::Expected<rnic::QpAttr>::error(r.status);
+  }
+  co_return rnic::Expected<rnic::QpAttr>::of(r.attr);
+}
+
+sim::Task<rnic::Status> MasqContext::destroy_qp(rnic::Qpn qpn) {
+  const auto& costs = session_.backend().config().driver_costs;
+  Response r = co_await call("destroy_qp", lib_share(costs.destroy_qp),
+                             CmdDestroyQp{qpn});
+  qp_types_.erase(qpn);
+  co_return r.status;
+}
+
+sim::Task<rnic::Status> MasqContext::destroy_cq(rnic::Cqn cq) {
+  const auto& costs = session_.backend().config().driver_costs;
+  Response r = co_await call("destroy_cq", lib_share(costs.destroy_cq),
+                             CmdDestroyCq{cq});
+  co_return r.status;
+}
+
+sim::Task<rnic::Status> MasqContext::dereg_mr(const verbs::MrHandle& mr) {
+  const auto& costs = session_.backend().config().driver_costs;
+  Response r = co_await call("dereg_mr", lib_share(costs.dereg_mr),
+                             CmdDeregMr{mr.lkey});
+  co_return r.status;
+}
+
+sim::Task<rnic::Status> MasqContext::dealloc_pd(rnic::PdId pd) {
+  const auto& costs = session_.backend().config().driver_costs;
+  co_await lib_charge("dealloc_pd", lib_share(costs.dealloc_pd));
+  Response r = co_await session_.dealloc_pd_local(pd);
+  co_return r.status;
+}
+
+rnic::Status MasqContext::post_send(rnic::Qpn qpn, const rnic::SendWr& wr) {
+  auto it = qp_types_.find(qpn);
+  if (it != qp_types_.end() && it->second == rnic::QpType::kUd) {
+    // §3.3.4: UD WQEs go through the control path so RConnrename can
+    // rewrite the per-WQE destination. The call is asynchronous from the
+    // application's perspective; errors surface as CQEs.
+    struct Fwd {
+      static sim::Task<void> run(MasqContext* self, rnic::Qpn q,
+                                 rnic::SendWr w) {
+        (void)co_await self->vq_.call(CmdUdSend{q, w});
+      }
+    };
+    loop().spawn(Fwd::run(this, qpn, wr));
+    return rnic::Status::kOk;
+  }
+  // Zero-copy data path: write the WQE, then ring the doorbell through the
+  // guest-mapped BAR — the MMIO write traverses GVA -> GPA -> HVA -> HPA
+  // and lands on the device with no hypervisor involvement.
+  const rnic::Status st =
+      session_.backend().device().post_send(qpn, wr, /*ring_doorbell=*/false);
+  if (st == rnic::Status::kOk) {
+    session_.vm().gva().write_u64(doorbell_gva_ + qpn * 8, 1);
+  }
+  return st;
+}
+
+rnic::Status MasqContext::post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) {
+  return session_.backend().device().post_recv(qpn, wr);
+}
+
+int MasqContext::poll_cq(rnic::Cqn cq, int max_entries,
+                         rnic::Completion* out) {
+  return session_.backend().device().poll_cq(cq, max_entries, out);
+}
+
+sim::Future<bool> MasqContext::cq_nonempty(rnic::Cqn cq) {
+  return session_.backend().device().cq_nonempty(cq);
+}
+
+sim::Time MasqContext::data_verb_call_time(verbs::DataVerb v) const {
+  switch (v) {
+    case verbs::DataVerb::kPostSend: return kPostSendCpu;
+    case verbs::DataVerb::kPostRecv: return kPostRecvCpu;
+    case verbs::DataVerb::kPollCq: return kPollCqCpu;
+  }
+  return 0;
+}
+
+}  // namespace masq

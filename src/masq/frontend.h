@@ -1,0 +1,88 @@
+// MasQ frontend driver — the verbs::Context a guest application sees.
+//
+// Control-path verbs marshal into commands and cross the virtio virtqueue
+// to the backend (~20 us round trip, Table 1). Data-path verbs touch only
+// memory the hypervisor mapped straight through: WQEs are written into the
+// device queues and the doorbell is rung via the guest-mapped MMIO BAR
+// (Appendix B.1) — no VM exit, no host software, which is the entire point
+// of the design (§3.1).
+#pragma once
+
+#include <unordered_map>
+
+#include "hyp/instance.h"
+#include "masq/backend.h"
+#include "masq/commands.h"
+#include "overlay/oob.h"
+#include "verbs/api.h"
+#include "virtio/virtqueue.h"
+
+namespace masq {
+
+class MasqContext : public verbs::Context {
+ public:
+  MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
+              virtio::ChannelCosts virtio_costs = {});
+
+  std::string name() const override { return "MasQ"; }
+  sim::EventLoop& loop() override { return session_.backend().loop(); }
+
+  mem::Addr alloc_buffer(std::uint64_t len) override {
+    return session_.vm().alloc_guest_buffer(len);
+  }
+  void write_buffer(mem::Addr addr,
+                    std::span<const std::uint8_t> in) override {
+    session_.vm().write_guest(addr, in);
+  }
+  void read_buffer(mem::Addr addr, std::span<std::uint8_t> out) override {
+    session_.vm().read_guest(addr, out);
+  }
+
+  sim::Task<rnic::Expected<rnic::PdId>> alloc_pd() override;
+  sim::Task<rnic::Expected<verbs::MrHandle>> reg_mr(
+      rnic::PdId pd, mem::Addr addr, std::uint64_t len,
+      std::uint32_t access) override;
+  sim::Task<rnic::Expected<rnic::Cqn>> create_cq(int cqe) override;
+  sim::Task<rnic::Expected<rnic::Qpn>> create_qp(
+      const rnic::QpInitAttr& attr) override;
+  sim::Task<rnic::Status> modify_qp(rnic::Qpn qpn, const rnic::QpAttr& attr,
+                                    std::uint32_t mask) override;
+  sim::Task<rnic::Expected<net::Gid>> query_gid() override;
+  sim::Task<rnic::Expected<rnic::QpAttr>> query_qp(rnic::Qpn qpn) override;
+  sim::Task<rnic::Status> destroy_qp(rnic::Qpn qpn) override;
+  sim::Task<rnic::Status> destroy_cq(rnic::Cqn cq) override;
+  sim::Task<rnic::Status> dereg_mr(const verbs::MrHandle& mr) override;
+  sim::Task<rnic::Status> dealloc_pd(rnic::PdId pd) override;
+
+  rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) override;
+  rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) override;
+  int poll_cq(rnic::Cqn cq, int max_entries,
+              rnic::Completion* out) override;
+  sim::Future<bool> cq_nonempty(rnic::Cqn cq) override;
+  sim::Future<bool> next_rx_event(rnic::Qpn qpn) override {
+    return session_.backend().device().next_rx_event(qpn);
+  }
+  sim::Time data_verb_call_time(verbs::DataVerb v) const override;
+
+  overlay::OobEndpoint& oob() override { return oob_; }
+  sim::Time scale_compute(sim::Time host_time) const override {
+    return session_.vm().compute(host_time);
+  }
+
+  Backend::Session& session() { return session_; }
+  virtio::Virtqueue<Command, Response>& virtqueue() { return vq_; }
+
+ private:
+  // Charges the user-space library share of a verb and records it.
+  sim::Task<void> lib_charge(const char* verb, sim::Time t);
+  // lib charge + virtqueue round trip + backend handling.
+  sim::Task<Response> call(const char* verb, sim::Time lib_time, Command cmd);
+
+  Backend::Session& session_;
+  overlay::OobEndpoint& oob_;
+  virtio::Virtqueue<Command, Response> vq_;
+  mem::Addr doorbell_gva_ = 0;  // device BAR mapped into the guest
+  std::unordered_map<rnic::Qpn, rnic::QpType> qp_types_;
+};
+
+}  // namespace masq

@@ -1,0 +1,65 @@
+// vBond (§3.3.1) — binds a VM's virtual Ethernet interface and virtual
+// RDMA interface into one virtual RoCE device.
+//
+// On initialization it reads the vEth's (immutable) MAC and current IP,
+// derives the virtual GID, and registers (VNI, vGID) -> physical GID with
+// the SDN controller. It then sits on the guest's inetaddr notification
+// chain: whenever the vEth IP changes, the GID and the controller mapping
+// are refreshed. Applications querying their GID get this virtual GID —
+// they never see underlay addresses.
+#pragma once
+
+#include "net/addr.h"
+#include "sdn/controller.h"
+
+namespace masq {
+
+class VBond {
+ public:
+  VBond(sdn::Controller& controller, std::uint32_t vni, net::MacAddr veth_mac,
+        net::Gid physical_gid)
+      : controller_(controller),
+        vni_(vni),
+        veth_mac_(veth_mac),
+        physical_gid_(physical_gid) {}
+
+  ~VBond() {
+    if (!vgid_.is_zero()) controller_.unregister_vgid(vni_, vgid_);
+  }
+
+  VBond(const VBond&) = delete;
+  VBond& operator=(const VBond&) = delete;
+
+  // Initial bind: the vEth already has a valid IP, so the GID can be
+  // initialized immediately and pushed to the controller.
+  void bind(net::Ipv4Addr veth_ip) { on_inetaddr_event(veth_ip); }
+
+  // The inetaddr notification-chain callback: refreshes the GID when the
+  // vEth address changes.
+  void on_inetaddr_event(net::Ipv4Addr new_ip) {
+    if (!vgid_.is_zero()) controller_.unregister_vgid(vni_, vgid_);
+    veth_ip_ = new_ip;
+    vgid_ = net::Gid::from_ipv4(new_ip);
+    controller_.register_vgid(vni_, vgid_, physical_gid_);
+  }
+
+  // Hands ownership of the (VNI, vGID) registration to a successor vBond
+  // (live migration: the VM's identity moves to another host's backend).
+  // After release() this instance no longer unregisters on destruction.
+  void release() { vgid_ = net::Gid{}; }
+
+  net::Gid vgid() const { return vgid_; }
+  net::Ipv4Addr veth_ip() const { return veth_ip_; }
+  net::MacAddr veth_mac() const { return veth_mac_; }
+  bool bound() const { return !vgid_.is_zero(); }
+
+ private:
+  sdn::Controller& controller_;
+  std::uint32_t vni_;
+  net::MacAddr veth_mac_;
+  net::Gid physical_gid_;
+  net::Ipv4Addr veth_ip_;
+  net::Gid vgid_;
+};
+
+}  // namespace masq

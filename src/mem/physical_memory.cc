@@ -1,0 +1,159 @@
+#include "mem/physical_memory.h"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace mem {
+
+void SparseBytes::read(Addr addr, std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Addr pos = addr + done;
+    const Addr chunk_idx = pos / kChunkBytes;
+    const Addr offset = pos % kChunkBytes;
+    const std::size_t n =
+        std::min<std::size_t>(out.size() - done, kChunkBytes - offset);
+    auto it = chunks_.find(chunk_idx);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + done, 0, n);
+    } else {
+      std::memcpy(out.data() + done, it->second.data() + offset, n);
+    }
+    done += n;
+  }
+}
+
+void SparseBytes::write(Addr addr, std::span<const std::uint8_t> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const Addr pos = addr + done;
+    const Addr chunk_idx = pos / kChunkBytes;
+    const Addr offset = pos % kChunkBytes;
+    const std::size_t n =
+        std::min<std::size_t>(in.size() - done, kChunkBytes - offset);
+    auto it = chunks_.find(chunk_idx);
+    if (it == chunks_.end()) {
+      it = chunks_.emplace(chunk_idx,
+                           std::vector<std::uint8_t>(kChunkBytes, 0)).first;
+    }
+    std::memcpy(it->second.data() + offset, in.data() + done, n);
+    done += n;
+  }
+}
+
+HostPhysMap::HostPhysMap(Addr dram_size) : dram_(page_ceil(dram_size)) {
+  if (dram_.size() > 0) {
+    free_list_[0] = page_number(dram_.size());
+  }
+  next_mmio_base_ = page_ceil(dram_.size()) + (Addr{1} << 40);  // above DRAM
+}
+
+Addr HostPhysMap::alloc_pages(Addr n_pages) {
+  if (n_pages == 0) throw std::invalid_argument("alloc_pages: n_pages == 0");
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= n_pages) {
+      const Addr start_page = it->first;
+      const Addr remaining = it->second - n_pages;
+      free_list_.erase(it);
+      if (remaining > 0) {
+        free_list_[start_page + n_pages] = remaining;
+      }
+      allocated_pages_ += n_pages;
+      return start_page * kPageSize;
+    }
+  }
+  throw std::bad_alloc();
+}
+
+void HostPhysMap::free_pages(Addr hpa, Addr n_pages) {
+  if (n_pages == 0) return;
+  if ((hpa & kPageMask) != 0) {
+    throw std::invalid_argument("free_pages: unaligned address");
+  }
+  const Addr start = page_number(hpa);
+  auto [it, inserted] = free_list_.emplace(start, n_pages);
+  if (!inserted) throw std::logic_error("free_pages: double free");
+  allocated_pages_ -= n_pages;
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_list_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_list_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_list_.erase(it);
+    }
+  }
+}
+
+Addr HostPhysMap::register_mmio(Addr size, MmioDevice* device) {
+  const Addr base = next_mmio_base_;
+  next_mmio_base_ += page_ceil(size);
+  mmio_.push_back(MmioRange{base, page_ceil(size), device});
+  return base;
+}
+
+const HostPhysMap::MmioRange* HostPhysMap::find_mmio(Addr hpa) const {
+  for (const auto& r : mmio_) {
+    if (hpa >= r.base && hpa < r.base + r.size) return &r;
+  }
+  return nullptr;
+}
+
+bool HostPhysMap::is_mmio(Addr hpa) const { return find_mmio(hpa) != nullptr; }
+
+void HostPhysMap::read(Addr hpa, std::span<std::uint8_t> out) const {
+  if (out.empty()) return;
+  if (hpa + out.size() <= dram_.size()) {
+    dram_.read(hpa, out);
+    return;
+  }
+  if (const MmioRange* r = find_mmio(hpa)) {
+    if (out.size() != 8 || ((hpa - r->base) & 7) != 0) {
+      throw std::invalid_argument("MMIO read must be one aligned u64");
+    }
+    const std::uint64_t v = r->device->mmio_read(hpa - r->base);
+    std::memcpy(out.data(), &v, 8);
+    return;
+  }
+  throw std::out_of_range("HostPhysMap::read: bad physical address");
+}
+
+void HostPhysMap::write(Addr hpa, std::span<const std::uint8_t> in) {
+  if (in.empty()) return;
+  if (hpa + in.size() <= dram_.size()) {
+    dram_.write(hpa, in);
+    return;
+  }
+  if (const MmioRange* r = find_mmio(hpa)) {
+    if (in.size() != 8 || ((hpa - r->base) & 7) != 0) {
+      throw std::invalid_argument("MMIO write must be one aligned u64");
+    }
+    std::uint64_t v;
+    std::memcpy(&v, in.data(), 8);
+    r->device->mmio_write(hpa - r->base, v);
+    return;
+  }
+  throw std::out_of_range("HostPhysMap::write: bad physical address");
+}
+
+std::uint64_t HostPhysMap::read_u64(Addr hpa) const {
+  std::uint8_t buf[8];
+  read(hpa, buf);
+  std::uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+void HostPhysMap::write_u64(Addr hpa, std::uint64_t value) {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &value, 8);
+  write(hpa, buf);
+}
+
+}  // namespace mem

@@ -1,0 +1,58 @@
+#include "mem/region_allocator.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace mem {
+
+RegionAllocator::RegionAllocator(Addr base, Addr size)
+    : base_(base), size_(size) {
+  if ((base & kPageMask) != 0 || (size & kPageMask) != 0) {
+    throw std::invalid_argument("RegionAllocator: unaligned base/size");
+  }
+  if (size > 0) free_list_[base] = size;
+}
+
+Addr RegionAllocator::alloc(Addr len) {
+  if (len == 0) throw std::invalid_argument("RegionAllocator::alloc: len==0");
+  len = page_ceil(len);
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= len) {
+      const Addr start = it->first;
+      const Addr remaining = it->second - len;
+      free_list_.erase(it);
+      if (remaining > 0) free_list_[start + len] = remaining;
+      allocated_ += len;
+      return start;
+    }
+  }
+  throw std::bad_alloc();
+}
+
+void RegionAllocator::free(Addr addr, Addr len) {
+  if (len == 0) return;
+  len = page_ceil(len);
+  if ((addr & kPageMask) != 0) {
+    throw std::invalid_argument("RegionAllocator::free: unaligned address");
+  }
+  if (addr < base_ || addr + len > base_ + size_) {
+    throw std::out_of_range("RegionAllocator::free: range outside region");
+  }
+  auto [it, inserted] = free_list_.emplace(addr, len);
+  if (!inserted) throw std::logic_error("RegionAllocator::free: double free");
+  allocated_ -= len;
+  auto next = std::next(it);
+  if (next != free_list_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_list_.erase(next);
+  }
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_list_.erase(it);
+    }
+  }
+}
+
+}  // namespace mem

@@ -1,0 +1,116 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace net {
+
+MacAddr MacAddr::from_u64(std::uint64_t v) {
+  MacAddr m;
+  for (int i = 5; i >= 0; --i) {
+    m.bytes[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return m;
+}
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                               std::uint8_t d) {
+  return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                  (std::uint32_t{c} << 8) | d};
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(const std::string& s) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) {
+    return std::nullopt;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Cidr> Ipv4Cidr::parse(const std::string& s) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos) {
+    auto a = Ipv4Addr::parse(s);
+    if (!a) return std::nullopt;
+    return Ipv4Cidr{*a, 32};
+  }
+  auto a = Ipv4Addr::parse(s.substr(0, slash));
+  if (!a) return std::nullopt;
+  int prefix = -1;
+  try {
+    prefix = std::stoi(s.substr(slash + 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (prefix < 0 || prefix > 32) return std::nullopt;
+  return Ipv4Cidr{*a, static_cast<std::uint8_t>(prefix)};
+}
+
+bool Ipv4Cidr::contains(Ipv4Addr a) const {
+  if (prefix_len == 0) return true;
+  const std::uint32_t mask = prefix_len >= 32
+                                 ? 0xffffffffu
+                                 : ~((1u << (32 - prefix_len)) - 1);
+  return (a.value & mask) == (base.value & mask);
+}
+
+std::string Ipv4Cidr::str() const {
+  return base.str() + "/" + std::to_string(prefix_len);
+}
+
+bool Gid::is_zero() const {
+  for (auto b : bytes) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+Gid Gid::from_ipv4(Ipv4Addr a) {
+  Gid g;
+  g.bytes[10] = 0xff;
+  g.bytes[11] = 0xff;
+  g.bytes[12] = static_cast<std::uint8_t>((a.value >> 24) & 0xff);
+  g.bytes[13] = static_cast<std::uint8_t>((a.value >> 16) & 0xff);
+  g.bytes[14] = static_cast<std::uint8_t>((a.value >> 8) & 0xff);
+  g.bytes[15] = static_cast<std::uint8_t>(a.value & 0xff);
+  return g;
+}
+
+std::optional<Ipv4Addr> Gid::to_ipv4() const {
+  for (int i = 0; i < 10; ++i) {
+    if (bytes[i] != 0) return std::nullopt;
+  }
+  if (bytes[10] != 0xff || bytes[11] != 0xff) return std::nullopt;
+  return Ipv4Addr::from_octets(bytes[12], bytes[13], bytes[14], bytes[15]);
+}
+
+std::string Gid::str() const {
+  auto v4 = to_ipv4();
+  if (v4) return "::ffff:" + v4->str();
+  char buf[40];
+  char* p = buf;
+  for (int i = 0; i < 16; i += 2) {
+    p += std::snprintf(p, 6, "%02x%02x%s", bytes[i], bytes[i + 1],
+                       i == 14 ? "" : ":");
+  }
+  return buf;
+}
+
+}  // namespace net

@@ -1,0 +1,92 @@
+// Network address types: MAC, IPv4 (+CIDR), and 128-bit RoCE GIDs.
+//
+// RoCEv2 GIDs are IPv4-mapped IPv6 addresses (::ffff:a.b.c.d). MasQ's whole
+// trick is the distinction between *virtual* GIDs (derived from a tenant's
+// vEth IP) and *physical* GIDs (the RNIC's underlay IP) — both are the same
+// type here; which one a field holds is part of each API's contract.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace net {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  auto operator<=>(const MacAddr&) const = default;
+
+  static MacAddr from_u64(std::uint64_t v);
+  std::string str() const;  // "02:00:00:00:00:2a"
+};
+
+struct Ipv4Addr {
+  std::uint32_t value = 0;  // host byte order
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  static Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                              std::uint8_t d);
+  // Parses "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(const std::string& s);
+  std::string str() const;
+};
+
+// "192.168.1.0/24"-style prefix match.
+struct Ipv4Cidr {
+  Ipv4Addr base;
+  std::uint8_t prefix_len = 32;
+
+  auto operator<=>(const Ipv4Cidr&) const = default;
+
+  static std::optional<Ipv4Cidr> parse(const std::string& s);
+  bool contains(Ipv4Addr a) const;
+  std::string str() const;
+
+  static Ipv4Cidr any() { return Ipv4Cidr{Ipv4Addr{0}, 0}; }
+  static Ipv4Cidr host(Ipv4Addr a) { return Ipv4Cidr{a, 32}; }
+};
+
+struct Gid {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Gid&) const = default;
+
+  bool is_zero() const;
+  // RoCEv2 IPv4-mapped GID: ::ffff:a.b.c.d
+  static Gid from_ipv4(Ipv4Addr a);
+  // Extracts the IPv4 if this is an IPv4-mapped GID.
+  std::optional<Ipv4Addr> to_ipv4() const;
+  std::string str() const;
+};
+
+}  // namespace net
+
+template <>
+struct std::hash<net::Ipv4Addr> {
+  std::size_t operator()(const net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<net::MacAddr> {
+  std::size_t operator()(const net::MacAddr& m) const noexcept {
+    std::uint64_t v = 0;
+    for (auto b : m.bytes) v = (v << 8) | b;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+
+template <>
+struct std::hash<net::Gid> {
+  std::size_t operator()(const net::Gid& g) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (auto b : g.bytes) h = (h ^ b) * 1099511628211ull;
+    return h;
+  }
+};

@@ -1,0 +1,80 @@
+#include "net/dcqcn.h"
+
+#include <algorithm>
+
+namespace net {
+
+void DcqcnController::manage(FlowId flow, double line_rate_gbps) {
+  Rp rp;
+  rp.rc = line_rate_gbps;
+  rp.rt = line_rate_gbps;
+  rp.line_rate = line_rate_gbps;
+  rp_[flow] = rp;
+  net_.set_flow_cap(flow, rp.rc);
+  // Deterministic per-flow phase offset de-synchronizes RP timers.
+  const sim::Time phase = static_cast<sim::Time>(
+      (flow * 7919) % static_cast<std::uint64_t>(params_.tick));
+  loop_.schedule_after(params_.tick + phase, [this, flow] { tick(flow); });
+}
+
+void DcqcnController::unmanage(FlowId flow) { rp_.erase(flow); }
+
+double DcqcnController::current_rate_gbps(FlowId flow) const {
+  auto it = rp_.find(flow);
+  return it == rp_.end() ? 0.0 : it->second.rc;
+}
+
+double DcqcnController::mark_probability(FlowId flow) const {
+  const std::vector<LinkId>* path = net_.flow_path(flow);
+  if (path == nullptr) return 0.0;
+  const double my_rate = net_.current_rate_gbps(flow);
+  double p = 0.0;
+  for (LinkId l : *path) {
+    const double load = net_.link_load_gbps(l);
+    const double cap = net_.link_capacity_gbps(l);
+    const double util = load / cap;
+    if (util <= params_.ecn_util_threshold) continue;
+    // RED-style ramp from Kmin to full capacity...
+    const double ramp = 0.5 + 0.5 * std::min(1.0,
+        (util - params_.ecn_util_threshold) /
+            (1.0 - params_.ecn_util_threshold));
+    // ...weighted by this flow's share of the link's packets.
+    const double share = load > 0 ? my_rate / load : 0.0;
+    p = std::max(p, std::min(1.0, ramp * share * 2.0));
+  }
+  return p;
+}
+
+void DcqcnController::tick(FlowId flow) {
+  auto it = rp_.find(flow);
+  if (it == rp_.end()) return;  // unmanaged since
+  if (net_.flow_path(flow) == nullptr) {
+    rp_.erase(it);  // flow finished
+    return;
+  }
+  Rp& rp = it->second;
+  if (rng_.next_bool(mark_probability(flow))) {
+    // CNP received: remember the target, cut multiplicatively, bump alpha.
+    ++marks_;
+    rp.rt = rp.rc;
+    rp.rc = std::max(params_.min_rate_gbps, rp.rc * (1.0 - rp.alpha / 2.0));
+    rp.alpha = (1.0 - params_.g) * rp.alpha + params_.g;
+    rp.recovery_round = 0;
+  } else {
+    // Quiet period: decay alpha; fast-recover toward rt, then increase.
+    rp.alpha = (1.0 - params_.g) * rp.alpha;
+    if (rp.recovery_round < params_.fast_recovery_rounds) {
+      rp.rc = (rp.rc + rp.rt) / 2.0;
+      ++rp.recovery_round;
+    } else {
+      rp.rt += params_.rai_gbps;
+      rp.rc = (rp.rc + rp.rt) / 2.0;
+    }
+    rp.rc = std::min(rp.rc, rp.line_rate);
+    rp.rt = std::min(rp.rt, rp.line_rate);
+  }
+  net_.set_flow_cap(flow, rp.rc);
+  loop_.schedule_after(params_.tick, [this, flow] { tick(flow); });
+}
+
+}  // namespace net

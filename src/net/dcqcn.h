@@ -1,0 +1,76 @@
+// DCQCN-lite congestion control (§5 discussion).
+//
+// RoCEv2 deployments pair PFC with an end-to-end congestion-control
+// algorithm; the paper points at DCQCN (Zhu et al., SIGCOMM '15) and notes
+// MasQ is orthogonal to the choice. This controller reproduces DCQCN's
+// rate-evolution skeleton over the fluid model: an ECN-like marking engine
+// watches link utilization, reaction points cut their sending rate
+// multiplicatively on congestion (alpha-weighted, like the RP state
+// machine) and recover through fast-recovery then additive increase.
+//
+// Managed flows converge to the fair share with realistic dynamics instead
+// of the fluid model's instantaneous ideal; the ablation bench shows the
+// convergence timeline, and the invariants (fairness, near-full
+// utilization, stability) are property-tested.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/fluid.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace net {
+
+struct DcqcnParams {
+  sim::Time tick = sim::microseconds(55);  // RP timer
+  double g = 0.0625;                // alpha EWMA gain (DCQCN default 1/16)
+  double rai_gbps = 0.5;            // additive-increase step
+  double ecn_util_threshold = 0.90; // marking ramp starts here (Kmin)
+  double min_rate_gbps = 0.05;
+  int fast_recovery_rounds = 3;     // rounds of (rc+rt)/2 before AI
+  std::uint64_t seed = 0x0dcc;      // marking is probabilistic (RED-like)
+};
+
+class DcqcnController {
+ public:
+  DcqcnController(sim::EventLoop& loop, FluidNet& net, DcqcnParams params = {})
+      : loop_(loop), net_(net), params_(params), rng_(params.seed) {}
+
+  // Starts managing `flow`: its rate cap now evolves per DCQCN instead of
+  // being ideal. `line_rate_gbps` is the starting (unthrottled) rate.
+  void manage(FlowId flow, double line_rate_gbps);
+  // Stops managing (e.g. the flow completed or was cancelled).
+  void unmanage(FlowId flow);
+
+  bool managing(FlowId flow) const { return rp_.count(flow) != 0; }
+  double current_rate_gbps(FlowId flow) const;
+  std::uint64_t marks_delivered() const { return marks_; }
+
+ private:
+  // Reaction-point state, one per managed flow (DCQCN's RP).
+  struct Rp {
+    double rc;      // current rate (Gbps)
+    double rt;      // target rate (Gbps)
+    double alpha = 1.0;
+    int recovery_round = 0;
+    double line_rate;
+  };
+
+  void tick(FlowId flow);
+  // Probability this flow receives a CNP this tick: an ECN ramp on its
+  // most loaded link, weighted by the flow's share of that load (flows
+  // sending more packets get proportionally more marks — what breaks the
+  // synchronized-cut unfairness of deterministic marking).
+  double mark_probability(FlowId flow) const;
+
+  sim::EventLoop& loop_;
+  FluidNet& net_;
+  DcqcnParams params_;
+  std::unordered_map<FlowId, Rp> rp_;
+  sim::Rng rng_;
+  std::uint64_t marks_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,113 @@
+// Fluid (max-min fair) flow-level bandwidth model.
+//
+// Long-lived transfers are modeled as fluid flows over a set of links. On
+// every topology event (flow start/finish/cancel, rate-cap change) rates are
+// re-assigned by progressive filling: repeatedly saturate the most
+// constrained resource — either a link shared by its remaining flows or an
+// individual flow's rate cap — and fix the affected flows. This yields the
+// classic max-min fair allocation with per-flow caps, which is what a
+// lossless RoCEv2 fabric with hardware rate limiters converges to.
+//
+// Finite flows complete after `bytes / rate` of serialization plus the
+// path's propagation delay; unbounded flows (bytes == 0) run until
+// cancelled and are sampled by the QoS/timeline benches via current_rate().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace net {
+
+using LinkId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+// 1 Gbps expressed in bytes per nanosecond.
+inline constexpr double gbps_to_bytes_per_ns(double gbps) {
+  return gbps / 8.0;  // 1 Gb/s = 1e9 b/s = 0.125e9 B/s = 0.125 B/ns
+}
+inline constexpr double bytes_per_ns_to_gbps(double bpn) { return bpn * 8.0; }
+
+class FluidNet {
+ public:
+  explicit FluidNet(sim::EventLoop& loop) : loop_(loop) {}
+
+  // Adds a unidirectional link of `gbps` capacity and `prop_delay` latency.
+  LinkId add_link(double gbps, sim::Time prop_delay);
+
+  double link_capacity_gbps(LinkId id) const;
+
+  // Reprograms a link's capacity (models a hardware rate limiter exposed as
+  // a virtual link; 0 blocks all flows through it).
+  void set_link_capacity(LinkId id, double gbps);
+
+  // Starts a flow over `path` (links traversed in order).
+  //  bytes     > 0: finite transfer; on_complete fires once after the last
+  //                 byte serializes and propagates down the path.
+  //  bytes    == 0: unbounded flow; never completes; cancel explicitly.
+  //  cap_gbps     : per-flow rate limiter (kUncapped for none).
+  FlowId start_flow(std::vector<LinkId> path, std::uint64_t bytes,
+                    double cap_gbps, std::function<void()> on_complete);
+
+  // Changes a flow's rate cap (hardware rate-limiter reprogramming).
+  void set_flow_cap(FlowId id, double cap_gbps);
+
+  // Removes a flow without firing its completion callback.
+  void cancel_flow(FlowId id);
+
+  bool has_flow(FlowId id) const { return flows_.count(id) != 0; }
+
+  // Instantaneous allocated rate, in Gbps.
+  double current_rate_gbps(FlowId id) const;
+  // Bytes fully serialized so far (settled up to now()).
+  std::uint64_t bytes_sent(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  // Total propagation delay along a path (used for one-way latency math).
+  sim::Time path_propagation(const std::vector<LinkId>& path) const;
+
+  // Instantaneous offered load on a link (sum of crossing flows' rates),
+  // in Gbps — what an ECN marking engine watches.
+  double link_load_gbps(LinkId id) const;
+  // The links a flow traverses (nullptr if the flow is gone).
+  const std::vector<LinkId>* flow_path(FlowId id) const;
+
+ private:
+  struct Link {
+    double capacity;  // bytes/ns
+    sim::Time prop_delay;
+  };
+  struct Flow {
+    std::vector<LinkId> path;
+    std::uint64_t bytes_total;      // 0 = unbounded
+    double bytes_remaining;         // meaningful when bytes_total > 0
+    double bytes_done = 0;
+    double cap;                     // bytes/ns
+    double rate = 0;                // bytes/ns, assigned by reallocate()
+    std::function<void()> on_complete;
+  };
+
+  // Advances every finite flow's remaining-byte count to now().
+  void settle();
+  // Recomputes the max-min allocation and re-arms the completion timer.
+  void reallocate();
+  void arm_completion_timer();
+  void fire_completions();
+
+  sim::EventLoop& loop_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  sim::Time last_settle_ = 0;
+  std::uint64_t timer_generation_ = 0;
+};
+
+}  // namespace net

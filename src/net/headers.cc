@@ -1,0 +1,170 @@
+#include "net/headers.h"
+
+#include <stdexcept>
+
+namespace net {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void need(std::span<const std::uint8_t> in, std::size_t pos, std::size_t n) {
+  if (pos + n > in.size()) throw std::out_of_range("header parse: truncated");
+}
+std::uint8_t get_u8(std::span<const std::uint8_t> in, std::size_t& pos) {
+  need(in, pos, 1);
+  return in[pos++];
+}
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t& pos) {
+  need(in, pos, 2);
+  std::uint16_t v = static_cast<std::uint16_t>(in[pos] << 8) | in[pos + 1];
+  pos += 2;
+  return v;
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t& pos) {
+  need(in, pos, 4);
+  std::uint32_t v = (std::uint32_t{in[pos]} << 24) |
+                    (std::uint32_t{in[pos + 1]} << 16) |
+                    (std::uint32_t{in[pos + 2]} << 8) | in[pos + 3];
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+void EthHeader::serialize(std::vector<std::uint8_t>& out) const {
+  for (auto b : dst.bytes) put_u8(out, b);
+  for (auto b : src.bytes) put_u8(out, b);
+  put_u16(out, ether_type);
+}
+
+EthHeader EthHeader::parse(std::span<const std::uint8_t> in,
+                           std::size_t& pos) {
+  EthHeader h;
+  need(in, pos, kEthHeaderBytes);
+  for (auto& b : h.dst.bytes) b = in[pos++];
+  for (auto& b : h.src.bytes) b = in[pos++];
+  h.ether_type = get_u16(in, pos);
+  return h;
+}
+
+void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  put_u8(out, 0x45);  // version 4, IHL 5
+  put_u8(out, static_cast<std::uint8_t>(dscp << 2));
+  put_u16(out, total_length);
+  put_u16(out, 0);       // identification
+  put_u16(out, 0x4000);  // DF
+  put_u8(out, ttl);
+  put_u8(out, protocol);
+  put_u16(out, 0);  // checksum (not modeled)
+  put_u32(out, src.value);
+  put_u32(out, dst.value);
+}
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> in,
+                             std::size_t& pos) {
+  Ipv4Header h;
+  const std::uint8_t ver_ihl = get_u8(in, pos);
+  if (ver_ihl != 0x45) throw std::invalid_argument("ipv4: bad version/ihl");
+  h.dscp = static_cast<std::uint8_t>(get_u8(in, pos) >> 2);
+  h.total_length = get_u16(in, pos);
+  (void)get_u16(in, pos);
+  (void)get_u16(in, pos);
+  h.ttl = get_u8(in, pos);
+  h.protocol = get_u8(in, pos);
+  (void)get_u16(in, pos);
+  h.src.value = get_u32(in, pos);
+  h.dst.value = get_u32(in, pos);
+  return h;
+}
+
+void UdpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u16(out, length);
+  put_u16(out, 0);  // checksum
+}
+
+UdpHeader UdpHeader::parse(std::span<const std::uint8_t> in,
+                           std::size_t& pos) {
+  UdpHeader h;
+  h.src_port = get_u16(in, pos);
+  h.dst_port = get_u16(in, pos);
+  h.length = get_u16(in, pos);
+  (void)get_u16(in, pos);
+  return h;
+}
+
+void Bth::serialize(std::vector<std::uint8_t>& out) const {
+  put_u8(out, static_cast<std::uint8_t>(opcode));
+  put_u8(out, 0);  // SE/M/Pad/TVer
+  put_u16(out, pkey);
+  put_u32(out, dest_qpn & 0xffffff);
+  put_u32(out, (psn & 0xffffff) | (ack_req ? 0x80000000u : 0));
+}
+
+Bth Bth::parse(std::span<const std::uint8_t> in, std::size_t& pos) {
+  Bth h;
+  h.opcode = static_cast<BthOpcode>(get_u8(in, pos));
+  (void)get_u8(in, pos);
+  h.pkey = get_u16(in, pos);
+  h.dest_qpn = get_u32(in, pos) & 0xffffff;
+  const std::uint32_t w = get_u32(in, pos);
+  h.psn = w & 0xffffff;
+  h.ack_req = (w & 0x80000000u) != 0;
+  return h;
+}
+
+void VxlanHeader::serialize(std::vector<std::uint8_t>& out) const {
+  put_u32(out, 0x08000000);  // flags: VNI valid
+  put_u32(out, (vni & 0xffffff) << 8);
+}
+
+VxlanHeader VxlanHeader::parse(std::span<const std::uint8_t> in,
+                               std::size_t& pos) {
+  const std::uint32_t flags = get_u32(in, pos);
+  if ((flags & 0x08000000) == 0) {
+    throw std::invalid_argument("vxlan: VNI-valid flag missing");
+  }
+  VxlanHeader h;
+  h.vni = (get_u32(in, pos) >> 8) & 0xffffff;
+  return h;
+}
+
+std::size_t RoceFrame::wire_bytes() const {
+  std::size_t n = kRoceV2OverheadBytes + payload_bytes;
+  if (vxlan) n += kVxlanOverheadBytes;
+  return n;
+}
+
+std::vector<std::uint8_t> RoceFrame::serialize_headers() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(96);
+  if (vxlan) {
+    outer_eth.serialize(out);
+    outer_ip.serialize(out);
+    UdpHeader outer_udp;
+    outer_udp.dst_port = kVxlanUdpPort;
+    outer_udp.serialize(out);
+    vxlan_hdr.serialize(out);
+  }
+  eth.serialize(out);
+  ip.serialize(out);
+  udp.serialize(out);
+  bth.serialize(out);
+  return out;
+}
+
+}  // namespace net

@@ -1,0 +1,119 @@
+// Wire-format headers for the simulated RoCEv2 fabric.
+//
+// A native RoCEv2 frame is Eth / IPv4 / UDP(dport 4791) / BTH / payload /
+// ICRC. Hardware VXLAN offload (the SR-IOV baseline) wraps that in an outer
+// Eth / IPv4 / UDP / VXLAN — 50 extra bytes per packet. MasQ's RConnrename
+// needs no encapsulation at all: frames leave the RNIC already carrying
+// physical addresses, which is why its goodput equals bare metal's.
+//
+// Headers serialize to and parse from real byte buffers; tests round-trip
+// them, and isolation tests inspect the bytes a flow actually carried.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/addr.h"
+
+namespace net {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint16_t kRoceV2UdpPort = 4791;
+inline constexpr std::uint16_t kVxlanUdpPort = 4789;
+
+inline constexpr std::size_t kEthHeaderBytes = 14;
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kBthBytes = 12;
+inline constexpr std::size_t kVxlanHeaderBytes = 8;
+inline constexpr std::size_t kIcrcBytes = 4;
+
+// Per-packet overhead of a native RoCEv2 frame (no payload).
+inline constexpr std::size_t kRoceV2OverheadBytes =
+    kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + kBthBytes +
+    kIcrcBytes;
+// Extra bytes added by a VXLAN tunnel (outer Eth/IP/UDP + VXLAN).
+inline constexpr std::size_t kVxlanOverheadBytes =
+    kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + kVxlanHeaderBytes;
+
+struct EthHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static EthHeader parse(std::span<const std::uint8_t> in, std::size_t& pos);
+};
+
+struct Ipv4Header {
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint8_t dscp = 0;  // RoCEv2 traffic class (lossless priority)
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t total_length = 0;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static Ipv4Header parse(std::span<const std::uint8_t> in, std::size_t& pos);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = kRoceV2UdpPort;
+  std::uint16_t length = 0;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static UdpHeader parse(std::span<const std::uint8_t> in, std::size_t& pos);
+};
+
+// IB Base Transport Header opcodes (RC subset we model).
+enum class BthOpcode : std::uint8_t {
+  kRcSendOnly = 0x04,
+  kRcWriteOnly = 0x0a,
+  kRcReadRequest = 0x0c,
+  kRcReadResponse = 0x10,
+  kRcAck = 0x11,
+  kUdSendOnly = 0x64,
+};
+
+struct Bth {
+  BthOpcode opcode = BthOpcode::kRcSendOnly;
+  std::uint16_t pkey = 0xffff;
+  std::uint32_t dest_qpn = 0;  // 24 bits on the wire
+  std::uint32_t psn = 0;       // 24 bits on the wire
+  bool ack_req = false;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static Bth parse(std::span<const std::uint8_t> in, std::size_t& pos);
+};
+
+struct VxlanHeader {
+  std::uint32_t vni = 0;  // 24 bits
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static VxlanHeader parse(std::span<const std::uint8_t> in, std::size_t& pos);
+};
+
+// A fully described RoCEv2 frame (optionally VXLAN-encapsulated). This is
+// the unit the RNIC hands to the fabric; the fluid model charges its wire
+// size, and tests assert on the addresses it actually carries.
+struct RoceFrame {
+  EthHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  Bth bth;
+  std::uint32_t payload_bytes = 0;
+
+  bool vxlan = false;  // SR-IOV offload path
+  VxlanHeader vxlan_hdr;
+  EthHeader outer_eth;
+  Ipv4Header outer_ip;
+
+  std::size_t wire_bytes() const;
+  // Serializes headers (payload is represented by length only).
+  std::vector<std::uint8_t> serialize_headers() const;
+};
+
+}  // namespace net

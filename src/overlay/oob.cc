@@ -1,0 +1,87 @@
+#include "overlay/oob.h"
+
+namespace overlay {
+
+sim::Task<rnic::Status> OobEndpoint::send(net::Ipv4Addr dst,
+                                          std::uint16_t port, Blob data) {
+  return net_.route(vni_, vip_, dst, port, std::move(data));
+}
+
+sim::Task<Blob> OobEndpoint::recv(std::uint16_t port) {
+  auto& box = mailbox_[port];
+  if (!box.empty()) {
+    Blob b = std::move(box.front());
+    box.pop_front();
+    co_return b;
+  }
+  sim::Promise<Blob> p(net_.loop());
+  auto f = p.get_future();
+  waiters_[port].push_back(std::move(p));
+  co_return co_await f;
+}
+
+void OobEndpoint::enqueue(std::uint16_t port, Blob data) {
+  auto wit = waiters_.find(port);
+  if (wit != waiters_.end() && !wit->second.empty()) {
+    auto p = std::move(wit->second.front());
+    wit->second.pop_front();
+    p.set_value(std::move(data));
+    return;
+  }
+  mailbox_[port].push_back(std::move(data));
+}
+
+SecurityPolicy& VirtualNetwork::policy(std::uint32_t vni) {
+  auto it = policies_.find(vni);
+  if (it == policies_.end()) {
+    it = policies_.emplace(vni, std::make_unique<SecurityPolicy>(vni)).first;
+  }
+  return *it->second;
+}
+
+OobEndpoint* VirtualNetwork::create_endpoint(std::uint32_t vni,
+                                             net::Ipv4Addr vip) {
+  auto ep = std::make_unique<OobEndpoint>(*this, vni, vip);
+  OobEndpoint* raw = ep.get();
+  auto [it, inserted] = endpoints_.emplace(EpKey{vni, vip}, std::move(ep));
+  if (!inserted) {
+    throw std::logic_error("duplicate overlay endpoint " + vip.str() +
+                           " in vni " + std::to_string(vni));
+  }
+  // Materialize the VM's security-group chains (default deny).
+  SecurityPolicy& pol = policy(vni);
+  pol.security_group(vip, Chain::kInput);
+  pol.security_group(vip, Chain::kOutput);
+  return raw;
+}
+
+void VirtualNetwork::destroy_endpoint(OobEndpoint* ep) {
+  if (ep == nullptr) return;
+  endpoints_.erase(EpKey{ep->vni(), ep->vip()});
+}
+
+sim::Task<rnic::Status> VirtualNetwork::route(std::uint32_t vni,
+                                              net::Ipv4Addr src,
+                                              net::Ipv4Addr dst,
+                                              std::uint16_t port, Blob data) {
+  auto it = endpoints_.find(EpKey{vni, dst});
+  if (it == endpoints_.end()) {
+    co_await sim::delay(loop_, oneway_ * 4);
+    co_return rnic::Status::kNotFound;
+  }
+  // Security enforcement happens in the vSwitch before encapsulation.
+  const FlowTuple tuple{src, dst, Proto::kTcp};
+  if (!policy(vni).connection_allowed(tuple)) {
+    ++blocked_;
+    // The SYN is silently dropped; the caller sees a (shortened) connect
+    // timeout rather than an instant refusal.
+    co_await sim::delay(loop_, oneway_ * 4);
+    co_return rnic::Status::kPermissionDenied;
+  }
+  co_await sim::delay(loop_, oneway_);
+  ++delivered_;
+  it->second->enqueue(port, std::move(data));
+  co_return rnic::Status::kOk;
+}
+
+}  // namespace overlay

@@ -1,0 +1,127 @@
+// Virtual TCP/IP overlay: vSwitch + VXLAN, reduced to the service RDMA
+// applications actually consume — an out-of-band (OOB) message channel for
+// exchanging connection information (QPN, GID, rkeys; Fig. 1 step 3 /
+// Fig. 4 step (3)).
+//
+// Messages travel vEth -> vSwitch -> VXLAN tunnel -> peer, so they are
+// subject to the tenant's security policy: the source VM's OUTPUT group,
+// the firewall FORWARD chain and the destination VM's INPUT group all get
+// a say. This is load-bearing for MasQ's security story — an RDMA
+// connection cannot be established if the exchange itself is blocked
+// (§3.3.2 subproblems 1 and 2).
+//
+// Tenants are isolated by construction: endpoints live inside a VNI and
+// can only name peers within it, even when virtual IPs collide across
+// tenants.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "net/addr.h"
+#include "overlay/security.h"
+#include "rnic/types.h"  // rnic::Status / Expected
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace overlay {
+
+using Blob = std::vector<std::uint8_t>;
+
+// Packs/unpacks trivially copyable structs for the OOB channel.
+template <typename T>
+Blob pack(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Blob b(sizeof(T));
+  std::memcpy(b.data(), &value, sizeof(T));
+  return b;
+}
+
+template <typename T>
+T unpack(const Blob& b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (b.size() != sizeof(T)) {
+    throw std::invalid_argument("oob unpack: size mismatch");
+  }
+  T v;
+  std::memcpy(&v, b.data(), sizeof(T));
+  return v;
+}
+
+class VirtualNetwork;
+
+// One VM's vEth as seen by applications: send/recv datagram-style blobs to
+// peers in the same tenant network, demultiplexed by port.
+class OobEndpoint {
+ public:
+  OobEndpoint(VirtualNetwork& net, std::uint32_t vni, net::Ipv4Addr vip)
+      : net_(net), vni_(vni), vip_(vip) {}
+
+  std::uint32_t vni() const { return vni_; }
+  net::Ipv4Addr vip() const { return vip_; }
+
+  // Sends `data` to (dst, port). kPermissionDenied if a security rule
+  // blocks the flow; kNotFound if no such peer exists in this tenant.
+  sim::Task<rnic::Status> send(net::Ipv4Addr dst, std::uint16_t port,
+                               Blob data);
+
+  // Waits for the next message on `port`.
+  sim::Task<Blob> recv(std::uint16_t port);
+
+ private:
+  friend class VirtualNetwork;
+  void enqueue(std::uint16_t port, Blob data);
+
+  VirtualNetwork& net_;
+  std::uint32_t vni_;
+  net::Ipv4Addr vip_;
+  std::map<std::uint16_t, std::deque<Blob>> mailbox_;
+  std::map<std::uint16_t, std::deque<sim::Promise<Blob>>> waiters_;
+};
+
+class VirtualNetwork {
+ public:
+  explicit VirtualNetwork(sim::EventLoop& loop,
+                          sim::Time oneway_latency = sim::microseconds(25))
+      : loop_(loop), oneway_(oneway_latency) {}
+
+  sim::EventLoop& loop() { return loop_; }
+
+  // Tenant policy handle (created on first use; default deny).
+  SecurityPolicy& policy(std::uint32_t vni);
+
+  // Plugs a VM's vEth into the tenant network. Creates the VM's security
+  // group chains (default deny until rules are installed).
+  OobEndpoint* create_endpoint(std::uint32_t vni, net::Ipv4Addr vip);
+  void destroy_endpoint(OobEndpoint* ep);
+
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t messages_blocked() const { return blocked_; }
+
+ private:
+  friend class OobEndpoint;
+  sim::Task<rnic::Status> route(std::uint32_t vni, net::Ipv4Addr src,
+                                net::Ipv4Addr dst, std::uint16_t port,
+                                Blob data);
+
+  struct EpKey {
+    std::uint32_t vni;
+    net::Ipv4Addr vip;
+    auto operator<=>(const EpKey&) const = default;
+  };
+
+  sim::EventLoop& loop_;
+  sim::Time oneway_;
+  std::map<std::uint32_t, std::unique_ptr<SecurityPolicy>> policies_;
+  std::map<EpKey, std::unique_ptr<OobEndpoint>> endpoints_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace overlay

@@ -1,0 +1,100 @@
+#include "overlay/security.h"
+
+#include <algorithm>
+
+namespace overlay {
+
+const char* to_string(Chain c) {
+  switch (c) {
+    case Chain::kInput: return "INPUT";
+    case Chain::kOutput: return "OUTPUT";
+    case Chain::kForward: return "FORWARD";
+  }
+  return "?";
+}
+
+const char* to_string(Proto p) {
+  switch (p) {
+    case Proto::kAny: return "any";
+    case Proto::kTcp: return "tcp";
+    case Proto::kUdp: return "udp";
+    case Proto::kRdma: return "rdma";
+  }
+  return "?";
+}
+
+bool Rule::matches(const FlowTuple& t) const {
+  if (proto != Proto::kAny && proto != t.proto) return false;
+  return src.contains(t.src) && dst.contains(t.dst);
+}
+
+RuleId RuleChain::add_rule(Rule rule) {
+  const RuleId id = next_id_++;
+  auto pos = std::find_if(rules_.begin(), rules_.end(),
+                          [&](const Entry& e) {
+                            return e.rule.priority < rule.priority;
+                          });
+  rules_.insert(pos, Entry{id, rule});
+  ++version_;
+  return id;
+}
+
+bool RuleChain::remove_rule(RuleId id) {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [&](const Entry& e) { return e.id == id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  ++version_;
+  return true;
+}
+
+void RuleChain::clear() {
+  rules_.clear();
+  ++version_;
+}
+
+RuleAction RuleChain::evaluate(const FlowTuple& t) const {
+  for (const Entry& e : rules_) {
+    if (e.rule.matches(t)) return e.rule.action;
+  }
+  return RuleAction::kDeny;  // default deny (§3.3.2)
+}
+
+bool SecurityPolicy::connection_allowed(const FlowTuple& t) const {
+  if (fw_[static_cast<int>(Chain::kForward)].evaluate(t) !=
+      RuleAction::kAllow) {
+    return false;
+  }
+  auto src_it = sg_.find(t.src);
+  if (src_it == sg_.end() ||
+      src_it->second[static_cast<int>(Chain::kOutput)].evaluate(t) !=
+          RuleAction::kAllow) {
+    return false;
+  }
+  auto dst_it = sg_.find(t.dst);
+  if (dst_it == sg_.end() ||
+      dst_it->second[static_cast<int>(Chain::kInput)].evaluate(t) !=
+          RuleAction::kAllow) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t SecurityPolicy::version() const {
+  std::uint64_t v = 0;
+  for (const auto& c : fw_) v += c.version();
+  for (const auto& [ip, chains] : sg_) {
+    for (const auto& c : chains) v += c.version();
+  }
+  return v;
+}
+
+void SecurityPolicy::allow_all() {
+  for (auto& c : fw_) c.add_rule(Rule::allow_all());
+  for (auto& [ip, chains] : sg_) {
+    for (auto& c : chains) c.add_rule(Rule::allow_all());
+  }
+  notify_changed();
+}
+
+}  // namespace overlay

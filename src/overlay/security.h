@@ -1,0 +1,134 @@
+// Security rules: FWaaS (network level) and security groups (VM level).
+//
+// §3.3.2: rules are organized as priority-ordered chains (INPUT / OUTPUT /
+// FORWARD); a packet is checked against each chain and the first matching
+// rule decides; if none matches the packet is denied. MasQ does not invent
+// new security machinery — RConntrack evaluates *these same* chains at
+// RDMA connection setup, and the virtual TCP path (where connection
+// metadata travels) evaluates them per message.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/addr.h"
+
+namespace overlay {
+
+enum class RuleAction : std::uint8_t { kAllow, kDeny };
+enum class Chain : std::uint8_t { kInput, kOutput, kForward };
+enum class Proto : std::uint8_t { kAny, kTcp, kUdp, kRdma };
+
+const char* to_string(Chain c);
+const char* to_string(Proto p);
+
+struct FlowTuple {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  Proto proto = Proto::kTcp;
+
+  bool operator==(const FlowTuple&) const = default;
+};
+
+struct Rule {
+  int priority = 0;  // higher checked first
+  RuleAction action = RuleAction::kDeny;
+  Proto proto = Proto::kAny;
+  net::Ipv4Cidr src = net::Ipv4Cidr::any();
+  net::Ipv4Cidr dst = net::Ipv4Cidr::any();
+
+  bool matches(const FlowTuple& t) const;
+
+  static Rule allow(net::Ipv4Cidr src, net::Ipv4Cidr dst,
+                    Proto proto = Proto::kAny, int priority = 0) {
+    return Rule{priority, RuleAction::kAllow, proto, src, dst};
+  }
+  static Rule deny(net::Ipv4Cidr src, net::Ipv4Cidr dst,
+                   Proto proto = Proto::kAny, int priority = 0) {
+    return Rule{priority, RuleAction::kDeny, proto, src, dst};
+  }
+  static Rule allow_all(int priority = -1000) {
+    return Rule{priority, RuleAction::kAllow, Proto::kAny,
+                net::Ipv4Cidr::any(), net::Ipv4Cidr::any()};
+  }
+};
+
+using RuleId = std::uint64_t;
+
+class RuleChain {
+ public:
+  RuleId add_rule(Rule rule);
+  bool remove_rule(RuleId id);
+  void clear();
+
+  // First match in descending priority order; default deny.
+  RuleAction evaluate(const FlowTuple& t) const;
+
+  std::size_t size() const { return rules_.size(); }
+  // Bumped on every mutation; connection-tracking caches key off this.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  struct Entry {
+    RuleId id;
+    Rule rule;
+  };
+  // Sorted by (priority desc, id asc) for deterministic first-match.
+  std::vector<Entry> rules_;
+  RuleId next_id_ = 1;
+  std::uint64_t version_ = 0;
+};
+
+// A tenant's complete policy: one FWaaS chain set plus a security group
+// per VM (keyed by the VM's virtual IP).
+class SecurityPolicy {
+ public:
+  explicit SecurityPolicy(std::uint32_t vni) : vni_(vni) {}
+
+  std::uint32_t vni() const { return vni_; }
+
+  RuleChain& firewall(Chain c) { return fw_[static_cast<int>(c)]; }
+  RuleChain& security_group(net::Ipv4Addr vm, Chain c) {
+    return sg_[vm][static_cast<int>(c)];
+  }
+
+  // A connection src->dst is allowed iff the firewall FORWARD chain, the
+  // source VM's OUTPUT group and the destination VM's INPUT group all
+  // allow it.
+  bool connection_allowed(const FlowTuple& t) const;
+
+  // Combined version across all chains of this tenant.
+  std::uint64_t version() const;
+
+  // Fires after any mutation (RConntrack subscribes to re-validate
+  // established connections, §3.3.2 subproblem 3).
+  void subscribe(std::function<void()> on_change) {
+    observers_.push_back(std::move(on_change));
+  }
+  void notify_changed() const {
+    for (const auto& fn : observers_) fn();
+  }
+
+  // Convenience: permit everything for this tenant (testbed default).
+  void allow_all();
+
+ private:
+  std::uint32_t vni_;
+  RuleChain fw_[3];
+  std::map<net::Ipv4Addr, std::array<RuleChain, 3>> sg_;
+  std::vector<std::function<void()>> observers_;
+};
+
+}  // namespace overlay
+
+template <>
+struct std::hash<overlay::FlowTuple> {
+  std::size_t operator()(const overlay::FlowTuple& t) const noexcept {
+    return std::hash<net::Ipv4Addr>{}(t.src) * 31 +
+           std::hash<net::Ipv4Addr>{}(t.dst) * 7 +
+           static_cast<std::size_t>(t.proto);
+  }
+};

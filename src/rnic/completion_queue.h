@@ -1,0 +1,76 @@
+// Completion queue: fixed-capacity CQE ring with coroutine wakeups.
+//
+// poll_cq never blocks (it mirrors ibv_poll_cq); coroutine applications use
+// nonempty() to sleep until a CQE lands instead of busy-polling simulated
+// time away. Overflow drops the CQE and latches an error flag, matching
+// real RNIC behaviour when the consumer falls behind.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rnic/types.h"
+#include "sim/task.h"
+
+namespace rnic {
+
+class CompletionQueue {
+ public:
+  CompletionQueue(sim::EventLoop& loop, Cqn id, int capacity)
+      : loop_(loop), id_(id), capacity_(capacity) {}
+
+  Cqn id() const { return id_; }
+  int capacity() const { return capacity_; }
+  std::size_t depth() const { return ring_.size(); }
+  bool overflowed() const { return overflowed_; }
+
+  // Hardware side: appends a CQE and wakes waiters. Returns false (and
+  // latches the overflow flag) when the ring is full.
+  bool push(const Completion& c) {
+    if (static_cast<int>(ring_.size()) >= capacity_) {
+      overflowed_ = true;
+      return false;
+    }
+    ring_.push_back(c);
+    wake();
+    return true;
+  }
+
+  // Consumer side: pops up to max_entries CQEs; returns the count.
+  int poll(int max_entries, Completion* out) {
+    int n = 0;
+    while (n < max_entries && !ring_.empty()) {
+      out[n++] = ring_.front();
+      ring_.pop_front();
+    }
+    return n;
+  }
+
+  // Resolves when at least one CQE is available (immediately if nonempty).
+  sim::Future<bool> nonempty() {
+    sim::Promise<bool> p(loop_);
+    auto f = p.get_future();
+    if (!ring_.empty()) {
+      p.set_value(true);
+    } else {
+      waiters_.push_back(std::move(p));
+    }
+    return f;
+  }
+
+ private:
+  void wake() {
+    for (auto& w : waiters_) w.set_value(true);
+    waiters_.clear();
+  }
+
+  sim::EventLoop& loop_;
+  Cqn id_;
+  int capacity_;
+  std::deque<Completion> ring_;
+  std::vector<sim::Promise<bool>> waiters_;
+  bool overflowed_ = false;
+};
+
+}  // namespace rnic

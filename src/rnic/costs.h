@@ -1,0 +1,59 @@
+// Data-path cost model of the simulated RNIC.
+//
+// Every constant is calibrated against a specific number in the paper; the
+// anchor is cited next to each field. Control-path (verb) costs live in
+// fabric/calibration.h with the rest of the testbed parameters.
+#pragma once
+
+#include "sim/time.h"
+
+namespace rnic {
+
+struct DataPathCosts {
+  // PF transmit pipeline latency, doorbell to first byte on the wire.
+  // Anchor: Fig. 8a — 2 B host-to-host send latency 0.8 us one-way
+  // (0.2 us post_send + tx + wire + rx + 0.03 us poll).
+  sim::Time tx_proc = sim::nanoseconds(180);
+
+  // Receive pipeline for a SEND: consume recv WQE, DMA payload, raise CQE.
+  sim::Time rx_proc_send = sim::nanoseconds(180);
+
+  // Receive pipeline for an RDMA WRITE: no WQE consumption, DMA only.
+  // Anchor: Fig. 8a — write latency 0.7 us vs send 0.8 us.
+  sim::Time rx_proc_write = sim::nanoseconds(80);
+
+  // Serial WQE-engine occupancy per message (tx or rx). Bounds the
+  // device's message rate. Anchor: Fig. 21 — KVS peaks at 9.7 Mops when
+  // the RNIC is the bottleneck (each op = one rx + one tx on the server).
+  sim::Time engine_gap = sim::nanoseconds(51);
+
+  // Extra per-message latency when the QP lives on a VF (more complex
+  // on-NIC routing/resource management). Anchor: Fig. 8a/9a — VF-based
+  // MasQ/SR-IOV 1.1 us vs PF 0.8 us.
+  sim::Time vf_extra_tx = sim::nanoseconds(150);
+  sim::Time vf_extra_rx = sim::nanoseconds(150);
+
+  // Per-DMA IOMMU translation when the device is passed through with
+  // VT-d (SR-IOV baseline only; MasQ maps HPAs directly and skips this).
+  // Anchor: Fig. 21 — SR-IOV peak throughput ~1 Mops below MasQ.
+  sim::Time iommu_per_dma = sim::nanoseconds(55);
+
+  // VXLAN tunnel-table lookup in the on-NIC cache (SR-IOV offload).
+  // A miss fetches the entry from host DRAM. Anchor: §1's discussion of
+  // hardware-solution scalability (stat throughput -50% at 120 clients).
+  sim::Time tunnel_cache_hit = sim::nanoseconds(10);
+  sim::Time tunnel_cache_miss = sim::microseconds(2.0);
+
+  // Sender-side penalty when the responder has no recv WQE (RNR retries
+  // exhausted).
+  sim::Time rnr_retry_delay = sim::milliseconds(1.0);
+
+  // RNIC processing share of forcing a QP to ERROR (Fig. 18): 253 us on
+  // the PF, 518 us on a VF, plus a drain surcharge under heavy traffic
+  // (838 us measured with a saturating flow).
+  sim::Time qp_error_pf = sim::microseconds(150);
+  sim::Time qp_error_vf = sim::microseconds(415);
+  sim::Time qp_error_drain_per_wqe = sim::microseconds(5);
+};
+
+}  // namespace rnic

@@ -1,0 +1,311 @@
+// Simulated RoCEv2 RNIC.
+//
+// One device = one physical port (PF) plus SR-IOV virtual functions. The
+// device executes the *data path* entirely: doorbells arrive by MMIO, WQEs
+// are drained by a serial engine, payload bytes move by DMA through each
+// MR's MTT, messages travel the fabric as fluid flows, and completions are
+// raised in PSN order with RC ack/retry semantics. Control operations
+// (create/modify/destroy) are pure bookkeeping here — the *driver* that
+// calls them charges their latency, which is exactly the split that lets
+// MasQ virtualize the control path without touching the data path.
+//
+// Network-virtualization hooks:
+//  * per-VF hardware rate limiters exposed as virtual links (MasQ QoS),
+//  * an on-NIC VXLAN tunnel table with a finite cache (SR-IOV baseline's
+//    scalability cliff),
+//  * frames carry whatever addresses the QPC holds — if a tenant's virtual
+//    GID leaks into the QPC the frame is unroutable on the underlay, which
+//    is the failure RConnrename exists to prevent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "mem/physical_memory.h"
+#include "net/addr.h"
+#include "net/fluid.h"
+#include "net/headers.h"
+#include "rnic/completion_queue.h"
+#include "rnic/costs.h"
+#include "rnic/memory_region.h"
+#include "rnic/qp_state.h"
+#include "rnic/types.h"
+#include "sim/event_loop.h"
+#include "sim/service_queue.h"
+#include "sim/task.h"
+
+namespace rnic {
+
+class RnicDevice;
+
+// Routes underlay IPs to devices (implemented by fabric::Testbed).
+class FabricRouter {
+ public:
+  virtual ~FabricRouter() = default;
+  virtual RnicDevice* device_by_ip(net::Ipv4Addr underlay_ip) = 0;
+};
+
+enum class MsgOp : std::uint8_t {
+  kSend,
+  kWrite,
+  kWriteImm,
+  kReadReq,
+  kReadResp,
+  kUdSend,
+};
+
+// One WQE's worth of data on the wire. MTU segmentation is charged as
+// per-packet header bytes in the flow size, not simulated packet by packet.
+struct Message {
+  net::RoceFrame frame;
+  MsgOp op = MsgOp::kSend;
+  std::vector<std::uint8_t> payload;
+  mem::Addr remote_addr = 0;      // write / read
+  Key rkey = 0;                   // write / read
+  std::uint32_t read_len = 0;     // read request
+  std::uint32_t imm = 0;          // kWriteImm
+  std::uint32_t psn = 0;
+  Qpn src_qpn = 0;
+  std::uint32_t qkey = 0;         // UD
+  net::Ipv4Addr src_underlay;     // where acks go back to
+};
+
+struct MrInfo {
+  Key lkey = 0;
+  Key rkey = 0;
+};
+
+struct TunnelEntry {
+  net::Gid phys_gid;
+  std::uint32_t vni = 0;
+};
+
+struct FunctionInfo {
+  FnId id = kPf;
+  bool is_vf = false;
+  net::MacAddr mac;
+  net::Ipv4Addr ip;          // PF: underlay; SR-IOV VF: tenant address
+  std::uint32_t vni = 0;     // tenant VNI (VXLAN offload mode)
+  bool vxlan_offload = false;
+  net::LinkId limiter_link = 0;  // virtual link modeling the VF rate limiter
+};
+
+struct DeviceConfig {
+  std::string name = "rnic0";
+  net::Ipv4Addr ip;   // PF underlay IP
+  net::MacAddr mac;
+  int num_vfs = 8;
+  double link_gbps = 40.0;
+  // One-way propagation is split half per link (tx link + rx link).
+  sim::Time link_prop_oneway = sim::nanoseconds(200);
+  bool iommu = false;  // SR-IOV passthrough pays VT-d per DMA
+  int tunnel_cache_capacity = 128;
+  DataPathCosts costs;
+};
+
+class RnicDevice : public mem::MmioDevice {
+ public:
+  RnicDevice(sim::EventLoop& loop, net::FluidNet& net, mem::HostPhysMap& phys,
+             DeviceConfig config);
+  ~RnicDevice() override;
+
+  RnicDevice(const RnicDevice&) = delete;
+  RnicDevice& operator=(const RnicDevice&) = delete;
+
+  const DeviceConfig& config() const { return config_; }
+  sim::EventLoop& loop() { return loop_; }
+  mem::HostPhysMap& phys() { return phys_; }
+
+  int num_functions() const { return static_cast<int>(fns_.size()); }
+  FunctionInfo& fn(FnId id) { return fns_.at(id); }
+  const FunctionInfo& fn(FnId id) const { return fns_.at(id); }
+  // GID as derived from the function's current IP (index 0 only).
+  net::Gid gid(FnId id) const;
+
+  void attach(FabricRouter* router) { router_ = router; }
+  net::LinkId tx_link() const { return tx_link_; }
+  net::LinkId rx_link() const { return rx_link_; }
+  // Doorbell BAR base in host physical address space.
+  mem::Addr doorbell_bar() const { return doorbell_bar_; }
+
+  // Reconfigures a function's network identity (host driver / cloud agent).
+  void set_fn_address(FnId id, net::Ipv4Addr ip, net::MacAddr mac,
+                      std::uint32_t vni, bool vxlan_offload);
+  // Programs the hardware rate limiter of a VF (Gbps; kUncapped to clear).
+  void set_vf_rate_limit(FnId id, double gbps);
+  double vf_rate_limit_gbps(FnId id) const;
+
+  // VXLAN offload tunnel table (SR-IOV baseline).
+  void program_tunnel(net::Gid virt_gid, TunnelEntry entry);
+  std::uint64_t tunnel_cache_misses() const { return tunnel_misses_; }
+  std::uint64_t tunnel_cache_hits() const { return tunnel_hits_; }
+
+  // ------------------------------------------------------------------
+  // Control bookkeeping (latency is charged by the calling driver).
+  // ------------------------------------------------------------------
+  Expected<PdId> alloc_pd(FnId fn);
+  Status dealloc_pd(PdId pd);
+  Expected<MrInfo> create_mr(FnId fn, PdId pd, mem::Addr va, std::uint64_t len,
+                             std::uint32_t access,
+                             std::vector<mem::Segment> hpa_segments);
+  Status destroy_mr(Key lkey);
+  Expected<Cqn> create_cq(FnId fn, int capacity);
+  Status destroy_cq(Cqn cq);
+  Expected<Qpn> create_qp(FnId fn, const QpInitAttr& attr);
+  Status destroy_qp(Qpn qpn);
+  // Validates the Fig. 5 FSM; transition to ERROR flushes all WQEs and
+  // kills in-flight flows (Table 2).
+  Status modify_qp(Qpn qpn, const QpAttr& attr, std::uint32_t mask);
+
+  // Introspection (tests / RConntrack / Fig. 18 drain accounting).
+  bool qp_exists(Qpn qpn) const;
+  QpState qp_state(Qpn qpn) const;
+  // The QPC as the *hardware* sees it — tests assert RConnrename rewrote it.
+  const QpAttr& qp_hw_attr(Qpn qpn) const;
+  FnId qp_fn(Qpn qpn) const;
+  std::size_t qp_outstanding(Qpn qpn) const;
+  std::size_t num_qps() const { return qps_.size(); }
+  // RNIC processing time to force this QP to ERROR right now (Fig. 18).
+  sim::Time qp_error_processing_time(Qpn qpn) const;
+
+  // ------------------------------------------------------------------
+  // Data path.
+  // ------------------------------------------------------------------
+  // `ring_doorbell=false` enqueues the WQE without kicking the engine —
+  // callers then ring through the MMIO BAR (the MasQ/SR-IOV guest path).
+  Status post_send(Qpn qpn, const SendWr& wr, bool ring_doorbell = true);
+  Status post_recv(Qpn qpn, const RecvWr& wr);
+  int poll_cq(Cqn cq, int max_entries, Completion* out);
+  sim::Future<bool> cq_nonempty(Cqn cq);
+  bool cq_overflowed(Cqn cq) const;
+
+  // Doorbell MMIO: offset = qpn * 8.
+  void mmio_write(mem::Addr offset, std::uint64_t value) override;
+  std::uint64_t mmio_read(mem::Addr offset) override;
+
+  // Resolves when the next inbound message for `qpn` has been processed
+  // (models an application spin-polling its buffer, as ib_write_lat does,
+  // without burning simulated events).
+  sim::Future<bool> next_rx_event(Qpn qpn);
+
+  // Fabric side: a message arrived at this device's port.
+  void deliver(Message msg);
+  // Fabric side: ack/nak for a message this device sent.
+  void on_ack(Qpn src_qpn, std::uint32_t psn, WcStatus status);
+
+  struct Counters {
+    std::uint64_t tx_msgs = 0;
+    std::uint64_t rx_msgs = 0;
+    std::uint64_t dropped_bad_state = 0;  // Table 2: ERROR QPs drop packets
+    std::uint64_t dropped_no_route = 0;   // unroutable underlay address
+    std::uint64_t dropped_no_qp = 0;
+    std::uint64_t rnr_drops = 0;
+    std::uint64_t remote_access_naks = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct PendingSend {
+    SendWr wr;
+    bool done = false;
+    WcStatus status = WcStatus::kSuccess;
+  };
+
+  struct Qp {
+    Qpn qpn = 0;
+    FnId fn = kPf;
+    QpInitAttr init;
+    QpState state = QpState::kReset;
+    QpAttr attr;  // hardware view of the QPC
+    std::deque<SendWr> send_queue;
+    std::deque<RecvWr> recv_queue;
+    bool engine_running = false;
+    std::uint32_t next_tx_psn = 0;
+    std::uint32_t outstanding = 0;  // launched, not yet acked
+    std::uint32_t next_ack_psn = 0;
+    std::map<std::uint32_t, PendingSend> pending;  // psn -> in-flight send
+    std::uint32_t next_rx_psn = 0;
+    std::map<std::uint32_t, Message> reorder;  // early arrivals
+    std::vector<net::FlowId> active_flows;
+    std::vector<sim::Promise<bool>> window_waiters;
+    std::vector<sim::Promise<bool>> rx_waiters;
+  };
+
+  Qp* find_qp(Qpn qpn);
+  const Qp* find_qp(Qpn qpn) const;
+  CompletionQueue* find_cq(Cqn cq);
+  MemoryRegion* find_mr(Key lkey);
+
+  // Engine coroutine draining one QP's send queue.
+  sim::Task<void> send_engine(Qpn qpn);
+  void kick_engine(Qpn qpn);
+  // Launches one WQE onto the wire. Returns false if it failed locally.
+  void launch_wqe(Qp& qp, SendWr wr);
+  // Validates a local sge against the MR table. Returns the MR or null.
+  MemoryRegion* validate_local_sge(const Qp& qp, const Sge& sge,
+                                   WcStatus* status);
+
+  void post_completion(Cqn cq, const Completion& c);
+  void post_send_cqe(Qp& qp, const SendWr& wr, WcStatus status,
+                     std::uint32_t byte_len);
+  // Marks psn done and posts CQEs for every consecutive finished psn.
+  void drain_acks(Qp& qp);
+  void flush_qp(Qp& qp);  // -> ERROR semantics: flush queues + kill flows
+  void release_window_slot(Qp& qp);
+
+  // Receive-side handlers (run after rx engine occupancy).
+  void process_incoming(Message msg);
+  void handle_in_order(Qp& qp, Message& msg);
+  void send_ack(const Message& msg, WcStatus status);
+
+  // Builds the wire frame for a WQE; applies VXLAN offload when the
+  // function runs in offload mode. Returns false if no tunnel entry.
+  bool build_frame(const Qp& qp, const FunctionInfo& f, MsgOp op,
+                   std::uint32_t payload_len, const UdDest* ud,
+                   net::RoceFrame* out);
+  const TunnelEntry* tunnel_lookup(net::Gid virt_gid, sim::Time* extra_cost);
+
+  // Starts the fluid flow carrying `msg` toward its underlay destination.
+  void transmit(Qp& qp, Message msg, bool expect_ack);
+
+  sim::EventLoop& loop_;
+  net::FluidNet& net_;
+  mem::HostPhysMap& phys_;
+  DeviceConfig config_;
+  FabricRouter* router_ = nullptr;
+
+  net::LinkId tx_link_;
+  net::LinkId rx_link_;
+  mem::Addr doorbell_bar_;
+
+  std::vector<FunctionInfo> fns_;
+  std::unordered_map<PdId, FnId> pds_;
+  std::unordered_map<Key, std::unique_ptr<MemoryRegion>> mrs_;
+  std::unordered_map<Cqn, std::unique_ptr<CompletionQueue>> cqs_;
+  std::unordered_map<Qpn, std::unique_ptr<Qp>> qps_;
+  PdId next_pd_ = 1;
+  Key next_key_ = 1;
+  Cqn next_cq_ = 1;
+  Qpn next_qpn_ = 1;
+
+  sim::ServiceQueue engine_;  // shared WQE pipeline (tx and rx)
+
+  // VXLAN tunnel table: full table in "DRAM" + finite on-chip LRU cache.
+  std::unordered_map<net::Gid, TunnelEntry> tunnel_table_;
+  std::list<net::Gid> tunnel_lru_;  // front = most recent
+  std::unordered_map<net::Gid, std::list<net::Gid>::iterator> tunnel_cache_;
+  std::uint64_t tunnel_hits_ = 0;
+  std::uint64_t tunnel_misses_ = 0;
+
+  Counters counters_;
+};
+
+}  // namespace rnic

@@ -1,0 +1,49 @@
+#include "rnic/memory_region.h"
+
+#include <stdexcept>
+
+namespace rnic {
+
+template <typename Op>
+void MemoryRegion::for_each_chunk(mem::Addr addr, std::uint64_t len,
+                                  Op&& op) const {
+  if (!contains(addr, len)) {
+    throw std::out_of_range("MemoryRegion DMA outside registered range");
+  }
+  std::uint64_t offset = addr - va_;  // offset into the MTT-covered range
+  std::uint64_t remaining = len;
+  std::uint64_t buf_pos = 0;
+  for (const auto& seg : segments_) {
+    if (remaining == 0) break;
+    if (offset >= seg.len) {
+      offset -= seg.len;
+      continue;
+    }
+    const std::uint64_t chunk = std::min<std::uint64_t>(seg.len - offset,
+                                                        remaining);
+    op(seg.addr + offset, buf_pos, chunk);
+    buf_pos += chunk;
+    remaining -= chunk;
+    offset = 0;
+  }
+  if (remaining != 0) {
+    throw std::logic_error("MemoryRegion: MTT does not cover range");
+  }
+}
+
+void MemoryRegion::dma_read(mem::Addr addr, std::span<std::uint8_t> out) const {
+  for_each_chunk(addr, out.size(),
+                 [&](mem::Addr hpa, std::uint64_t pos, std::uint64_t n) {
+                   phys_->read(hpa, out.subspan(pos, n));
+                 });
+}
+
+void MemoryRegion::dma_write(mem::Addr addr,
+                             std::span<const std::uint8_t> in) {
+  for_each_chunk(addr, in.size(),
+                 [&](mem::Addr hpa, std::uint64_t pos, std::uint64_t n) {
+                   phys_->write(hpa, in.subspan(pos, n));
+                 });
+}
+
+}  // namespace rnic

@@ -1,0 +1,66 @@
+// Memory region: a registered, pinned VA range plus its MTT entries.
+//
+// Registration resolves the application VA range down to host-physical
+// segments (the device's memory translation table, Appendix B.2); DMA then
+// moves real bytes through HostPhysMap without touching any page table —
+// exactly the zero-copy property the hybrid I/O design relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "rnic/types.h"
+
+namespace rnic {
+
+class MemoryRegion {
+ public:
+  MemoryRegion(Key lkey, FnId fn, PdId pd, mem::Addr va, std::uint64_t len,
+               std::uint32_t access, std::vector<mem::Segment> hpa_segments,
+               mem::HostPhysMap* phys)
+      : lkey_(lkey),
+        fn_(fn),
+        pd_(pd),
+        va_(va),
+        len_(len),
+        access_(access),
+        segments_(std::move(hpa_segments)),
+        phys_(phys) {}
+
+  Key lkey() const { return lkey_; }
+  Key rkey() const { return lkey_; }  // single key namespace, as in mlx HCAs
+  FnId fn() const { return fn_; }
+  PdId pd() const { return pd_; }
+  mem::Addr va() const { return va_; }
+  std::uint64_t length() const { return len_; }
+  std::uint32_t access() const { return access_; }
+  const std::vector<mem::Segment>& mtt() const { return segments_; }
+
+  // True if [addr, addr+len) lies inside the registered range.
+  bool contains(mem::Addr addr, std::uint64_t len) const {
+    return addr >= va_ && len <= len_ && addr - va_ <= len_ - len;
+  }
+
+  // DMA at `addr` (application VA) through the MTT. Bounds must have been
+  // checked with contains(); violating them throws std::out_of_range.
+  void dma_read(mem::Addr addr, std::span<std::uint8_t> out) const;
+  void dma_write(mem::Addr addr, std::span<const std::uint8_t> in);
+
+ private:
+  // Maps a VA offset into (segment index, offset) pairs and applies `op`.
+  template <typename Op>
+  void for_each_chunk(mem::Addr addr, std::uint64_t len, Op&& op) const;
+
+  Key lkey_;
+  FnId fn_;
+  PdId pd_;
+  mem::Addr va_;
+  std::uint64_t len_;
+  std::uint32_t access_;
+  std::vector<mem::Segment> segments_;
+  mem::HostPhysMap* phys_;
+};
+
+}  // namespace rnic

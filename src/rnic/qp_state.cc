@@ -1,0 +1,99 @@
+#include "rnic/qp_state.h"
+
+namespace rnic {
+
+const char* to_string(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kInit: return "INIT";
+    case QpState::kRtr: return "RTR";
+    case QpState::kRts: return "RTS";
+    case QpState::kSqd: return "SQD";
+    case QpState::kSqe: return "SQE";
+    case QpState::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "success";
+    case WcStatus::kLocProtErr: return "local-protection-error";
+    case WcStatus::kLocQpOpErr: return "local-qp-operation-error";
+    case WcStatus::kWrFlushErr: return "work-request-flushed";
+    case WcStatus::kRemAccessErr: return "remote-access-error";
+    case WcStatus::kRnrRetryExc: return "rnr-retry-exceeded";
+    case WcStatus::kTransportRetryExc: return "transport-retry-exceeded";
+    case WcStatus::kCqOverflow: return "cq-overflow";
+  }
+  return "?";
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kInvalidArgument: return "invalid-argument";
+    case Status::kNotFound: return "not-found";
+    case Status::kPermissionDenied: return "permission-denied";
+    case Status::kInvalidState: return "invalid-state";
+    case Status::kQueueFull: return "queue-full";
+    case Status::kResourceExhausted: return "resource-exhausted";
+  }
+  return "?";
+}
+
+bool modify_allowed(QpState from, QpState to) {
+  // Any state can be forced to ERROR, and ERROR/any can be torn back to
+  // RESET (dashed edges of Fig. 5).
+  if (to == QpState::kError) return true;
+  if (to == QpState::kReset) return true;
+  switch (from) {
+    case QpState::kReset: return to == QpState::kInit;
+    case QpState::kInit: return to == QpState::kRtr || to == QpState::kInit;
+    case QpState::kRtr: return to == QpState::kRts;
+    case QpState::kRts: return to == QpState::kSqd;
+    case QpState::kSqd: return to == QpState::kRts;
+    case QpState::kSqe: return to == QpState::kRts;
+    case QpState::kError: return false;  // only RESET/ERROR, handled above
+  }
+  return false;
+}
+
+bool hw_error_transition_allowed(QpState from, QpState to) {
+  if (to == QpState::kError) return true;
+  if (to == QpState::kSqe) return from == QpState::kRts;
+  return false;
+}
+
+bool can_post_send(QpState s) {
+  // Table 2: posting send requests is allowed even in ERROR (they flush).
+  switch (s) {
+    case QpState::kReset:
+    case QpState::kInit:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool can_post_recv(QpState s) {
+  // Recv WQEs may be posted from INIT onward (standard verbs semantics),
+  // including ERROR (Table 2).
+  return s != QpState::kReset;
+}
+
+bool can_transmit(QpState s) { return s == QpState::kRts; }
+
+bool can_accept_packets(QpState s) {
+  switch (s) {
+    case QpState::kRtr:
+    case QpState::kRts:
+    case QpState::kSqd:
+    case QpState::kSqe:  // send side broken; receive still works
+      return true;
+    default:
+      return false;  // RESET/INIT/ERROR: incoming packets dropped (Table 2)
+  }
+}
+
+}  // namespace rnic

@@ -1,0 +1,29 @@
+// The QP state machine of the paper's Fig. 5 and the behaviour matrix of
+// Table 2. RConntrack's enforcement hinges on two properties encoded here:
+// any state may transition to ERROR via modify_qp, and a QP in ERROR
+// neither sends nor accepts packets while still letting the application
+// post (and immediately reap flush-error completions).
+#pragma once
+
+#include "rnic/types.h"
+
+namespace rnic {
+
+// True if modify_qp may move a QP from `from` to `to` (dashed/solid edges
+// of Fig. 5 that are driver-initiated).
+bool modify_allowed(QpState from, QpState to);
+
+// True if the hardware itself may force this transition on a completion
+// error (RTS -> SQE, any -> ERROR).
+bool hw_error_transition_allowed(QpState from, QpState to);
+
+// Table 2, application row: posting is *allowed* in ERROR (entries flush).
+bool can_post_send(QpState s);
+bool can_post_recv(QpState s);
+
+// True if the send engine may transmit in this state.
+bool can_transmit(QpState s);
+// True if incoming packets are accepted (otherwise dropped, Table 2).
+bool can_accept_packets(QpState s);
+
+}  // namespace rnic

@@ -1,0 +1,59 @@
+#include "sdn/controller.h"
+
+namespace sdn {
+
+void Controller::register_vgid(std::uint32_t vni, net::Gid vgid,
+                               net::Gid pgid) {
+  table_[VirtKey{vni, vgid}] = pgid;
+  for (const auto& fn : subscribers_) fn(vni, vgid, pgid);
+}
+
+void Controller::unregister_vgid(std::uint32_t vni, net::Gid vgid) {
+  table_.erase(VirtKey{vni, vgid});
+}
+
+std::optional<net::Gid> Controller::lookup(std::uint32_t vni,
+                                           net::Gid vgid) const {
+  auto it = table_.find(VirtKey{vni, vgid});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+sim::Task<std::optional<net::Gid>> Controller::query(std::uint32_t vni,
+                                                     net::Gid vgid) {
+  ++queries_;
+  co_await sim::delay(loop_, query_rtt_);
+  co_return lookup(vni, vgid);
+}
+
+void Controller::push_down(std::uint32_t vni) const {
+  for (const auto& [key, pgid] : table_) {
+    if (key.vni == vni) {
+      for (const auto& fn : subscribers_) fn(key.vni, key.vgid, pgid);
+    }
+  }
+}
+
+sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
+                                                         net::Gid vgid) {
+  auto it = cache_.find(VirtKey{vni, vgid});
+  if (it != cache_.end()) {
+    ++hits_;
+    co_await sim::delay(loop_, hit_cost_);
+    co_return it->second;
+  }
+  ++misses_;
+  auto result = co_await controller_.query(vni, vgid);
+  if (result) cache_[VirtKey{vni, vgid}] = *result;
+  co_return result;
+}
+
+void MappingCache::insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
+  cache_[VirtKey{vni, vgid}] = pgid;
+}
+
+void MappingCache::invalidate(std::uint32_t vni, net::Gid vgid) {
+  cache_.erase(VirtKey{vni, vgid});
+}
+
+}  // namespace sdn

@@ -1,0 +1,107 @@
+// Logically centralized SDN controller (§3.3.1).
+//
+// Maintains the (VNI, virtual GID) -> physical GID mapping table. vBond
+// registers/updates entries whenever a vEth IP (and therefore the vGID)
+// changes; RConnrename queries it when a connection is established. The
+// tenant VNI disambiguates identical virtual IPs across tenants.
+//
+// Each record costs 35 B (vGID 16 B + VNI 3 B + pGID 16 B) — the paper's
+// argument that a 10k-peer cache fits in ~0.33 MB of DRAM; record_bytes()
+// exposes that arithmetic for the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.h"
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace sdn {
+
+struct VirtKey {
+  std::uint32_t vni = 0;
+  net::Gid vgid;
+
+  bool operator==(const VirtKey&) const = default;
+};
+
+struct VirtKeyHash {
+  std::size_t operator()(const VirtKey& k) const noexcept {
+    return std::hash<net::Gid>{}(k.vgid) ^
+           (std::hash<std::uint32_t>{}(k.vni) * 0x9e3779b9u);
+  }
+};
+
+inline constexpr std::size_t kRecordBytes = 16 + 3 + 16;  // vGID + VNI + pGID
+
+class Controller {
+ public:
+  explicit Controller(sim::EventLoop& loop,
+                      sim::Time query_rtt = sim::microseconds(100))
+      : loop_(loop), query_rtt_(query_rtt) {}
+
+  // vBond side: called on vGID creation/update.
+  void register_vgid(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
+  void unregister_vgid(std::uint32_t vni, net::Gid vgid);
+
+  // Instantaneous lookup (no modeled latency; used by push-down paths).
+  std::optional<net::Gid> lookup(std::uint32_t vni, net::Gid vgid) const;
+
+  // Remote query as RConnrename performs it: charges the controller RTT.
+  sim::Task<std::optional<net::Gid>> query(std::uint32_t vni, net::Gid vgid);
+
+  // Proactive push-down (§4.2.3: "the controller can push down the
+  // mappings in advance"): streams every entry of `vni` to the subscriber.
+  using PushFn = std::function<void(std::uint32_t, net::Gid, net::Gid)>;
+  void subscribe(PushFn fn) { subscribers_.push_back(std::move(fn)); }
+  void push_down(std::uint32_t vni) const;
+
+  std::size_t table_size() const { return table_.size(); }
+  std::size_t table_bytes() const { return table_.size() * kRecordBytes; }
+  std::uint64_t queries_served() const { return queries_; }
+  sim::Time query_rtt() const { return query_rtt_; }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::Time query_rtt_;
+  std::unordered_map<VirtKey, net::Gid, VirtKeyHash> table_;
+  std::vector<PushFn> subscribers_;
+  std::uint64_t queries_ = 0;
+};
+
+// Host-local cache in front of the controller (§3.3.1): first query for a
+// peer misses and pays the controller RTT; subsequent ones hit in a few
+// microseconds. In the common case a record never changes after insertion,
+// so hits always stay hits.
+class MappingCache {
+ public:
+  MappingCache(sim::EventLoop& loop, Controller& controller,
+               sim::Time hit_cost = sim::microseconds(2))
+      : loop_(loop), controller_(controller), hit_cost_(hit_cost) {}
+
+  sim::Task<std::optional<net::Gid>> resolve(std::uint32_t vni,
+                                             net::Gid vgid);
+
+  // Accepts controller push-downs (pre-warming).
+  void insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
+  void invalidate(std::uint32_t vni, net::Gid vgid);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return cache_.size(); }
+  std::size_t bytes() const { return cache_.size() * kRecordBytes; }
+
+ private:
+  sim::EventLoop& loop_;
+  Controller& controller_;
+  sim::Time hit_cost_;
+  std::unordered_map<VirtKey, net::Gid, VirtKeyHash> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sdn

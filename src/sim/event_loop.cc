@@ -1,0 +1,95 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/task.h"
+
+namespace sim {
+
+// A root task is a Task<void> whose lifetime the loop owns. The coroutine
+// frame is kept alive until the loop observes completion during reaping.
+struct EventLoop::RootTask {
+  Task<void> task;
+  explicit RootTask(Task<void> t) : task(std::move(t)) {}
+};
+
+EventLoop::~EventLoop() {
+  for (RootTask* r : roots_) delete r;
+}
+
+void EventLoop::schedule_at(Time t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, std::move(cb)});
+}
+
+void EventLoop::schedule_after(Time delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+void EventLoop::step() {
+  assert(!queue_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so copy
+  // the wrapper (std::function copy) before pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.t >= now_);
+  now_ = ev.t;
+  ++executed_;
+  ev.cb();
+}
+
+Time EventLoop::run() {
+  while (!queue_.empty()) {
+    step();
+    if ((executed_ & 0x3ff) == 0) reap_finished_tasks();
+  }
+  reap_finished_tasks();
+  return now_;
+}
+
+void EventLoop::run_until(Time deadline) {
+  if (deadline < now_) return;
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+    if ((executed_ & 0x3ff) == 0) reap_finished_tasks();
+  }
+  now_ = deadline;
+  reap_finished_tasks();
+}
+
+void EventLoop::spawn(Task<void> task) {
+  if (!task.valid() || task.done()) return;
+  auto* root = new RootTask(std::move(task));
+  roots_.push_back(root);
+  auto handle = std::coroutine_handle<Task<void>::promise_type>::from_address(
+      root->task.release().address());
+  // Re-wrap the released handle so the RootTask still owns the frame.
+  root->task = Task<void>(handle);
+  schedule_after(0, [handle] { handle.resume(); });
+}
+
+void EventLoop::reap_finished_tasks() {
+  std::exception_ptr first_error;
+  auto it = roots_.begin();
+  while (it != roots_.end()) {
+    RootTask* r = *it;
+    if (r->task.done()) {
+      auto handle =
+          std::coroutine_handle<Task<void>::promise_type>::from_address(
+              r->task.release().address());
+      if (!first_error && handle.promise().error) {
+        first_error = handle.promise().error;
+      }
+      handle.destroy();
+      delete r;
+      it = roots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sim

@@ -1,0 +1,78 @@
+// Deterministic discrete-event loop.
+//
+// The loop owns simulated time. Events fire in (time, insertion-order); ties
+// are broken FIFO so runs are bit-for-bit reproducible. Root coroutines
+// (sim::Task<void>) may be attached with spawn(); their lifetime is owned by
+// the loop and exceptions escaping a root task are rethrown from run().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sim {
+
+template <typename T>
+class Task;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
+
+  Time now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (clamped to now()).
+  void schedule_at(Time t, Callback cb);
+  // Schedules `cb` `delay` nanoseconds from now (negative delays clamp to 0).
+  void schedule_after(Time delay, Callback cb);
+
+  // Runs until the event queue drains. Returns the final simulated time.
+  Time run();
+
+  // Runs all events with timestamp <= deadline, then sets now() = deadline.
+  void run_until(Time deadline);
+
+  // Attaches a root coroutine. It starts running at the current time (the
+  // first resume is scheduled as an event, not executed inline).
+  void spawn(Task<void> task);
+
+  // Number of events executed so far (useful for tests / budget checks).
+  std::uint64_t events_executed() const { return executed_; }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next event. Precondition: !queue_.empty().
+  void step();
+  void reap_finished_tasks();
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+
+  struct RootTask;
+  std::vector<RootTask*> roots_;
+};
+
+}  // namespace sim

@@ -1,0 +1,42 @@
+// Structured concurrency helper: run several tasks concurrently and resume
+// when every one of them has finished (MPI-style round synchronization).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace sim {
+
+namespace detail {
+
+struct JoinState {
+  int remaining = 0;
+  Promise<bool> done;
+  explicit JoinState(EventLoop& loop, int n) : remaining(n), done(loop) {}
+};
+
+inline Task<void> join_wrapper(Task<void> task,
+                               std::shared_ptr<JoinState> state) {
+  co_await std::move(task);
+  if (--state->remaining == 0) state->done.set_value(true);
+}
+
+}  // namespace detail
+
+// Spawns every task on the loop; the returned task completes when all have
+// completed. An empty vector completes immediately.
+inline Task<void> join_all(EventLoop& loop, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  auto state = std::make_shared<detail::JoinState>(
+      loop, static_cast<int>(tasks.size()));
+  auto future = state->done.get_future();
+  for (auto& t : tasks) {
+    loop.spawn(detail::join_wrapper(std::move(t), state));
+  }
+  co_await future;
+}
+
+}  // namespace sim

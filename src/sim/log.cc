@@ -1,0 +1,29 @@
+#include "sim/log.h"
+
+namespace sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log(LogLevel level, Time now, const char* component,
+         const std::string& message) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[%12s] %-5s %s: %s\n", format_time(now).c_str(),
+               level_name(level), component, message.c_str());
+}
+
+}  // namespace sim

@@ -1,0 +1,27 @@
+// Minimal leveled logger stamped with simulated time.
+//
+// Off (kWarn) by default so benchmark output stays clean; tests and examples
+// can raise the level to trace protocol behaviour.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.h"
+
+namespace sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Logs "[ 12.500 us] component: message" to stderr if level is enabled.
+void log(LogLevel level, Time now, const char* component,
+         const std::string& message);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace sim

@@ -1,0 +1,77 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sim {
+
+void Stats::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_valid_ = false;
+}
+
+void Stats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+}
+
+void Stats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Stats::min() const {
+  ensure_sorted();
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : sorted_.front();
+}
+
+double Stats::max() const {
+  ensure_sorted();
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : sorted_.back();
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::percentile(double p) const {
+  ensure_sorted();
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::string Stats::summary() const {
+  if (samples_.empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f",
+                count(), mean(), median(), percentile(99.0), min(), max());
+  return buf;
+}
+
+}  // namespace sim

@@ -1,0 +1,42 @@
+// Sample accumulator with percentile support; used by every benchmark.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+class Stats {
+ public:
+  void add(double sample);
+  void clear();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  // "n=1000 mean=1.23 p50=1.20 p99=2.41 min=1.01 max=3.20"
+  std::string summary() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace sim

@@ -1,0 +1,292 @@
+// C++20 coroutine tasks for the discrete-event loop.
+//
+//   sim::Task<int> child(sim::EventLoop& loop) {
+//     co_await loop.delay(5 * sim::kMicrosecond);
+//     co_return 42;
+//   }
+//   sim::Task<void> parent(sim::EventLoop& loop) {
+//     int v = co_await child(loop);
+//     ...
+//   }
+//   loop.spawn(parent(loop));
+//   loop.run();
+//
+// Tasks are lazy: nothing runs until the task is awaited or spawned on the
+// loop. Awaiting uses symmetric transfer, so deep chains don't grow the
+// stack. Exceptions propagate to the awaiter; exceptions escaping a root
+// task are rethrown from EventLoop::run().
+//
+// Future<T>/Promise<T> provide one-shot rendezvous between tasks and
+// callback-style code (e.g. hardware completion events).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    std::exception_ptr error;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  // when the task completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        assert(p.value.has_value());
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::exception_ptr error;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        if (handle.promise().error) {
+          std::rethrow_exception(handle.promise().error);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// ---------------------------------------------------------------------------
+// Delay: co_await delay(loop, d) resumes the coroutine d nanoseconds later.
+// ---------------------------------------------------------------------------
+
+struct DelayAwaiter {
+  EventLoop& loop;
+  Time delay;
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    loop.schedule_after(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(EventLoop& loop, Time d) { return {loop, d}; }
+
+// ---------------------------------------------------------------------------
+// Future / Promise: one-shot value channel. Multiple awaiters are allowed;
+// all are resumed (in FIFO order) when the value arrives. Resumption is
+// scheduled as a loop event, never inline, to keep re-entrancy out of
+// set_value() callers.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+struct SharedState {
+  EventLoop* loop;
+  std::optional<T> value;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  bool ready() const { return value.has_value() || error != nullptr; }
+  void wake_all() {
+    for (auto h : waiters) {
+      loop->schedule_after(0, [h] { h.resume(); });
+    }
+    waiters.clear();
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(EventLoop& loop)
+      : state_(std::make_shared<detail::SharedState<T>>()) {
+    state_->loop = &loop;
+  }
+
+  Future<T> get_future() const;
+
+  void set_value(T v) {
+    assert(!state_->ready() && "promise already satisfied");
+    state_->value.emplace(std::move(v));
+    state_->wake_all();
+  }
+  void set_exception(std::exception_ptr e) {
+    assert(!state_->ready() && "promise already satisfied");
+    state_->error = e;
+    state_->wake_all();
+  }
+  bool satisfied() const { return state_->ready(); }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::SharedState<T>> s)
+      : state_(std::move(s)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->ready(); }
+
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      std::shared_ptr<detail::SharedState<T>> state;
+      bool await_ready() const noexcept { return state->ready(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        state->waiters.push_back(h);
+      }
+      T await_resume() {
+        if (state->error) std::rethrow_exception(state->error);
+        return *state->value;  // copy: future may have several awaiters
+      }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <typename T>
+Future<T> Promise<T>::get_future() const {
+  return Future<T>(state_);
+}
+
+}  // namespace sim

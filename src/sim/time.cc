@@ -1,0 +1,23 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double abs = std::fabs(static_cast<double>(t));
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", to_s(t));
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", to_ms(t));
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", to_us(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace sim

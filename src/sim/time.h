@@ -1,0 +1,54 @@
+// Simulated time: signed 64-bit nanoseconds since simulation start.
+//
+// All latency constants in the code base are expressed through the literal
+// helpers below so that units are always explicit at the point of use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+inline constexpr Time nanoseconds(double n) { return static_cast<Time>(n); }
+inline constexpr Time microseconds(double u) {
+  return static_cast<Time>(u * kMicrosecond);
+}
+inline constexpr Time milliseconds(double m) {
+  return static_cast<Time>(m * kMillisecond);
+}
+inline constexpr Time seconds(double s) { return static_cast<Time>(s * kSecond); }
+
+inline constexpr double to_us(Time t) {
+  return static_cast<double>(t) / kMicrosecond;
+}
+inline constexpr double to_ms(Time t) {
+  return static_cast<double>(t) / kMillisecond;
+}
+inline constexpr double to_s(Time t) { return static_cast<double>(t) / kSecond; }
+
+// Human-readable rendering with an auto-selected unit ("12.5 us", "3.1 ms").
+std::string format_time(Time t);
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) {
+  return static_cast<Time>(v);
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return static_cast<Time>(v) * kMicrosecond;
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return static_cast<Time>(v) * kMillisecond;
+}
+constexpr Time operator""_s(unsigned long long v) {
+  return static_cast<Time>(v) * kSecond;
+}
+}  // namespace literals
+
+}  // namespace sim

@@ -1,0 +1,71 @@
+#include "verbs/api.h"
+
+namespace verbs {
+
+const char* to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kVerbsLib: return "Verbs Lib";
+    case Layer::kVirtio: return "virtio";
+    case Layer::kMasqDriver: return "MasQ Driver";
+    case Layer::kRdmaDriver: return "RDMA Driver";
+  }
+  return "?";
+}
+
+void LayerProfile::add(const std::string& verb, Layer layer, sim::Time t) {
+  data_[verb][static_cast<int>(layer)] += t;
+}
+
+sim::Time LayerProfile::total(const std::string& verb) const {
+  auto it = data_.find(verb);
+  if (it == data_.end()) return 0;
+  sim::Time sum = 0;
+  for (auto t : it->second) sum += t;
+  return sum;
+}
+
+sim::Time LayerProfile::by_layer(const std::string& verb, Layer layer) const {
+  auto it = data_.find(verb);
+  if (it == data_.end()) return 0;
+  return it->second[static_cast<int>(layer)];
+}
+
+sim::Time LayerProfile::grand_total() const {
+  sim::Time sum = 0;
+  for (const auto& [verb, layers] : data_) {
+    for (auto t : layers) sum += t;
+  }
+  return sum;
+}
+
+std::vector<std::string> LayerProfile::verbs() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [verb, layers] : data_) out.push_back(verb);
+  return out;
+}
+
+sim::Task<rnic::Completion> Context::wait_completion(rnic::Cqn cq) {
+  while (true) {
+    rnic::Completion c;
+    if (poll_cq(cq, 1, &c) == 1) co_return c;
+    co_await cq_nonempty(cq);
+  }
+}
+
+sim::Task<std::vector<rnic::Completion>> Context::wait_completions(
+    rnic::Cqn cq, int n) {
+  std::vector<rnic::Completion> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<int>(out.size()) < n) {
+    rnic::Completion c = co_await wait_completion(cq);
+    out.push_back(c);
+  }
+  co_return out;
+}
+
+sim::Task<void> Context::compute(sim::Time host_time) {
+  co_await sim::delay(loop(), scale_compute(host_time));
+}
+
+}  // namespace verbs

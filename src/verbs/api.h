@@ -1,0 +1,160 @@
+// Public Verbs API — the interface every application and benchmark in this
+// repository programs against, modeled on libibverbs (Fig. 1).
+//
+// One Context == one opened device from one instance's point of view. The
+// four virtualization candidates (Host-RDMA, SR-IOV, FreeFlow, MasQ)
+// implement this same interface, so applications run unmodified on all of
+// them — exactly how the paper evaluates (§4.1, Fig. 7).
+//
+// Control-path verbs are coroutines: they suspend the caller for their
+// calibrated call time (Table 1). Data-path verbs are plain synchronous
+// calls: post_send/post_recv enqueue WQEs and ring the doorbell; poll_cq
+// never blocks. Coroutine applications use wait_completion() to sleep on a
+// CQ instead of burning simulated time in a poll loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mem/physical_memory.h"
+#include "net/addr.h"
+#include "overlay/oob.h"
+#include "rnic/types.h"
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace verbs {
+
+// Software layers a verb's cost can be attributed to (Fig. 16).
+enum class Layer : std::uint8_t {
+  kVerbsLib = 0,   // user-space library
+  kVirtio = 1,     // virtqueue kick/interrupt transit
+  kMasqDriver = 2, // MasQ frontend + backend processing
+  kRdmaDriver = 3, // kernel RDMA driver + RNIC processing
+};
+inline constexpr int kNumLayers = 4;
+
+const char* to_string(Layer layer);
+
+// Per-verb, per-layer time accounting — the ftrace instrumentation of
+// §4.2.3 / Fig. 16b.
+class LayerProfile {
+ public:
+  void add(const std::string& verb, Layer layer, sim::Time t);
+  sim::Time total(const std::string& verb) const;
+  sim::Time by_layer(const std::string& verb, Layer layer) const;
+  sim::Time grand_total() const;
+  std::vector<std::string> verbs() const;
+  void clear() { data_.clear(); }
+
+ private:
+  std::map<std::string, std::array<sim::Time, kNumLayers>> data_;
+};
+
+struct MrHandle {
+  rnic::Key lkey = 0;
+  rnic::Key rkey = 0;
+  mem::Addr addr = 0;
+  std::uint64_t length = 0;
+};
+
+// What peers exchange over the OOB (TCP) channel before modify_qp(RTR):
+// QP number, GID and, for one-sided ops, an MR descriptor.
+struct ConnInfo {
+  rnic::Qpn qpn = 0;
+  net::Gid gid;
+  std::uint64_t raddr = 0;
+  rnic::Key rkey = 0;
+};
+
+enum class DataVerb : std::uint8_t { kPostSend, kPostRecv, kPollCq };
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual std::string name() const = 0;
+  virtual sim::EventLoop& loop() = 0;
+
+  // --- application memory ------------------------------------------------
+  // Buffers live in the *instance's* address space (guest VA in a VM, host
+  // VA on bare metal / containers).
+  virtual mem::Addr alloc_buffer(std::uint64_t len) = 0;
+  virtual void write_buffer(mem::Addr addr,
+                            std::span<const std::uint8_t> in) = 0;
+  virtual void read_buffer(mem::Addr addr, std::span<std::uint8_t> out) = 0;
+
+  // --- control path (Fig. 1, red verbs) -----------------------------------
+  virtual sim::Task<rnic::Expected<rnic::PdId>> alloc_pd() = 0;
+  virtual sim::Task<rnic::Expected<MrHandle>> reg_mr(rnic::PdId pd,
+                                                     mem::Addr addr,
+                                                     std::uint64_t len,
+                                                     std::uint32_t access) = 0;
+  virtual sim::Task<rnic::Expected<rnic::Cqn>> create_cq(int cqe) = 0;
+  // attr.pd / attr.send_cq / attr.recv_cq must be filled in by the caller.
+  virtual sim::Task<rnic::Expected<rnic::Qpn>> create_qp(
+      const rnic::QpInitAttr& attr) = 0;
+  virtual sim::Task<rnic::Status> modify_qp(rnic::Qpn qpn,
+                                            const rnic::QpAttr& attr,
+                                            std::uint32_t mask) = 0;
+  // GID index 0 of the instance's (virtual) RoCE device. Under MasQ this
+  // is the vBond-maintained virtual GID; applications never see physical
+  // addresses.
+  virtual sim::Task<rnic::Expected<net::Gid>> query_gid() = 0;
+  // ibv_query_qp: the QP context as visible to *this* application. Under
+  // MasQ/FreeFlow this preserves the tenant's virtual addressing even
+  // though the hardware QPC holds renamed physical addresses (§3.3.1).
+  virtual sim::Task<rnic::Expected<rnic::QpAttr>> query_qp(rnic::Qpn qpn) = 0;
+  virtual sim::Task<rnic::Status> destroy_qp(rnic::Qpn qpn) = 0;
+  virtual sim::Task<rnic::Status> destroy_cq(rnic::Cqn cq) = 0;
+  virtual sim::Task<rnic::Status> dereg_mr(const MrHandle& mr) = 0;
+  virtual sim::Task<rnic::Status> dealloc_pd(rnic::PdId pd) = 0;
+
+  // --- data path (Fig. 1, second phase) -----------------------------------
+  virtual rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) = 0;
+  virtual rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) = 0;
+  virtual int poll_cq(rnic::Cqn cq, int max_entries,
+                      rnic::Completion* out) = 0;
+  virtual sim::Future<bool> cq_nonempty(rnic::Cqn cq) = 0;
+  // Resolves when the next inbound message lands on `qpn` — the
+  // application-visible effect of spin-reading a buffer that a peer
+  // RDMA-writes into (ib_write_lat's detection loop).
+  virtual sim::Future<bool> next_rx_event(rnic::Qpn qpn) = 0;
+
+  // Advertised per-call CPU cost of each data-path verb (Fig. 8b).
+  virtual sim::Time data_verb_call_time(DataVerb v) const = 0;
+
+  // --- environment ---------------------------------------------------------
+  // The instance's out-of-band channel (virtual TCP) for exchanging
+  // connection information.
+  virtual overlay::OobEndpoint& oob() = 0;
+
+  // Scales CPU-bound work by the instance's virtualization overhead
+  // (VM > container == host); used by the application layer.
+  virtual sim::Time scale_compute(sim::Time host_time) const = 0;
+
+  // CPU cores the virtualization layer itself burns while the instance
+  // drives network traffic (FreeFlow's FFR polls a core; MasQ/SR-IOV use
+  // none — §4.4.3). Applications with tight core budgets subtract this.
+  virtual double virtualization_cpu_cores() const { return 0.0; }
+
+  // --- helpers (implemented on top of the virtuals) ------------------------
+  // Suspends until a CQE is available, then returns it.
+  sim::Task<rnic::Completion> wait_completion(rnic::Cqn cq);
+  // Collects exactly n completions.
+  sim::Task<std::vector<rnic::Completion>> wait_completions(rnic::Cqn cq,
+                                                            int n);
+  // Burns `host_time` of (scaled) CPU.
+  sim::Task<void> compute(sim::Time host_time);
+
+  LayerProfile& profile() { return profile_; }
+
+ protected:
+  LayerProfile profile_;
+};
+
+}  // namespace verbs

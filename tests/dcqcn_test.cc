@@ -1,0 +1,107 @@
+// Tests for the DCQCN-lite congestion controller: convergence to fairness,
+// near-full utilization, ramp-up of late joiners, and recovery after a
+// competitor leaves.
+#include <gtest/gtest.h>
+
+#include "net/dcqcn.h"
+#include "sim/event_loop.h"
+
+using namespace sim::literals;
+
+namespace {
+
+class DcqcnTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  net::FluidNet fnet{loop};
+};
+
+TEST_F(DcqcnTest, TwoFlowsConvergeToFairShare) {
+  auto link = fnet.add_link(40.0, 0_ns);
+  auto f1 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  auto f2 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  net::DcqcnController cc(loop, fnet);
+  cc.manage(f1, 40.0);
+  cc.manage(f2, 40.0);
+  loop.run_until(50_ms);
+  const double r1 = fnet.current_rate_gbps(f1);
+  const double r2 = fnet.current_rate_gbps(f2);
+  EXPECT_NEAR(r1, r2, 6.0);                  // roughly fair
+  EXPECT_GT(r1 + r2, 40.0 * 0.75);           // high utilization
+  EXPECT_LE(r1 + r2, 40.0 + 1e-6);           // never oversubscribed
+  EXPECT_GT(cc.marks_delivered(), 0u);       // congestion was signalled
+  fnet.cancel_flow(f1);
+  fnet.cancel_flow(f2);
+  loop.run();
+}
+
+TEST_F(DcqcnTest, LateJoinerRampsUpAndIncumbentYields) {
+  auto link = fnet.add_link(40.0, 0_ns);
+  net::DcqcnController cc(loop, fnet);
+  auto f1 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  cc.manage(f1, 40.0);
+  loop.run_until(20_ms);
+  EXPECT_GT(fnet.current_rate_gbps(f1), 30.0);  // alone: near line rate
+  auto f2 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  cc.manage(f2, 40.0);
+  loop.run_until(80_ms);
+  EXPECT_GT(fnet.current_rate_gbps(f2), 10.0);  // newcomer got a share
+  EXPECT_LT(fnet.current_rate_gbps(f1), 32.0);  // incumbent yielded
+  fnet.cancel_flow(f1);
+  fnet.cancel_flow(f2);
+  loop.run();
+}
+
+TEST_F(DcqcnTest, SurvivorRecoversAfterCompetitorLeaves) {
+  auto link = fnet.add_link(40.0, 0_ns);
+  net::DcqcnController cc(loop, fnet);
+  auto f1 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  auto f2 = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+  cc.manage(f1, 40.0);
+  cc.manage(f2, 40.0);
+  loop.run_until(40_ms);
+  fnet.cancel_flow(f2);
+  cc.unmanage(f2);
+  loop.run_until(140_ms);  // additive increase needs time
+  EXPECT_GT(fnet.current_rate_gbps(f1), 32.0);
+  fnet.cancel_flow(f1);
+  loop.run();
+}
+
+TEST_F(DcqcnTest, FinishedFlowStopsTicking) {
+  auto link = fnet.add_link(40.0, 0_ns);
+  net::DcqcnController cc(loop, fnet);
+  bool done = false;
+  auto f = fnet.start_flow({link}, 1'000'000, net::kUncapped,
+                           [&done] { done = true; });
+  cc.manage(f, 40.0);
+  loop.run();  // must terminate: the tick chain ends with the flow
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(cc.managing(f));
+}
+
+TEST_F(DcqcnTest, ManyFlowsShareStably) {
+  auto link = fnet.add_link(40.0, 0_ns);
+  net::DcqcnController cc(loop, fnet);
+  std::vector<net::FlowId> flows;
+  for (int i = 0; i < 8; ++i) {
+    auto f = fnet.start_flow({link}, 0, net::kUncapped, nullptr);
+    cc.manage(f, 40.0);
+    flows.push_back(f);
+  }
+  loop.run_until(100_ms);
+  double sum = 0, mn = 1e9, mx = 0;
+  for (auto f : flows) {
+    const double r = fnet.current_rate_gbps(f);
+    sum += r;
+    mn = std::min(mn, r);
+    mx = std::max(mx, r);
+  }
+  EXPECT_GT(sum, 40.0 * 0.7);
+  EXPECT_LE(sum, 40.0 + 1e-6);
+  EXPECT_LT(mx / std::max(mn, 0.1), 6.0);  // no starvation
+  for (auto f : flows) fnet.cancel_flow(f);
+  loop.run();
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Failure-injection tests: the unhappy paths a production deployment hits
+// — missing controller mappings, security-blocked exchanges, peers dying
+// mid-connection, CQ overflow under load, tunnel-cache thrashing (the §1
+// hardware-solution scalability cliff), and recovery from SQE.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/common.h"
+#include "rnic/device.h"
+#include "fabric/testbed.h"
+
+using namespace sim::literals;
+
+namespace {
+
+net::Ipv4Addr ip(const std::string& s) { return *net::Ipv4Addr::parse(s); }
+
+std::unique_ptr<fabric::Testbed> make_bed(sim::EventLoop& loop,
+                                          fabric::Candidate c,
+                                          int instances = 2) {
+  fabric::TestbedConfig cfg;
+  cfg.candidate = c;
+  cfg.cal.host_dram_bytes = 32ull << 30;
+  cfg.cal.vm_mem_bytes = 512ull << 20;
+  auto bed = std::make_unique<fabric::Testbed>(loop, cfg);
+  bed->add_instances(instances);
+  return bed;
+}
+
+TEST(FailureTest, ConnectToUnknownVgidReturnsNotFound) {
+  // The peer's vGID was never registered (e.g. its VM is gone): the
+  // controller has no mapping and RConnrename must fail the RTR.
+  sim::EventLoop loop;
+  auto bed = make_bed(loop, fabric::Candidate::kMasq);
+  // Security explicitly allows the phantom peer, so the failure is
+  // attributable to the missing mapping, not to RConntrack.
+  auto& pol = bed->policy(100);
+  pol.security_group(ip("192.168.77.77"), overlay::Chain::kInput)
+      .add_rule(overlay::Rule::allow_all());
+  pol.security_group(ip("192.168.77.77"), overlay::Chain::kOutput)
+      .add_rule(overlay::Rule::allow_all());
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      rnic::QpAttr attr;
+      attr.state = rnic::QpState::kInit;
+      (void)co_await bed->ctx(0).modify_qp(ep.qp, attr, rnic::kAttrState);
+      attr.state = rnic::QpState::kRtr;
+      attr.dest_gid = net::Gid::from_ipv4(ip("192.168.77.77"));  // nobody
+      attr.dest_qpn = 42;
+      const auto st = co_await bed->ctx(0).modify_qp(
+          ep.qp, attr,
+          rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn);
+      EXPECT_EQ(st, rnic::Status::kNotFound);
+    }
+  };
+  loop.spawn(Run::go(bed.get()));
+  loop.run();
+}
+
+TEST(FailureTest, BlockedOobExchangeAbortsBeforeAnyRdmaState) {
+  // Security groups block the TCP exchange itself (§3.3.2 subproblem 1):
+  // no connection info crosses, so no QP ever leaves INIT.
+  sim::EventLoop loop;
+  auto bed = make_bed(loop, fabric::Candidate::kMasq);
+  bed->policy(100)
+      .security_group(bed->instance_vip(1), overlay::Chain::kInput)
+      .add_rule(overlay::Rule::deny(net::Ipv4Cidr::any(),
+                                    net::Ipv4Cidr::any(),
+                                    overlay::Proto::kTcp, 500));
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      const auto st = co_await apps::connect_client(
+          bed->ctx(0), ep, bed->instance_vip(1), 8100);
+      EXPECT_EQ(st, rnic::Status::kPermissionDenied);
+      EXPECT_EQ(bed->device(0).qp_state(ep.qp), rnic::QpState::kReset);
+    }
+  };
+  loop.spawn(Run::go(bed.get()));
+  loop.run();
+  EXPECT_GE(bed->vnet().messages_blocked(), 1u);
+}
+
+TEST(FailureTest, PeerQpDestroyedMidTrafficYieldsRetryExceeded) {
+  sim::EventLoop loop;
+  auto bed = make_bed(loop, fabric::Candidate::kMasq);
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      apps::Endpoint server;
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed,
+                                   apps::Endpoint* out) {
+          *out = co_await apps::setup_endpoint(bed->ctx(1));
+          (void)co_await apps::connect_server(bed->ctx(1), *out,
+                                              bed->instance_vip(0), 8200);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed, &server));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      (void)co_await apps::connect_client(bed->ctx(0), ep,
+                                          bed->instance_vip(1), 8200);
+      // Server vanishes (crash / destroy) ...
+      (void)co_await bed->ctx(1).destroy_qp(server.qp);
+      // ... client's next write gets no ack and retries out.
+      const auto wc = co_await apps::write_and_wait(bed->ctx(0), ep, 0, 0,
+                                                    64);
+      EXPECT_EQ(wc, rnic::WcStatus::kTransportRetryExc);
+      EXPECT_EQ(bed->device(0).qp_state(ep.qp), rnic::QpState::kSqe);
+    }
+  };
+  loop.spawn(Run::go(bed.get()));
+  loop.run();
+}
+
+TEST(FailureTest, SqeRecoversViaModifyToRts) {
+  // Fig. 5: SQE -> RTS resumes the send queue after the app reaps the
+  // error (receive side was never affected).
+  sim::EventLoop loop;
+  auto bed = make_bed(loop, fabric::Candidate::kMasq);
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      apps::Endpoint server;
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed,
+                                   apps::Endpoint* out) {
+          *out = co_await apps::setup_endpoint(bed->ctx(1));
+          (void)co_await apps::connect_server(bed->ctx(1), *out,
+                                              bed->instance_vip(0), 8300);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed, &server));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      (void)co_await apps::connect_client(bed->ctx(0), ep,
+                                          bed->instance_vip(1), 8300);
+      // Trigger a local protection error -> SQE.
+      rnic::SendWr bad;
+      bad.wr_id = 1;
+      bad.opcode = rnic::WrOpcode::kSend;
+      bad.sge = {ep.buf + ep.buf_len, 64, ep.mr.lkey};  // out of bounds
+      (void)bed->ctx(0).post_send(ep.qp, bad);
+      auto c = co_await bed->ctx(0).wait_completion(ep.scq);
+      EXPECT_EQ(c.status, rnic::WcStatus::kLocProtErr);
+      EXPECT_EQ(bed->device(0).qp_state(ep.qp), rnic::QpState::kSqe);
+      // Recover and send for real.
+      rnic::QpAttr attr;
+      attr.state = rnic::QpState::kRts;
+      EXPECT_EQ(co_await bed->ctx(0).modify_qp(ep.qp, attr,
+                                               rnic::kAttrState),
+                rnic::Status::kOk);
+      struct Rx {
+        static sim::Task<void> rx(fabric::Testbed* bed, apps::Endpoint* ep) {
+          auto c = co_await apps::recv_and_wait(bed->ctx(1), *ep, 0, 256);
+          EXPECT_EQ(c.status, rnic::WcStatus::kSuccess);
+        }
+      };
+      bed->loop().spawn(Rx::rx(bed, &server));
+      const auto wc = co_await apps::send_and_wait(bed->ctx(0), ep, 0, 16);
+      EXPECT_EQ(wc, rnic::WcStatus::kSuccess);
+    }
+  };
+  loop.spawn(Run::go(bed.get()));
+  loop.run();
+}
+
+TEST(FailureTest, CqOverflowUnderUnpolledLoad) {
+  sim::EventLoop loop;
+  auto bed = make_bed(loop, fabric::Candidate::kMasq);
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      apps::EndpointOptions opts;
+      opts.cq_entries = 4;  // tiny CQ
+      opts.max_wr = 64;
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed,
+                                   apps::EndpointOptions opts) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(1), opts);
+          (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                              bed->instance_vip(0), 8400);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed, opts));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0), opts);
+      (void)co_await apps::connect_client(bed->ctx(0), ep,
+                                          bed->instance_vip(1), 8400);
+      // 16 writes complete while the app never polls: 4 CQEs fit, the
+      // rest drop and the overflow flag latches.
+      for (int i = 0; i < 16; ++i) {
+        rnic::SendWr wr;
+        wr.wr_id = static_cast<std::uint64_t>(i);
+        wr.opcode = rnic::WrOpcode::kRdmaWrite;
+        wr.sge = {ep.buf, 128, ep.mr.lkey};
+        wr.remote_addr = ep.peer.raddr;
+        wr.rkey = ep.peer.rkey;
+        (void)bed->ctx(0).post_send(ep.qp, wr);
+      }
+      co_await sim::delay(bed->loop(), sim::milliseconds(10));
+      EXPECT_TRUE(bed->device(0).cq_overflowed(ep.scq));
+      rnic::Completion c;
+      EXPECT_EQ(bed->ctx(0).poll_cq(ep.scq, 1, &c), 1);
+    }
+  };
+  loop.spawn(Run::go(bed.get()));
+  loop.run();
+}
+
+TEST(FailureTest, SriovTunnelCacheThrashesWithManyPeers) {
+  // §1: hardware solutions cache virtual-network context on-chip; once
+  // the peer set exceeds the cache, messages fetch tunnel entries from
+  // DRAM ("throughput of stat operations decreases by almost 50% when the
+  // number of clients increases from 40 to 120").
+  sim::EventLoop loop;
+  net::FluidNet fnet(loop);
+  mem::HostPhysMap phys(1024 * mem::kPageSize);
+  rnic::DeviceConfig dc;
+  dc.ip = ip("10.0.0.1");
+  dc.tunnel_cache_capacity = 32;  // small on-chip cache
+  rnic::RnicDevice dev(loop, fnet, phys, dc);
+  dev.set_fn_address(1, ip("192.168.1.1"), net::MacAddr::from_u64(1), 100,
+                     /*vxlan_offload=*/true);
+  // 128 peers, 4x the cache.
+  for (int i = 0; i < 128; ++i) {
+    dev.program_tunnel(
+        net::Gid::from_ipv4(net::Ipv4Addr{0xC0A80200u +
+                                          static_cast<std::uint32_t>(i)}),
+        {net::Gid::from_ipv4(ip("10.0.0.2")), 100});
+  }
+  // One UD QP sends a datagram to each peer round-robin: the per-WQE
+  // destination forces a tunnel lookup per message.
+  auto pd = dev.alloc_pd(1).value;
+  auto cq = dev.create_cq(1, 4096).value;
+  rnic::QpInitAttr init;
+  init.type = rnic::QpType::kUd;
+  init.pd = pd;
+  init.send_cq = cq;
+  init.recv_cq = cq;
+  init.caps.max_send_wr = 4096;
+  auto qp = dev.create_qp(1, init).value;
+  const mem::Addr hpa = phys.alloc_pages(1);
+  auto mr = dev.create_mr(1, pd, 0x7f0000000000ull, 4096, rnic::kLocalWrite,
+                          {{hpa, 4096}});
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kInit;
+  attr.qkey = 1;
+  (void)dev.modify_qp(qp, attr, rnic::kAttrState | rnic::kAttrQkey);
+  attr.state = rnic::QpState::kRtr;
+  (void)dev.modify_qp(qp, attr, rnic::kAttrState);
+  attr.state = rnic::QpState::kRts;
+  (void)dev.modify_qp(qp, attr, rnic::kAttrState);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 128; ++i) {
+      rnic::SendWr wr;
+      wr.wr_id = static_cast<std::uint64_t>(i);
+      wr.opcode = rnic::WrOpcode::kSend;
+      wr.sge = {0x7f0000000000ull, 8, mr.value.lkey};
+      wr.ud = {net::Gid::from_ipv4(net::Ipv4Addr{
+                   0xC0A80200u + static_cast<std::uint32_t>(i)}),
+               5, 1};
+      (void)dev.post_send(qp, wr);
+    }
+    loop.run();
+  }
+  // Working set (128) >> cache (32) with LRU round-robin: every single
+  // lookup misses — the scalability cliff.
+  EXPECT_EQ(dev.tunnel_cache_hits(), 0u);
+  EXPECT_EQ(dev.tunnel_cache_misses(), 256u);
+}
+
+TEST(FailureTest, InstanceExhaustionReportsCleanly) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.num_hosts = 1;
+  cfg.cal.host_dram_bytes = 2ull << 30;  // fits 3 VMs
+  fabric::Testbed bed(loop, cfg);
+  int created = 0;
+  while (bed.add_instance().has_value()) ++created;
+  EXPECT_EQ(created, 3);
+  EXPECT_THROW(bed.add_instances(1), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Unit tests for the MasQ core module: vBond lifecycle, RConntrack rule
+// management and diagnostics, backend QoS grouping, mapping-cache
+// push-down coherence, and live migration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/common.h"
+#include "fabric/testbed.h"
+#include "masq/frontend.h"
+#include "masq/vbond.h"
+#include "sdn/controller.h"
+
+using namespace sim::literals;
+
+namespace {
+
+net::Ipv4Addr ip(const std::string& s) { return *net::Ipv4Addr::parse(s); }
+
+// ----------------------------------------------------------------- vBond
+
+class VbondTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop_;
+  sdn::Controller ctl_{loop_};
+  net::Gid pgid_ = net::Gid::from_ipv4(ip("10.0.0.1"));
+};
+
+TEST_F(VbondTest, BindDerivesGidFromVethIp) {
+  masq::VBond vb(ctl_, 7, net::MacAddr::from_u64(0x1), pgid_);
+  EXPECT_FALSE(vb.bound());
+  vb.bind(ip("192.168.5.5"));
+  EXPECT_TRUE(vb.bound());
+  EXPECT_EQ(vb.vgid(), net::Gid::from_ipv4(ip("192.168.5.5")));
+  EXPECT_EQ(ctl_.lookup(7, vb.vgid()), pgid_);
+}
+
+TEST_F(VbondTest, InetaddrEventMovesRegistration) {
+  masq::VBond vb(ctl_, 7, net::MacAddr::from_u64(0x1), pgid_);
+  vb.bind(ip("192.168.5.5"));
+  vb.on_inetaddr_event(ip("192.168.5.99"));
+  EXPECT_FALSE(
+      ctl_.lookup(7, net::Gid::from_ipv4(ip("192.168.5.5"))).has_value());
+  EXPECT_EQ(ctl_.lookup(7, net::Gid::from_ipv4(ip("192.168.5.99"))), pgid_);
+}
+
+TEST_F(VbondTest, DestructorUnregisters) {
+  {
+    masq::VBond vb(ctl_, 7, net::MacAddr::from_u64(0x1), pgid_);
+    vb.bind(ip("192.168.5.5"));
+    EXPECT_EQ(ctl_.table_size(), 1u);
+  }
+  EXPECT_EQ(ctl_.table_size(), 0u);
+}
+
+TEST_F(VbondTest, ReleaseHandsOverOwnership) {
+  masq::VBond successor(ctl_, 7, net::MacAddr::from_u64(0x1),
+                        net::Gid::from_ipv4(ip("10.0.0.2")));
+  {
+    masq::VBond vb(ctl_, 7, net::MacAddr::from_u64(0x1), pgid_);
+    vb.bind(ip("192.168.5.5"));
+    successor.bind(ip("192.168.5.5"));  // migration target re-registers
+    vb.release();
+  }  // destructor must NOT clobber the successor's mapping
+  EXPECT_EQ(ctl_.lookup(7, net::Gid::from_ipv4(ip("192.168.5.5"))),
+            net::Gid::from_ipv4(ip("10.0.0.2")));
+}
+
+// -------------------------------------------------------- backend / fabric
+
+class MasqBackendTest : public ::testing::Test {
+ protected:
+  MasqBackendTest() {
+    fabric::TestbedConfig cfg;
+    cfg.candidate = fabric::Candidate::kMasq;
+    cfg.cal.host_dram_bytes = 16ull << 30;
+    cfg.cal.vm_mem_bytes = 512ull << 20;
+    bed_ = std::make_unique<fabric::Testbed>(loop_, cfg);
+  }
+
+  sim::EventLoop loop_;
+  std::unique_ptr<fabric::Testbed> bed_;
+};
+
+TEST_F(MasqBackendTest, TenantsGetDistinctVfsUntilWraparound) {
+  auto& backend = bed_->masq_backend(0);
+  std::set<rnic::FnId> fns;
+  for (std::uint32_t vni = 1; vni <= 8; ++vni) {
+    fns.insert(backend.tenant_fn(vni));
+  }
+  EXPECT_EQ(fns.size(), 8u);  // 8 VFs, 8 tenants, all distinct
+  // The 9th tenant shares a limiter (round-robin wraparound).
+  const rnic::FnId ninth = backend.tenant_fn(9);
+  EXPECT_TRUE(fns.count(ninth) == 1);
+  // Mapping is sticky.
+  EXPECT_EQ(backend.tenant_fn(3), backend.tenant_fn(3));
+}
+
+TEST_F(MasqBackendTest, PfModeRejectsQos) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.masq_use_pf = true;
+  cfg.cal.host_dram_bytes = 8ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  EXPECT_EQ(bed.masq_backend(0).tenant_fn(100), rnic::kPf);
+  EXPECT_THROW(bed.masq_backend(0).set_tenant_rate_limit(100, 10.0),
+               std::logic_error);
+}
+
+TEST_F(MasqBackendTest, ControllerPushDownKeepsCachesCoherent) {
+  bed_->add_instances(2);
+  auto& cache = bed_->masq_backend(0).mapping_cache();
+  // Instance 1's vGID was pushed at registration time: first resolve hits.
+  struct Probe {
+    static sim::Task<void> run(fabric::Testbed* bed, bool* hit) {
+      auto& cache = bed->masq_backend(0).mapping_cache();
+      const auto before = cache.misses();
+      auto r = co_await cache.resolve(
+          100, net::Gid::from_ipv4(bed->instance_vip(1)));
+      *hit = r.has_value() && cache.misses() == before;
+    }
+  };
+  bool hit = false;
+  loop_.spawn(Probe::run(bed_.get(), &hit));
+  loop_.run();
+  EXPECT_TRUE(hit);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST_F(MasqBackendTest, DiagnosticsMapQpnToTenantFlow) {
+  bed_->add_instances(2);
+  apps::Endpoint client;
+  struct Conn {
+    static sim::Task<void> run(fabric::Testbed* bed, apps::Endpoint* out) {
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+          (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                              bed->instance_vip(0), 7700);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed));
+      *out = co_await apps::setup_endpoint(bed->ctx(0));
+      (void)co_await apps::connect_client(bed->ctx(0), *out,
+                                          bed->instance_vip(1), 7700);
+    }
+  };
+  loop_.spawn(Conn::run(bed_.get(), &client));
+  loop_.run();
+  // §5: underlay telemetry sees only (physical IP, QPN); RConntrack's
+  // table recovers the tenant flow.
+  const auto* entry =
+      bed_->masq_backend(0).conntrack().lookup(client.qp, 100);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->src_vip, bed_->instance_vip(0));
+  EXPECT_EQ(entry->dst_vip, bed_->instance_vip(1));
+  EXPECT_EQ(entry->vni, 100u);
+}
+
+// ---------------------------------------------------------- live migration
+
+TEST_F(MasqBackendTest, MigrationMovesVmAndRemapsVgid) {
+  bed_->add_instances(2);
+  const auto vgid0 = net::Gid::from_ipv4(bed_->instance_vip(0));
+  EXPECT_EQ(bed_->controller().lookup(100, vgid0),
+            net::Gid::from_ipv4(bed_->device(0).config().ip));
+  const auto host0_used = bed_->host(0).dram_used_bytes();
+  const auto host1_used = bed_->host(1).dram_used_bytes();
+
+  ASSERT_EQ(bed_->migrate_instance(0, 1), rnic::Status::kOk);
+
+  EXPECT_EQ(bed_->instance_host(0), 1u);
+  EXPECT_EQ(bed_->controller().lookup(100, vgid0),
+            net::Gid::from_ipv4(bed_->device(1).config().ip));
+  EXPECT_LT(bed_->host(0).dram_used_bytes(), host0_used);
+  EXPECT_GT(bed_->host(1).dram_used_bytes(), host1_used);
+
+  // The instance is fully usable after migration: connect + transfer.
+  struct After {
+    static sim::Task<void> run(fabric::Testbed* bed) {
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+          (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                              bed->instance_vip(0), 7800);
+          auto c = co_await apps::recv_and_wait(bed->ctx(1), ep, 0, 256);
+          EXPECT_EQ(c.status, rnic::WcStatus::kSuccess);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      const auto st = co_await apps::connect_client(
+          bed->ctx(0), ep, bed->instance_vip(1), 7800);
+      EXPECT_EQ(st, rnic::Status::kOk);
+      // Both VMs now sit on host 1: the frame still routes (loopback
+      // through the shared port).
+      auto wc = co_await apps::send_and_wait(bed->ctx(0), ep, 0, 32);
+      EXPECT_EQ(wc, rnic::WcStatus::kSuccess);
+    }
+  };
+  loop_.spawn(After::run(bed_.get()));
+  loop_.run();
+}
+
+TEST_F(MasqBackendTest, MigrationRejectedForNonMasq) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kSriov;
+  cfg.cal.host_dram_bytes = 8ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  EXPECT_EQ(bed.migrate_instance(0, 1), rnic::Status::kInvalidArgument);
+}
+
+TEST_F(MasqBackendTest, MigrationToSameHostIsNoop) {
+  bed_->add_instances(2);
+  EXPECT_EQ(bed_->migrate_instance(0, 0), rnic::Status::kOk);
+  EXPECT_EQ(bed_->instance_host(0), 0u);
+}
+
+TEST_F(MasqBackendTest, SecurityRulesSurviveMigration) {
+  bed_->add_instances(2);
+  // Deny RDMA for this tenant before migrating.
+  bed_->policy(100).firewall(overlay::Chain::kForward)
+      .add_rule(overlay::Rule::deny(net::Ipv4Cidr::any(),
+                                    net::Ipv4Cidr::any(),
+                                    overlay::Proto::kRdma, 900));
+  ASSERT_EQ(bed_->migrate_instance(0, 1), rnic::Status::kOk);
+  struct Try {
+    static sim::Task<void> run(fabric::Testbed* bed) {
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+          (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                              bed->instance_vip(0), 7900);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      const auto st = co_await apps::connect_client(
+          bed->ctx(0), ep, bed->instance_vip(1), 7900);
+      EXPECT_EQ(st, rnic::Status::kPermissionDenied);
+    }
+  };
+  loop_.spawn(Try::run(bed_.get()));
+  loop_.run();
+}
+
+}  // namespace

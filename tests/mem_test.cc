@@ -1,0 +1,239 @@
+// Unit tests for the memory substrate: physical map, region allocator,
+// stacked address spaces (the Appendix-B GVA->GPA->HVA->HPA chain), pinning
+// and MMIO routing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "mem/address_space.h"
+#include "mem/physical_memory.h"
+#include "mem/region_allocator.h"
+
+namespace {
+
+using mem::Addr;
+using mem::kPageSize;
+
+TEST(HostPhysMapTest, AllocFreeRoundTrip) {
+  mem::HostPhysMap pm(64 * kPageSize);
+  const Addr a = pm.alloc_pages(4);
+  const Addr b = pm.alloc_pages(4);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pm.allocated_pages(), 8u);
+  pm.free_pages(a, 4);
+  pm.free_pages(b, 4);
+  EXPECT_EQ(pm.allocated_pages(), 0u);
+  // After coalescing the full region is allocatable again.
+  const Addr c = pm.alloc_pages(64);
+  EXPECT_EQ(c, 0u);
+}
+
+TEST(HostPhysMapTest, ExhaustionThrowsBadAlloc) {
+  mem::HostPhysMap pm(8 * kPageSize);
+  (void)pm.alloc_pages(8);
+  EXPECT_THROW(pm.alloc_pages(1), std::bad_alloc);
+}
+
+TEST(HostPhysMapTest, DoubleFreeDetected) {
+  mem::HostPhysMap pm(8 * kPageSize);
+  const Addr a = pm.alloc_pages(2);
+  pm.free_pages(a, 2);
+  EXPECT_THROW(pm.free_pages(a, 2), std::logic_error);
+}
+
+TEST(HostPhysMapTest, DramReadWrite) {
+  mem::HostPhysMap pm(16 * kPageSize);
+  const Addr a = pm.alloc_pages(2);
+  std::uint8_t in[6000];
+  for (size_t i = 0; i < sizeof(in); ++i) in[i] = static_cast<std::uint8_t>(i);
+  pm.write(a + 100, in);  // crosses a page boundary
+  std::uint8_t out[6000] = {};
+  pm.read(a + 100, out);
+  EXPECT_EQ(0, std::memcmp(in, out, sizeof(in)));
+}
+
+TEST(HostPhysMapTest, OutOfRangeAccessThrows) {
+  mem::HostPhysMap pm(4 * kPageSize);
+  std::uint8_t buf[16];
+  EXPECT_THROW(pm.read(4 * kPageSize - 8, buf), std::out_of_range);
+}
+
+class RecordingMmio : public mem::MmioDevice {
+ public:
+  void mmio_write(Addr offset, std::uint64_t value) override {
+    last_offset = offset;
+    last_value = value;
+    ++writes;
+  }
+  std::uint64_t mmio_read(Addr offset) override {
+    last_offset = offset;
+    return 0xabcd;
+  }
+  Addr last_offset = 0;
+  std::uint64_t last_value = 0;
+  int writes = 0;
+};
+
+TEST(HostPhysMapTest, MmioRoutesToDevice) {
+  mem::HostPhysMap pm(4 * kPageSize);
+  RecordingMmio dev;
+  const Addr bar = pm.register_mmio(kPageSize, &dev);
+  EXPECT_TRUE(pm.is_mmio(bar));
+  EXPECT_FALSE(pm.is_mmio(0));
+  pm.write_u64(bar + 16, 0x1234);
+  EXPECT_EQ(dev.writes, 1);
+  EXPECT_EQ(dev.last_offset, 16u);
+  EXPECT_EQ(dev.last_value, 0x1234u);
+  EXPECT_EQ(pm.read_u64(bar + 8), 0xabcdu);
+}
+
+TEST(HostPhysMapTest, MisalignedMmioThrows) {
+  mem::HostPhysMap pm(4 * kPageSize);
+  RecordingMmio dev;
+  const Addr bar = pm.register_mmio(kPageSize, &dev);
+  std::uint8_t buf[4] = {};
+  EXPECT_THROW(pm.write(bar + 4, buf), std::invalid_argument);
+}
+
+TEST(RegionAllocatorTest, FirstFitAndCoalesce) {
+  mem::RegionAllocator ra(0x10000, 16 * kPageSize);
+  const Addr a = ra.alloc(3 * kPageSize);
+  const Addr b = ra.alloc(5 * kPageSize);
+  EXPECT_EQ(a, 0x10000u);
+  EXPECT_EQ(b, a + 3 * kPageSize);
+  ra.free(a, 3 * kPageSize);
+  ra.free(b, 5 * kPageSize);
+  EXPECT_EQ(ra.bytes_allocated(), 0u);
+  EXPECT_EQ(ra.alloc(16 * kPageSize), 0x10000u);
+}
+
+TEST(RegionAllocatorTest, RoundsUpToPages) {
+  mem::RegionAllocator ra(0, 4 * kPageSize);
+  const Addr a = ra.alloc(1);
+  (void)a;
+  EXPECT_EQ(ra.bytes_allocated(), kPageSize);
+}
+
+TEST(RegionAllocatorTest, ExhaustionThrows) {
+  mem::RegionAllocator ra(0, 2 * kPageSize);
+  (void)ra.alloc(2 * kPageSize);
+  EXPECT_THROW(ra.alloc(kPageSize), std::bad_alloc);
+}
+
+TEST(RegionAllocatorTest, FreeOutsideRegionThrows) {
+  mem::RegionAllocator ra(0x1000 * kPageSize, 2 * kPageSize);
+  EXPECT_THROW(ra.free(0, kPageSize), std::out_of_range);
+}
+
+// Builds the full four-level chain of Appendix B and checks translation,
+// data access and pinning across it.
+class ChainTest : public ::testing::Test {
+ protected:
+  ChainTest()
+      : pm_(256 * kPageSize),
+        hva_("qemu-hva", &pm_),
+        gpa_("vm-ram", &hva_),
+        gva_("guest-app", &gpa_) {
+    // QEMU maps 16 pages of VM RAM: HVA 0xA0000.. -> freshly allocated HPA.
+    const Addr hpa = pm_.alloc_pages(16);
+    hva_.map(hva_base_, hpa, 16 * kPageSize);
+    // The VM sees its RAM at GPA 0 (GPA -> HVA).
+    gpa_.map(0, hva_base_, 16 * kPageSize);
+    // Guest app maps 4 pages at GVA 0x7f0000000000 -> GPA page 3.
+    gva_.map(gva_base_, 3 * kPageSize, 4 * kPageSize);
+  }
+
+  mem::HostPhysMap pm_;
+  mem::AddressSpace hva_, gpa_, gva_;
+  static constexpr Addr hva_base_ = 0xA0000000;
+  static constexpr Addr gva_base_ = 0x7f0000000000;
+};
+
+TEST_F(ChainTest, ResolveHpaWalksAllLevels) {
+  const Addr hpa = gva_.resolve_hpa(gva_base_ + 123);
+  // GVA page 0 -> GPA page 3 -> HVA base + 3 pages -> HPA base + 3 pages.
+  const Addr expect = hva_.translate_or_throw(hva_base_) + 3 * kPageSize + 123;
+  EXPECT_EQ(hpa, expect);
+}
+
+TEST_F(ChainTest, ReadWriteThroughChain) {
+  const char msg[] = "rdma payload crossing pages";
+  std::uint8_t buf[sizeof(msg)];
+  std::memcpy(buf, msg, sizeof(msg));
+  gva_.write(gva_base_ + kPageSize - 7, buf);  // crosses page boundary
+  std::uint8_t out[sizeof(msg)] = {};
+  gva_.read(gva_base_ + kPageSize - 7, out);
+  EXPECT_EQ(0, std::memcmp(buf, out, sizeof(msg)));
+  // The same bytes are visible through the host view at the resolved HPA.
+  const Addr hpa = gva_.resolve_hpa(gva_base_ + kPageSize - 7);
+  std::uint8_t host_first = 0;
+  pm_.read(hpa, {&host_first, 1});
+  EXPECT_EQ(host_first, static_cast<std::uint8_t>('r'));
+}
+
+TEST_F(ChainTest, UnmappedAccessThrows) {
+  EXPECT_THROW(gva_.resolve_hpa(0xdead0000), std::out_of_range);
+  std::uint8_t b[1];
+  EXPECT_THROW(gva_.read(gva_base_ + 4 * kPageSize, b), std::out_of_range);
+}
+
+TEST_F(ChainTest, PinBlocksUnmap) {
+  gva_.pin(gva_base_, kPageSize);
+  EXPECT_THROW(gva_.unmap(gva_base_, kPageSize), std::logic_error);
+  gva_.unpin(gva_base_, kPageSize);
+  // Unmapping one page of the 4-page mapping is now allowed.
+  gva_.unmap(gva_base_, kPageSize);
+  EXPECT_FALSE(gva_.is_mapped(gva_base_));
+}
+
+TEST_F(ChainTest, PinChainPinsEveryLevel) {
+  gva_.pin_chain(gva_base_, 2 * kPageSize);
+  EXPECT_TRUE(gva_.is_pinned(gva_base_));
+  EXPECT_TRUE(gpa_.is_pinned(3 * kPageSize));
+  EXPECT_TRUE(hva_.is_pinned(hva_base_ + 3 * kPageSize));
+  EXPECT_THROW(hva_.unmap(hva_base_, 16 * kPageSize), std::logic_error);
+  gva_.unpin_chain(gva_base_, 2 * kPageSize);
+  EXPECT_FALSE(gpa_.is_pinned(3 * kPageSize));
+}
+
+TEST_F(ChainTest, TranslateRangeMergesContiguousPages) {
+  auto segs = gva_.translate_range(gva_base_ + 100, 3 * kPageSize);
+  // GVA pages 0..3 map to contiguous GPA pages 3..6, so one segment.
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].addr, 3 * kPageSize + 100);
+  EXPECT_EQ(segs[0].len, 3 * kPageSize);
+}
+
+TEST_F(ChainTest, TranslateRangeSplitsNonContiguous) {
+  // Map two non-adjacent GPA pages at consecutive GVAs.
+  const Addr va = 0x500000000000;
+  gva_.map(va, 9 * kPageSize, kPageSize);
+  gva_.map(va + kPageSize, 12 * kPageSize, kPageSize);
+  auto segs = gva_.translate_range(va, 2 * kPageSize);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].addr, 9 * kPageSize);
+  EXPECT_EQ(segs[1].addr, 12 * kPageSize);
+}
+
+TEST_F(ChainTest, DoubleMapThrows) {
+  EXPECT_THROW(gva_.map(gva_base_, 0, kPageSize), std::logic_error);
+}
+
+TEST_F(ChainTest, MmioVisibleThroughChain) {
+  // Map an RNIC doorbell BAR into the guest (Appendix B.1 flow).
+  RecordingMmio dev;
+  const Addr bar = pm_.register_mmio(kPageSize, &dev);
+  const Addr db_hva = 0xB0000000;
+  hva_.map(db_hva, bar, kPageSize);
+  gpa_.map(64 * kPageSize, db_hva, kPageSize);
+  const Addr db_gva = 0x7f1000000000;
+  gva_.map(db_gva, 64 * kPageSize, kPageSize);
+  gva_.write_u64(db_gva + 8, 0x77);
+  EXPECT_EQ(dev.writes, 1);
+  EXPECT_EQ(dev.last_offset, 8u);
+  EXPECT_EQ(dev.last_value, 0x77u);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Mini-MPI tests: point-to-point ordering and integrity, chunked large
+// messages, collectives (binomial bcast, recursive-doubling allreduce on
+// power-of-two and odd rank counts), alltoallv, co-located ranks, and the
+// OSU benchmark shapes across candidates (Fig. 13/14).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "apps/minimpi.h"
+#include "fabric/testbed.h"
+
+namespace {
+
+using apps::mpi::Comm;
+using fabric::Candidate;
+
+struct Rig {
+  sim::EventLoop loop;
+  std::unique_ptr<fabric::Testbed> bed;
+  std::unique_ptr<Comm> comm;
+
+  // `ranks` maps each MPI rank to an instance; instances are created on
+  // demand (round-robin across 2 hosts).
+  Rig(Candidate c, std::vector<std::size_t> ranks, int instances) {
+    fabric::TestbedConfig cfg;
+    cfg.candidate = c;
+    cfg.cal.host_dram_bytes = 48ull << 30;
+    cfg.cal.vm_mem_bytes = 8ull << 30;  // MPI buffers need room
+    bed = std::make_unique<fabric::Testbed>(loop, cfg);
+    bed->add_instances(instances);
+    struct Maker {
+      static sim::Task<void> run(Rig* rig, std::vector<std::size_t> ranks) {
+        rig->comm = co_await Comm::create(*rig->bed, std::move(ranks));
+      }
+    };
+    loop.spawn(Maker::run(this, std::move(ranks)));
+    loop.run();
+    if (!comm) throw std::runtime_error("comm creation failed");
+  }
+
+  void run(sim::Task<void> t) {
+    loop.spawn(std::move(t));
+    loop.run();
+  }
+};
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(MpiTest, PointToPointDeliversInOrder) {
+  Rig rig(Candidate::kMasq, {0, 1}, 2);
+  auto scenario = [](Rig& r) -> sim::Task<void> {
+    auto a = bytes({1, 2, 3});
+    auto b = bytes({4, 5});
+    co_await r.comm->send(0, 1, a);
+    co_await r.comm->send(0, 1, b);
+    auto m1 = co_await r.comm->recv(1, 0);
+    auto m2 = co_await r.comm->recv(1, 0);
+    EXPECT_EQ(m1, bytes({1, 2, 3}));
+    EXPECT_EQ(m2, bytes({4, 5}));
+  };
+  rig.run(scenario(rig));
+}
+
+TEST(MpiTest, LargeMessageIsChunkedAndReassembled) {
+  Rig rig(Candidate::kMasq, {0, 1}, 2);
+  auto scenario = [](Rig& r) -> sim::Task<void> {
+    std::vector<std::uint8_t> big(300 * 1024);  // > 64 KiB chunk capacity
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    std::vector<std::uint8_t> got;
+    co_await r.comm->transfer(0, 1, big, &got);
+    EXPECT_EQ(got, big);
+  };
+  rig.run(scenario(rig));
+}
+
+TEST(MpiTest, CoLocatedRanksUseLocalChannel) {
+  // Ranks 0 and 1 on the same instance.
+  Rig rig(Candidate::kMasq, {0, 0}, 1);
+  auto scenario = [](Rig& r) -> sim::Task<void> {
+    const sim::Time t0 = r.loop.now();
+    std::vector<std::uint8_t> got;
+    auto payload = bytes({9, 9});
+    co_await r.comm->transfer(0, 1, payload, &got);
+    EXPECT_EQ(got, payload);
+    EXPECT_LT(r.loop.now() - t0, sim::microseconds(5));  // no NIC involved
+  };
+  rig.run(scenario(rig));
+}
+
+TEST(MpiTest, BroadcastReachesAllRanks) {
+  Rig rig(Candidate::kMasq, {0, 1, 0, 1, 0, 1}, 2);  // 6 ranks on 2 VMs
+  auto scenario = [](Rig& r) -> sim::Task<void> {
+    std::vector<std::vector<std::uint8_t>> data;
+    auto payload = bytes({42, 43, 44});
+    co_await r.comm->bcast(2, payload, &data);
+    for (int rank = 0; rank < r.comm->size(); ++rank) {
+      EXPECT_EQ(data[static_cast<std::size_t>(rank)], bytes({42, 43, 44}))
+          << "rank " << rank;
+    }
+  };
+  rig.run(scenario(rig));
+}
+
+class MpiAllreduceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiAllreduceTest, SumsCorrectlyForAnyRankCount) {
+  const int n = GetParam();
+  std::vector<std::size_t> mapping;
+  for (int i = 0; i < n; ++i) mapping.push_back(i % 2);
+  Rig rig(Candidate::kHostRdma, mapping, 2);
+  auto scenario = [n](Rig& r) -> sim::Task<void> {
+    std::vector<std::vector<std::int64_t>> data;
+    for (int rank = 0; rank < n; ++rank) {
+      data.push_back({rank + 1, 10 * (rank + 1)});
+    }
+    co_await r.comm->allreduce_sum(&data);
+    const std::int64_t expect1 = n * (n + 1) / 2;
+    for (int rank = 0; rank < n; ++rank) {
+      EXPECT_EQ(data[static_cast<std::size_t>(rank)][0], expect1);
+      EXPECT_EQ(data[static_cast<std::size_t>(rank)][1], 10 * expect1);
+    }
+  };
+  rig.run(scenario(rig));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiAllreduceTest,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(MpiTest, AlltoallvExchangesPersonalizedBuffers) {
+  Rig rig(Candidate::kMasq, {0, 1, 0, 1}, 2);
+  const int n = 4;
+  auto scenario = [n](Rig& r) -> sim::Task<void> {
+    std::vector<std::vector<std::vector<std::uint8_t>>> buffers(
+        n, std::vector<std::vector<std::uint8_t>>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        buffers[i][j] = bytes({i * 10 + j});
+      }
+    }
+    std::vector<std::vector<std::vector<std::uint8_t>>> received;
+    co_await r.comm->alltoallv(buffers, &received);
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(received[j][i], bytes({i * 10 + j}))
+            << "i=" << i << " j=" << j;
+      }
+    }
+  };
+  rig.run(scenario(rig));
+}
+
+TEST(MpiTest, BarrierCompletes) {
+  Rig rig(Candidate::kMasq, {0, 1, 0, 1}, 2);
+  auto scenario = [](Rig& r) -> sim::Task<void> {
+    co_await r.comm->barrier();
+  };
+  rig.run(scenario(rig));
+}
+
+// ---- OSU shapes (Fig. 13/14) ----------------------------------------------
+
+double osu_lat(Candidate c, std::uint32_t size) {
+  Rig rig(c, {0, 1}, 2);
+  return apps::mpi::osu_latency(*rig.bed, *rig.comm, size, 100).mean();
+}
+
+TEST(OsuTest, MasqMatchesSriovPointToPoint) {
+  const double m = osu_lat(Candidate::kMasq, 4);
+  const double s = osu_lat(Candidate::kSriov, 4);
+  EXPECT_NEAR(m, s, 0.2);  // Fig. 13a: identical bars
+  const double h = osu_lat(Candidate::kHostRdma, 4);
+  EXPECT_LT(h, m);  // host slightly better
+  const double f = osu_lat(Candidate::kFreeFlow, 4);
+  EXPECT_GT(f, m);  // FreeFlow worst
+}
+
+TEST(OsuTest, BandwidthSaturatesForLargeMessages) {
+  Rig rig(Candidate::kMasq, {0, 1}, 2);
+  const double gbps = apps::mpi::osu_bw(*rig.bed, *rig.comm, 131072, 128);
+  EXPECT_GT(gbps, 30.0);
+  EXPECT_LE(gbps, 40.0);
+}
+
+TEST(OsuTest, CollectiveLatencyGrowsWithMessageSize) {
+  Rig rig(Candidate::kMasq, {0, 1}, 2);
+  const double small = apps::mpi::osu_bcast(*rig.bed, *rig.comm, 4, 20);
+  const double large = apps::mpi::osu_bcast(*rig.bed, *rig.comm, 16384, 20);
+  EXPECT_GT(large, small);
+  const double ar = apps::mpi::osu_allreduce(*rig.bed, *rig.comm, 1024, 20);
+  EXPECT_GT(ar, 0.0);
+}
+
+}  // namespace

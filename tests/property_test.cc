@@ -1,0 +1,298 @@
+// Property-based tests: exhaustive QP-FSM matrix, randomized
+// reference-model checks for rule chains / allocators / sparse memory,
+// fluid-model conservation under random event sequences, FIFO ordering
+// properties, and whole-stack determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/kvs.h"
+#include "fabric/testbed.h"
+#include "mem/physical_memory.h"
+#include "mem/region_allocator.h"
+#include "net/fluid.h"
+#include "overlay/security.h"
+#include "rnic/qp_state.h"
+#include "sim/rng.h"
+#include "virtio/virtqueue.h"
+
+using namespace sim::literals;
+
+namespace {
+
+// ------------------------------------------------- QP FSM, full 7x7 matrix
+
+using rnic::QpState;
+
+struct FsmCase {
+  QpState from;
+  QpState to;
+};
+
+class QpFsmMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QpFsmMatrixTest, ModifyMatchesFig5) {
+  const QpState states[] = {QpState::kReset, QpState::kInit, QpState::kRtr,
+                            QpState::kRts,   QpState::kSqd,  QpState::kSqe,
+                            QpState::kError};
+  const int idx = GetParam();
+  const QpState from = states[idx / 7];
+  const QpState to = states[idx % 7];
+  // Fig. 5's driver-initiated edges, spelled out.
+  const std::set<std::pair<QpState, QpState>> allowed = {
+      {QpState::kReset, QpState::kInit}, {QpState::kInit, QpState::kInit},
+      {QpState::kInit, QpState::kRtr},   {QpState::kRtr, QpState::kRts},
+      {QpState::kRts, QpState::kSqd},    {QpState::kSqd, QpState::kRts},
+      {QpState::kSqe, QpState::kRts},
+  };
+  bool expect = allowed.count({from, to}) > 0;
+  if (to == QpState::kError || to == QpState::kReset) expect = true;
+  EXPECT_EQ(rnic::modify_allowed(from, to), expect)
+      << rnic::to_string(from) << " -> " << rnic::to_string(to);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, QpFsmMatrixTest, ::testing::Range(0, 49));
+
+TEST(QpFsmTest, TableTwoConsistency) {
+  // In every state, Table 2's behaviour flags must be internally
+  // consistent: a transmitting state accepts packets, ERROR does neither.
+  for (QpState s : {QpState::kReset, QpState::kInit, QpState::kRtr,
+                    QpState::kRts, QpState::kSqd, QpState::kSqe,
+                    QpState::kError}) {
+    if (rnic::can_transmit(s)) EXPECT_TRUE(rnic::can_accept_packets(s));
+    if (s == QpState::kError) {
+      EXPECT_FALSE(rnic::can_transmit(s));
+      EXPECT_FALSE(rnic::can_accept_packets(s));
+      EXPECT_TRUE(rnic::can_post_send(s));  // Table 2: posting allowed
+      EXPECT_TRUE(rnic::can_post_recv(s));
+    }
+  }
+}
+
+// ------------------------------------ rule chain vs linear reference model
+
+class RuleChainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleChainPropertyTest, FirstMatchEqualsReferenceScan) {
+  sim::Rng rng(GetParam() * 77 + 5);
+  overlay::RuleChain chain;
+  struct Ref {
+    int priority;
+    std::uint64_t seq;
+    overlay::Rule rule;
+  };
+  std::vector<Ref> reference;
+  std::uint64_t seq = 0;
+  const int n_rules = static_cast<int>(1 + rng.next_below(30));
+  for (int i = 0; i < n_rules; ++i) {
+    overlay::Rule r;
+    r.priority = static_cast<int>(rng.next_below(6));
+    r.action = rng.next_bool(0.5) ? overlay::RuleAction::kAllow
+                                  : overlay::RuleAction::kDeny;
+    r.proto = rng.next_bool(0.3) ? overlay::Proto::kRdma
+                                 : overlay::Proto::kAny;
+    r.src = net::Ipv4Cidr{net::Ipv4Addr{static_cast<std::uint32_t>(
+                              0xC0A80000u + rng.next_below(4) * 256)},
+                          static_cast<std::uint8_t>(22 + rng.next_below(10))};
+    r.dst = net::Ipv4Cidr::any();
+    chain.add_rule(r);
+    reference.push_back({r.priority, seq++, r});
+  }
+  // Reference model: stable sort by priority desc, insertion order asc.
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Ref& a, const Ref& b) {
+                     return a.priority > b.priority;
+                   });
+  for (int t = 0; t < 200; ++t) {
+    overlay::FlowTuple tuple{
+        net::Ipv4Addr{static_cast<std::uint32_t>(0xC0A80000u +
+                                                 rng.next_below(1024))},
+        net::Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+        rng.next_bool(0.5) ? overlay::Proto::kRdma : overlay::Proto::kTcp};
+    overlay::RuleAction expect = overlay::RuleAction::kDeny;
+    for (const Ref& ref : reference) {
+      if (ref.rule.matches(tuple)) {
+        expect = ref.rule.action;
+        break;
+      }
+    }
+    EXPECT_EQ(chain.evaluate(tuple), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleChainPropertyTest,
+                         ::testing::Range(1, 13));
+
+// ------------------------------------------ region allocator vs reference
+
+class AllocatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorPropertyTest, NoOverlapAndFullRecovery) {
+  sim::Rng rng(GetParam() * 131 + 7);
+  const mem::Addr base = 0x100000;
+  const mem::Addr size = 256 * mem::kPageSize;
+  mem::RegionAllocator ra(base, size);
+  std::map<mem::Addr, mem::Addr> live;  // addr -> len
+  for (int step = 0; step < 400; ++step) {
+    if (rng.next_bool(0.6) || live.empty()) {
+      const mem::Addr len =
+          (1 + rng.next_below(8)) * mem::kPageSize;
+      try {
+        const mem::Addr a = ra.alloc(len);
+        // In range and page aligned.
+        ASSERT_GE(a, base);
+        ASSERT_LE(a + len, base + size);
+        ASSERT_EQ(a % mem::kPageSize, 0u);
+        // No overlap with any live allocation.
+        for (const auto& [la, ll] : live) {
+          ASSERT_TRUE(a + len <= la || la + ll <= a)
+              << "overlap at step " << step;
+        }
+        live[a] = len;
+      } catch (const std::bad_alloc&) {
+        // Exhaustion is legal; accounting must agree something is live.
+        ASSERT_FALSE(live.empty());
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      ra.free(it->first, it->second);
+      live.erase(it);
+    }
+  }
+  for (const auto& [a, l] : live) ra.free(a, l);
+  EXPECT_EQ(ra.bytes_allocated(), 0u);
+  // Full region allocatable again -> coalescing worked.
+  EXPECT_EQ(ra.alloc(size), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
+                         ::testing::Range(1, 9));
+
+// ------------------------------------------------ sparse bytes vs reference
+
+class SparseBytesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseBytesPropertyTest, MatchesDenseReference) {
+  sim::Rng rng(GetParam() * 997);
+  const std::size_t size = 1 << 20;
+  mem::SparseBytes sparse(size);
+  std::vector<std::uint8_t> dense(size, 0);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t off = rng.next_below(size - 1);
+    const std::size_t len = 1 + rng.next_below(
+        std::min<std::uint64_t>(size - off, 200 * 1024));
+    if (rng.next_bool(0.5)) {
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+      sparse.write(off, data);
+      std::copy(data.begin(), data.end(), dense.begin() + off);
+    } else {
+      std::vector<std::uint8_t> got(len);
+      sparse.read(off, got);
+      ASSERT_EQ(0, std::memcmp(got.data(), dense.data() + off, len))
+          << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseBytesPropertyTest,
+                         ::testing::Range(1, 7));
+
+// --------------------------------------------- fluid model conservation
+
+class FluidConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidConservationTest, FiniteFlowsDeliverExactlyTheirBytes) {
+  sim::Rng rng(GetParam() * 31 + 3);
+  sim::EventLoop loop;
+  net::FluidNet fnet(loop);
+  std::vector<net::LinkId> links;
+  for (int i = 0; i < 3; ++i) {
+    links.push_back(
+        fnet.add_link(5.0 + rng.next_below(36), 100_ns));
+  }
+  int completions = 0;
+  int flows = 0;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<net::LinkId> path{links[rng.next_below(links.size())]};
+    if (rng.next_bool(0.4)) {
+      auto extra = links[rng.next_below(links.size())];
+      if (extra != path[0]) path.push_back(extra);
+    }
+    const std::uint64_t bytes = 1000 + rng.next_below(2'000'000);
+    const double cap = rng.next_bool(0.3)
+                           ? 1.0 + static_cast<double>(rng.next_below(20))
+                           : net::kUncapped;
+    // Stagger arrivals.
+    loop.schedule_after(static_cast<sim::Time>(rng.next_below(500'000)),
+                        [&fnet, path, bytes, cap, &completions] {
+                          fnet.start_flow(path, bytes, cap,
+                                          [&completions] { ++completions; });
+                        });
+    ++flows;
+    total_bytes += bytes;
+  }
+  loop.run();
+  EXPECT_EQ(completions, flows);  // every finite flow completes exactly once
+  EXPECT_EQ(fnet.active_flows(), 0u);
+  (void)total_bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidConservationTest,
+                         ::testing::Range(1, 9));
+
+// -------------------------------------------------- virtqueue FIFO order
+
+TEST(VirtioPropertyTest, ResponsesPreserveSubmissionOrderPerCaller) {
+  sim::EventLoop loop;
+  virtio::Virtqueue<int, int> vq(loop, {}, 4);
+  std::vector<int> completion_order;
+  vq.set_backend([&loop](int x) -> sim::Task<int> {
+    co_await sim::delay(loop, 5_us);
+    co_return x;
+  });
+  auto caller = [](virtio::Virtqueue<int, int>& q, int id,
+                   std::vector<int>* order) -> sim::Task<void> {
+    const int r = co_await q.call(id);
+    order->push_back(r);
+  };
+  for (int i = 0; i < 12; ++i) loop.spawn(caller(vq, i, &completion_order));
+  loop.run();
+  ASSERT_EQ(completion_order.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(completion_order[i], i);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  auto run_once = [](std::uint64_t* events) {
+    sim::EventLoop loop;
+    fabric::TestbedConfig cfg;
+    cfg.candidate = fabric::Candidate::kMasq;
+    cfg.cal.host_dram_bytes = 16ull << 30;
+    cfg.cal.vm_mem_bytes = 4ull << 30;
+    fabric::Testbed bed(loop, cfg);
+    bed.add_instances(2);
+    apps::kvs::Config kc;
+    kc.num_clients = 4;
+    kc.warmup = sim::milliseconds(1);
+    kc.measure = sim::milliseconds(2);
+    kc.num_keys = 5'000;
+    const auto r = apps::kvs::run(bed, kc);
+    *events = loop.events_executed();
+    return r;
+  };
+  std::uint64_t e1 = 0, e2 = 0;
+  const auto r1 = run_once(&e1);
+  const auto r2 = run_once(&e2);
+  EXPECT_EQ(r1.ops, r2.ops);
+  EXPECT_EQ(r1.gets, r2.gets);
+  EXPECT_EQ(r1.puts, r2.puts);
+  EXPECT_EQ(e1, e2);  // bit-for-bit reproducible schedules
+}
+
+}  // namespace

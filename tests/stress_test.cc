@@ -1,0 +1,190 @@
+// Stress / lifecycle tests: sustained connection churn across many
+// tenants, full resource teardown accounting, conntrack table hygiene,
+// and repeated migrations — the long-running-cloud behaviours that leak
+// detectors in real deployments would catch.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/cm.h"
+#include "apps/common.h"
+#include "fabric/testbed.h"
+
+namespace {
+
+using fabric::Candidate;
+
+TEST(StressTest, ConnectionChurnLeavesNoResidue) {
+  // 24 connect/transfer/teardown cycles; every device object must be gone
+  // at the end and the RCT table empty.
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 16ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      for (int round = 0; round < 24; ++round) {
+        const auto port = static_cast<std::uint16_t>(9000 + round);
+        struct Srv {
+          static sim::Task<void> run(fabric::Testbed* bed,
+                                     std::uint16_t port) {
+            auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+            (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                                bed->instance_vip(0), port);
+            auto c = co_await apps::recv_and_wait(bed->ctx(1), ep, 0, 256);
+            EXPECT_EQ(c.status, rnic::WcStatus::kSuccess);
+            co_await apps::destroy_endpoint(bed->ctx(1), ep);
+          }
+        };
+        bed->loop().spawn(Srv::run(bed, port));
+        auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+        const auto st = co_await apps::connect_client(
+            bed->ctx(0), ep, bed->instance_vip(1), port);
+        EXPECT_EQ(st, rnic::Status::kOk) << "round " << round;
+        apps::put_string(bed->ctx(0), ep, 0, "churn");
+        const auto wc = co_await apps::send_and_wait(bed->ctx(0), ep, 0, 5);
+        EXPECT_EQ(wc, rnic::WcStatus::kSuccess);
+        co_await apps::destroy_endpoint(bed->ctx(0), ep);
+      }
+    }
+  };
+  loop.spawn(Run::go(&bed));
+  loop.run();
+  EXPECT_EQ(bed.device(0).num_qps(), 0u);
+  EXPECT_EQ(bed.device(1).num_qps(), 0u);
+  // destroy_qp untracks: the connection table must be empty again.
+  EXPECT_EQ(bed.masq_backend(0).conntrack().table_size(), 0u);
+  EXPECT_EQ(bed.masq_backend(1).conntrack().table_size(), 0u);
+  EXPECT_EQ(bed.fluid().active_flows(), 0u);
+}
+
+TEST(StressTest, ManyTenantsManyConnectionsConcurrently) {
+  // 6 tenants x 1 pair each, all connecting and transferring at once over
+  // shared VFs; per-tenant data must arrive intact.
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 32ull << 30;
+  cfg.cal.vm_mem_bytes = 512ull << 20;
+  fabric::Testbed bed(loop, cfg);
+  constexpr int kTenants = 6;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(bed.add_instance(100 + t).has_value());
+    ASSERT_TRUE(bed.add_instance(100 + t).has_value());
+  }
+  int completed = 0;
+  struct PairTask {
+    static sim::Task<void> run(fabric::Testbed* bed, int tenant,
+                               int* completed) {
+      const std::size_t a = static_cast<std::size_t>(tenant) * 2;
+      const std::size_t b = a + 1;
+      const auto port = static_cast<std::uint16_t>(9500 + tenant);
+      struct Srv {
+        static sim::Task<void> run(fabric::Testbed* bed, std::size_t b,
+                                   std::size_t a, std::uint16_t port,
+                                   int tenant) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(b));
+          (void)co_await apps::connect_server(bed->ctx(b), ep,
+                                              bed->instance_vip(a), port);
+          auto c = co_await apps::recv_and_wait(bed->ctx(b), ep, 0, 256);
+          EXPECT_EQ(c.status, rnic::WcStatus::kSuccess);
+          const std::string expect = "tenant-" + std::to_string(tenant);
+          EXPECT_EQ(apps::get_string(bed->ctx(b), ep, 0, expect.size()),
+                    expect);
+        }
+      };
+      bed->loop().spawn(Srv::run(bed, b, a, port, tenant));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(a));
+      const auto st = co_await apps::connect_client(
+          bed->ctx(a), ep, bed->instance_vip(b), port);
+      EXPECT_EQ(st, rnic::Status::kOk) << "tenant " << tenant;
+      const std::string payload = "tenant-" + std::to_string(tenant);
+      apps::put_string(bed->ctx(a), ep, 0, payload);
+      const auto wc = co_await apps::send_and_wait(
+          bed->ctx(a), ep, 0, static_cast<std::uint32_t>(payload.size()));
+      EXPECT_EQ(wc, rnic::WcStatus::kSuccess);
+      ++*completed;
+    }
+  };
+  for (int t = 0; t < kTenants; ++t) {
+    loop.spawn(PairTask::run(&bed, t, &completed));
+  }
+  loop.run();
+  EXPECT_EQ(completed, kTenants);
+}
+
+TEST(StressTest, RepeatedMigrationPingPong) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 8ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  const auto vgid = net::Gid::from_ipv4(bed.instance_vip(0));
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t target = (bed.instance_host(0) + 1) % 2;
+    ASSERT_EQ(bed.migrate_instance(0, target), rnic::Status::kOk)
+        << "round " << round;
+    // The controller always maps the vGID to the current host.
+    EXPECT_EQ(bed.controller().lookup(100, vgid),
+              net::Gid::from_ipv4(bed.device(target).config().ip));
+  }
+  // Still fully functional after four moves.
+  struct After {
+    static sim::Task<void> run(fabric::Testbed* bed) {
+      auto conn = co_await apps::cm::connect(bed->ctx(0),
+                                             bed->instance_vip(1), 9900);
+      EXPECT_FALSE(conn.ok());  // nobody listening: clean NotFound
+      EXPECT_EQ(conn.status, rnic::Status::kNotFound);
+    }
+  };
+  loop.spawn(After::run(&bed));
+  loop.run();
+}
+
+TEST(StressTest, CmChurnUnderOneListener) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 16ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  struct Server {
+    static sim::Task<void> run(fabric::Testbed* bed, int rounds) {
+      apps::cm::Listener listener(bed->ctx(1), 9700);
+      for (int i = 0; i < rounds; ++i) {
+        auto req = co_await listener.get_request();
+        auto ep = co_await listener.accept(req);
+        EXPECT_TRUE(ep.ok());
+        if (!ep.ok()) co_return;
+        auto c = co_await apps::recv_and_wait(bed->ctx(1), ep.value, 0, 64);
+        EXPECT_EQ(c.status, rnic::WcStatus::kSuccess);
+        co_await apps::destroy_endpoint(bed->ctx(1), ep.value);
+      }
+    }
+  };
+  struct Client {
+    static sim::Task<void> run(fabric::Testbed* bed, int rounds) {
+      for (int i = 0; i < rounds; ++i) {
+        auto conn = co_await apps::cm::connect(bed->ctx(0),
+                                               bed->instance_vip(1), 9700);
+        EXPECT_TRUE(conn.ok());
+        if (!conn.ok()) co_return;
+        const auto wc = co_await apps::send_and_wait(
+            bed->ctx(0), conn.value.endpoint, 0, 16);
+        EXPECT_EQ(wc, rnic::WcStatus::kSuccess);
+        co_await apps::destroy_endpoint(bed->ctx(0), conn.value.endpoint);
+      }
+    }
+  };
+  constexpr int kRounds = 12;
+  loop.spawn(Server::run(&bed, kRounds));
+  loop.spawn(Client::run(&bed, kRounds));
+  loop.run();
+  EXPECT_EQ(bed.device(0).num_qps(), 0u);
+  EXPECT_EQ(bed.device(1).num_qps(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Cross-candidate sweep invariants: properties the paper's evaluation
+// implies must hold at *every* operating point, checked over a grid of
+// (candidate x message size x operation) rather than at single points —
+// latency monotonicity in size, the candidate ordering, bandwidth
+// monotonicity, and conservation of the candidate ranking under load.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "apps/perftest.h"
+#include "fabric/testbed.h"
+
+namespace {
+
+using fabric::Candidate;
+
+double lat_us(Candidate c, apps::perftest::Op op, std::uint32_t size) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = c;
+  cfg.cal.host_dram_bytes = 16ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  apps::perftest::LatConfig lc;
+  lc.op = op;
+  lc.msg_size = size;
+  lc.iterations = 60;
+  return apps::perftest::run_lat(bed, lc).mean();
+}
+
+double bw_gbps(Candidate c, std::uint32_t size) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = c;
+  cfg.cal.host_dram_bytes = 16ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  apps::perftest::BwConfig bc;
+  bc.op = apps::perftest::Op::kWrite;
+  bc.msg_size = size;
+  bc.iterations = 192;
+  return apps::perftest::run_bw(bed, bc);
+}
+
+// ---- latency grid --------------------------------------------------------
+
+using LatPoint = std::tuple<Candidate, int /*op*/, std::uint32_t /*size*/>;
+
+class LatencyGridTest : public ::testing::TestWithParam<LatPoint> {};
+
+TEST_P(LatencyGridTest, HostIsTheFloorAndSizeCostsMore) {
+  const auto [c, op_i, size] = GetParam();
+  const auto op = static_cast<apps::perftest::Op>(op_i);
+  const double mine = lat_us(c, op, size);
+  // Host-RDMA is the performance floor at every point (Fig. 8/9).
+  if (c != Candidate::kHostRdma) {
+    const double host = lat_us(Candidate::kHostRdma, op, size);
+    EXPECT_GE(mine, host - 0.02)
+        << fabric::to_string(c) << " beat bare metal at size " << size;
+  }
+  // Latency grows with message size on the same candidate.
+  if (size > 2) {
+    const double smaller = lat_us(c, op, size / 8);
+    EXPECT_GE(mine, smaller - 0.02)
+        << fabric::to_string(c) << " latency not monotone at " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LatencyGridTest,
+    ::testing::Combine(
+        ::testing::Values(Candidate::kHostRdma, Candidate::kSriov,
+                          Candidate::kFreeFlow, Candidate::kMasq),
+        ::testing::Values(0, 1),  // send, write
+        ::testing::Values(2u, 256u, 4096u)),
+    [](const ::testing::TestParamInfo<LatPoint>& info) {
+      std::string n = fabric::to_string(std::get<0>(info.param));
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n + (std::get<1>(info.param) == 0 ? "Send" : "Write") +
+             std::to_string(std::get<2>(info.param)) + "B";
+    });
+
+// ---- bandwidth grid ------------------------------------------------------
+
+class BandwidthGridTest : public ::testing::TestWithParam<Candidate> {};
+
+TEST_P(BandwidthGridTest, ThroughputMonotoneAndBounded) {
+  const Candidate c = GetParam();
+  double prev = 0;
+  for (std::uint32_t size : {512u, 4096u, 32768u}) {
+    const double g = bw_gbps(c, size);
+    EXPECT_GE(g, prev * 0.98)
+        << fabric::to_string(c) << " throughput dipped at " << size;
+    EXPECT_LE(g, 40.0 + 1e-6);  // never exceeds the physical line
+    prev = g;
+  }
+  // Everyone saturates within 15% of line rate by 32 KB (Fig. 10).
+  EXPECT_GT(prev, 34.0) << fabric::to_string(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCandidates, BandwidthGridTest,
+                         ::testing::Values(Candidate::kHostRdma,
+                                           Candidate::kSriov,
+                                           Candidate::kFreeFlow,
+                                           Candidate::kMasq),
+                         [](const ::testing::TestParamInfo<Candidate>& i) {
+                           std::string n = fabric::to_string(i.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+// ---- the headline ordering, asserted as one fact -------------------------
+
+TEST(OrderingTest, TwoByteLatencyRankingMatchesFig8a) {
+  std::map<Candidate, double> l;
+  for (Candidate c : {Candidate::kHostRdma, Candidate::kSriov,
+                      Candidate::kFreeFlow, Candidate::kMasq}) {
+    l[c] = lat_us(c, apps::perftest::Op::kSend, 2);
+  }
+  EXPECT_LT(l[Candidate::kHostRdma], l[Candidate::kMasq]);
+  EXPECT_LE(l[Candidate::kMasq], l[Candidate::kSriov] + 0.15);
+  EXPECT_LT(l[Candidate::kSriov], l[Candidate::kFreeFlow]);
+  // MasQ within 0.5 us of bare metal — "almost the same performance".
+  EXPECT_LT(l[Candidate::kMasq] - l[Candidate::kHostRdma], 0.5);
+}
+
+}  // namespace
