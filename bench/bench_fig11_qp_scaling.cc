@@ -1,7 +1,11 @@
 // Fig. 11: aggregate throughput of multiple QP connections (1 - 1024 QPs,
 // 64 KB messages) — virtualization must not degrade under QP fan-out.
+// Plus an ablation: the control-path cost of standing those QPs up,
+// sequential verbs vs one pipelined control batch.
 #include <cstdio>
+#include <vector>
 
+#include "apps/common.h"
 #include "apps/perftest.h"
 #include "bench/bench_util.h"
 
@@ -17,6 +21,46 @@ double bw(fabric::Candidate c, int qps) {
   cfg.iterations = std::max(4, 512 / qps);
   cfg.window = 64;
   return apps::perftest::run_bw(*bed, cfg);
+}
+
+// Stands up n (CQ, QP) pairs, either verb-by-verb or as one ControlBatch
+// (the frontend chunks batches wider than the virtqueue ring, so n is not
+// capped by ring size). Returns wall time in ms.
+sim::Task<void> create_qps(fabric::Testbed* bed, int n, bool batched,
+                           double* out_ms) {
+  verbs::Context& ctx = bed->ctx(0);
+  sim::EventLoop& loop = bed->loop();
+  auto pd = co_await ctx.alloc_pd();
+  rnic::QpInitAttr init;
+  init.pd = pd.value;
+  init.caps.max_send_wr = 64;
+  init.caps.max_recv_wr = 64;
+  const sim::Time t0 = loop.now();
+  if (batched) {
+    auto batch = ctx.make_batch();
+    for (int i = 0; i < n; ++i) {
+      const int cq = batch->create_cq(64);
+      (void)batch->create_qp(init, cq, cq);
+    }
+    (void)co_await batch->commit();
+  } else {
+    for (int i = 0; i < n; ++i) {
+      auto cq = co_await ctx.create_cq(64);
+      init.send_cq = cq.value;
+      init.recv_cq = cq.value;
+      (void)co_await ctx.create_qp(init);
+    }
+  }
+  *out_ms = sim::to_us(loop.now() - t0) / 1000.0;
+}
+
+double setup_ms(fabric::Candidate c, int n, bool batched) {
+  sim::EventLoop loop;
+  auto bed = bench::make_bed(loop, c);
+  double out = 0;
+  loop.spawn(create_qps(bed.get(), n, batched, &out));
+  loop.run();
+  return out;
 }
 
 }  // namespace
@@ -38,5 +82,26 @@ int main() {
   }
   bench::note("paper: throughput of MasQ and SR-IOV identical to Host-RDMA "
               "from 1 to 1024 QPs — no per-QP software in the data path");
+
+  bench::title("Fig. 11 (ablation)",
+               "time to stand up N (CQ, QP) pairs: sequential vs batch (ms)");
+  const int setup_counts[] = {1, 8, 64, 256};
+  std::printf("%-18s", "mode");
+  for (int n : setup_counts) std::printf(" %8d", n);
+  std::printf("\n%.54s\n",
+              "------------------------------------------------------");
+  for (fabric::Candidate c :
+       {fabric::Candidate::kHostRdma, fabric::Candidate::kMasq}) {
+    for (bool batched : {false, true}) {
+      std::printf("%-10s %-7s", fabric::to_string(c),
+                  batched ? "batch" : "seq");
+      for (int n : setup_counts)
+        std::printf(" %8.2f", setup_ms(c, n, batched));
+      std::printf("\n");
+    }
+  }
+  bench::note("MasQ batch pays one virtqueue transit per ring-sized chunk "
+              "instead of one per verb; 256 pairs = 512 commands = 2 chunks "
+              "on the 256-descriptor ring");
   return 0;
 }

@@ -1,9 +1,14 @@
 // Table 5: maximum number of RDMA-capable VMs on one host (1 vCPU, 512 MB
 // each). SR-IOV exhausts its 8 non-ARI PCIe virtual functions; MasQ keeps
-// going until host DRAM runs out.
+// going until host DRAM runs out. Plus an ablation: per-VM endpoint setup
+// cost (time + virtqueue kicks) sequential vs pipelined batch — the knob
+// that matters when a dense host boots many RDMA VMs at once.
+#include <cstdint>
 #include <cstdio>
 
+#include "apps/common.h"
 #include "bench/bench_util.h"
+#include "masq/frontend.h"
 
 namespace {
 
@@ -31,6 +36,66 @@ Outcome fill_host(fabric::Candidate c) {
   return out;
 }
 
+// Verb-by-verb endpoint setup: the pre-pipeline baseline, kept here so the
+// ablation can compare against apps::setup_endpoint (now batched).
+sim::Task<void> setup_sequential(verbs::Context& ctx) {
+  auto pd = co_await ctx.alloc_pd();
+  const mem::Addr buf = ctx.alloc_buffer(64 * 1024);
+  (void)co_await ctx.reg_mr(pd.value, buf, 64 * 1024, apps::kFullAccess);
+  auto scq = co_await ctx.create_cq(1024);
+  auto rcq = co_await ctx.create_cq(1024);
+  rnic::QpInitAttr attr;
+  attr.pd = pd.value;
+  attr.send_cq = scq.value;
+  attr.recv_cq = rcq.value;
+  attr.caps.max_send_wr = 512;
+  attr.caps.max_recv_wr = 512;
+  (void)co_await ctx.create_qp(attr);
+  (void)co_await ctx.query_gid();
+}
+
+struct DensityRun {
+  double total_ms = 0;
+  std::uint64_t kicks = 0;
+  std::uint64_t interrupts = 0;
+};
+
+// Boots `vms` MasQ VMs on one host and runs every VM's endpoint setup
+// concurrently — the boot-storm a dense Table-5 host actually sees.
+DensityRun boot_storm(int vms, bool batched) {
+  sim::EventLoop loop;
+  bench::BedOptions opts;
+  opts.instances = vms;
+  opts.num_hosts = 1;
+  opts.vm_mem = 512ull << 20;
+  auto bed = bench::make_bed(loop, fabric::Candidate::kMasq, opts);
+  struct Flow {
+    static sim::Task<void> one(fabric::Testbed* bed, std::size_t i,
+                               bool batched) {
+      if (batched) {
+        (void)co_await apps::setup_endpoint(bed->ctx(i));
+      } else {
+        co_await setup_sequential(bed->ctx(i));
+      }
+    }
+  };
+  const sim::Time t0 = loop.now();
+  for (int i = 0; i < vms; ++i) {
+    loop.spawn(Flow::one(bed.get(), static_cast<std::size_t>(i), batched));
+  }
+  loop.run();
+  DensityRun out;
+  out.total_ms = sim::to_us(loop.now() - t0) / 1000.0;
+  for (int i = 0; i < vms; ++i) {
+    if (auto* mc = dynamic_cast<masq::MasqContext*>(
+            &bed->ctx(static_cast<std::size_t>(i)))) {
+      out.kicks += mc->virtqueue().kicks();
+      out.interrupts += mc->virtqueue().interrupts();
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -49,5 +114,20 @@ int main() {
   bench::note("MasQ composes virtual devices at QP granularity, so VM "
               "density is bounded only by DRAM: add memory or shrink VMs "
               "to go further");
+
+  bench::title("Table 5 (ablation)",
+               "8-VM MasQ boot storm: endpoint setup seq vs batch");
+  std::printf("%-10s | %10s | %8s | %10s\n", "mode", "total(ms)", "kicks",
+              "interrupts");
+  std::printf("%.48s\n", "------------------------------------------------");
+  for (bool batched : {false, true}) {
+    const DensityRun r = boot_storm(8, batched);
+    std::printf("%-10s | %10.2f | %8llu | %10llu\n",
+                batched ? "batch" : "sequential", r.total_ms,
+                static_cast<unsigned long long>(r.kicks),
+                static_cast<unsigned long long>(r.interrupts));
+  }
+  bench::note("batched setup ships MR + 2 CQs + QP as one virtqueue "
+              "transit per VM, cutting host wakeups ~4x during the storm");
   return 0;
 }

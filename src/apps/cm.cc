@@ -64,22 +64,10 @@ sim::Task<rnic::Expected<Endpoint>> Listener::accept(
   Endpoint ep = co_await setup_endpoint(ctx_, opts);
   ep.peer = req.peer_info;
   // Raise our side first so the client's first message finds us in RTS.
-  rnic::QpAttr attr;
-  attr.state = rnic::QpState::kInit;
-  rnic::Status st = co_await ctx_.modify_qp(ep.qp, attr, rnic::kAttrState);
-  if (st == rnic::Status::kOk) {
-    attr.state = rnic::QpState::kRtr;
-    attr.dest_gid = ep.peer.gid;
-    attr.dest_qpn = ep.peer.qpn;
-    attr.path_mtu = 1024;
-    st = co_await ctx_.modify_qp(ep.qp, attr,
-                                 rnic::kAttrState | rnic::kAttrDestGid |
-                                     rnic::kAttrDestQpn | rnic::kAttrPathMtu);
-  }
-  if (st == rnic::Status::kOk) {
-    attr.state = rnic::QpState::kRts;
-    st = co_await ctx_.modify_qp(ep.qp, attr, rnic::kAttrState);
-  }
+  // The whole INIT -> RTR -> RTS ladder ships as one pipelined batch: under
+  // MasQ that is a single virtqueue transit instead of three, and the
+  // backend still runs RConntrack/RConnrename per entry.
+  rnic::Status st = co_await raise_to_rts_batched(ctx_, ep.qp, ep.peer);
   if (st != rnic::Status::kOk) {
     co_await destroy_endpoint(ctx_, ep);
     co_await reject(req);
@@ -138,22 +126,8 @@ sim::Task<rnic::Expected<Connection>> connect(verbs::Context& ctx,
   }
   ep.peer = resp.info;
 
-  rnic::QpAttr attr;
-  attr.state = rnic::QpState::kInit;
-  st = co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
-  if (st == rnic::Status::kOk) {
-    attr.state = rnic::QpState::kRtr;
-    attr.dest_gid = ep.peer.gid;
-    attr.dest_qpn = ep.peer.qpn;
-    attr.path_mtu = 1024;
-    st = co_await ctx.modify_qp(ep.qp, attr,
-                                rnic::kAttrState | rnic::kAttrDestGid |
-                                    rnic::kAttrDestQpn | rnic::kAttrPathMtu);
-  }
-  if (st == rnic::Status::kOk) {
-    attr.state = rnic::QpState::kRts;
-    st = co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
-  }
+  // Same pipelined ladder as the server side: one batch, one transit.
+  st = co_await raise_to_rts_batched(ctx, ep.qp, ep.peer);
   if (st != rnic::Status::kOk) {
     co_await destroy_endpoint(ctx, ep);
     co_return rnic::Expected<Connection>::error(st);

@@ -11,28 +11,61 @@ sim::Task<Endpoint> setup_endpoint(verbs::Context& ctx, EndpointOptions opts) {
   if (!pd.ok()) throw std::runtime_error("alloc_pd failed");
   ep.pd = pd.value;
   ep.buf = ctx.alloc_buffer(opts.buf_len);
-  auto mr = co_await ctx.reg_mr(ep.pd, ep.buf, opts.buf_len, kFullAccess);
-  if (!mr.ok()) throw std::runtime_error("reg_mr failed");
-  ep.mr = mr.value;
-  auto scq = co_await ctx.create_cq(opts.cq_entries);
-  auto rcq = co_await ctx.create_cq(opts.cq_entries);
-  if (!scq.ok() || !rcq.ok()) throw std::runtime_error("create_cq failed");
-  ep.scq = scq.value;
-  ep.rcq = rcq.value;
+  // The rest of the setup ladder pipelines as one control batch: MR, both
+  // CQs and the QP cross the command channel together, with the QP's CQ
+  // numbers resolved in-batch via slot links.
+  auto batch = ctx.make_batch();
+  const int mr_slot = batch->reg_mr(ep.pd, ep.buf, opts.buf_len, kFullAccess);
+  const int scq_slot = batch->create_cq(opts.cq_entries);
+  const int rcq_slot = batch->create_cq(opts.cq_entries);
   rnic::QpInitAttr attr;
   attr.type = opts.type;
   attr.pd = ep.pd;
-  attr.send_cq = ep.scq;
-  attr.recv_cq = ep.rcq;
   attr.caps.max_send_wr = opts.max_wr;
   attr.caps.max_recv_wr = opts.max_wr;
-  auto qp = co_await ctx.create_qp(attr);
-  if (!qp.ok()) throw std::runtime_error("create_qp failed");
-  ep.qp = qp.value;
+  const int qp_slot = batch->create_qp(attr, scq_slot, rcq_slot);
+  (void)co_await batch->commit();
+  if (batch->status(mr_slot) != rnic::Status::kOk) {
+    throw std::runtime_error("reg_mr failed");
+  }
+  ep.mr = batch->mr(mr_slot);
+  if (batch->status(scq_slot) != rnic::Status::kOk ||
+      batch->status(rcq_slot) != rnic::Status::kOk) {
+    throw std::runtime_error("create_cq failed");
+  }
+  ep.scq = static_cast<rnic::Cqn>(batch->value(scq_slot));
+  ep.rcq = static_cast<rnic::Cqn>(batch->value(rcq_slot));
+  if (batch->status(qp_slot) != rnic::Status::kOk) {
+    throw std::runtime_error("create_qp failed");
+  }
+  ep.qp = static_cast<rnic::Qpn>(batch->value(qp_slot));
   auto gid = co_await ctx.query_gid();
   if (!gid.ok()) throw std::runtime_error("query_gid failed");
   ep.local_gid = gid.value;
   co_return ep;
+}
+
+sim::Task<rnic::Status> raise_to_rts_batched(verbs::Context& ctx,
+                                             rnic::Qpn qp,
+                                             const verbs::ConnInfo& peer) {
+  auto batch = ctx.make_batch();
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kInit;
+  batch->modify_qp(qp, attr, rnic::kAttrState);
+  attr.state = rnic::QpState::kRtr;
+  attr.dest_gid = peer.gid;
+  attr.dest_qpn = peer.qpn;
+  attr.path_mtu = 1024;
+  batch->modify_qp(qp, attr,
+                   rnic::kAttrState | rnic::kAttrDestGid |
+                       rnic::kAttrDestQpn | rnic::kAttrPathMtu);
+  attr.state = rnic::QpState::kRts;
+  batch->modify_qp(qp, attr, rnic::kAttrState);
+  // Entries are error-independent, but the QP state machine still guards
+  // the ladder: a failed INIT leaves the QP in RESET, so the RTR and RTS
+  // transitions fail with kInvalidState on their own. commit() returns the
+  // first failing transition's status, matching the sequential ladder.
+  co_return co_await batch->commit();
 }
 
 sim::Task<void> destroy_endpoint(verbs::Context& ctx, Endpoint& ep) {
@@ -45,22 +78,10 @@ sim::Task<void> destroy_endpoint(verbs::Context& ctx, Endpoint& ep) {
 
 namespace {
 
-// Shared tail of connect_client/connect_server: INIT -> RTR(peer) -> RTS.
+// Shared tail of connect_client/connect_server: INIT -> RTR(peer) -> RTS,
+// shipped as one pipelined batch.
 sim::Task<rnic::Status> raise_to_rts(verbs::Context& ctx, Endpoint& ep) {
-  rnic::QpAttr attr;
-  attr.state = rnic::QpState::kInit;
-  rnic::Status st = co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
-  if (st != rnic::Status::kOk) co_return st;
-  attr.state = rnic::QpState::kRtr;
-  attr.dest_gid = ep.peer.gid;
-  attr.dest_qpn = ep.peer.qpn;
-  attr.path_mtu = 1024;
-  st = co_await ctx.modify_qp(ep.qp, attr,
-                              rnic::kAttrState | rnic::kAttrDestGid |
-                                  rnic::kAttrDestQpn | rnic::kAttrPathMtu);
-  if (st != rnic::Status::kOk) co_return st;
-  attr.state = rnic::QpState::kRts;
-  co_return co_await ctx.modify_qp(ep.qp, attr, rnic::kAttrState);
+  co_return co_await raise_to_rts_batched(ctx, ep.qp, ep.peer);
 }
 
 verbs::ConnInfo local_info(const Endpoint& ep) {

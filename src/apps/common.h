@@ -38,9 +38,20 @@ struct EndpointOptions {
   rnic::QpType type = rnic::QpType::kRc;
 };
 
-// Allocates PD/MR/CQ/QP and queries the (virtual) GID.
+// Allocates PD/MR/CQ/QP and queries the (virtual) GID. The MR, both CQs
+// and the QP ship as one pipelined control batch (the QP's CQ numbers are
+// resolved in-batch via slot links), so under MasQ the bulk of the setup
+// ladder costs a single virtqueue transit instead of four.
 sim::Task<Endpoint> setup_endpoint(verbs::Context& ctx,
                                    EndpointOptions opts = {});
+
+// Walks a QP INIT -> RTR(peer) -> RTS as one pipelined control batch: a
+// single virtqueue transit under MasQ instead of three, while the backend
+// still applies RConntrack/RConnrename per transition. Returns the first
+// failing transition's status (kOk if the whole ladder succeeded).
+sim::Task<rnic::Status> raise_to_rts_batched(verbs::Context& ctx,
+                                             rnic::Qpn qp,
+                                             const verbs::ConnInfo& peer);
 
 // Releases everything (Fig. 1, cleanup phase).
 sim::Task<void> destroy_endpoint(verbs::Context& ctx, Endpoint& ep);

@@ -166,9 +166,14 @@ sim::Task<void> Comm::pump_recv(Channel* ch) {
       ch->expect_total = total;
       ch->assembling.resize(total);
     }
-    std::memcpy(ch->assembling.data() + offset, wire.data() + kHeaderBytes,
-                wire.size() - kHeaderBytes);
-    ch->assembled += wire.size() - kHeaderBytes;
+    const std::size_t payload = wire.size() - kHeaderBytes;
+    // Skip the copy for zero-length payloads: memcpy on a null destination
+    // (empty assembly buffer) is UB even with size 0.
+    if (payload > 0) {
+      std::memcpy(ch->assembling.data() + offset, wire.data() + kHeaderBytes,
+                  payload);
+    }
+    ch->assembled += payload;
     if (ch->assembled >= ch->expect_total) {
       ch->arrived.push_back(std::move(ch->assembling));
       ch->assembling.clear();

@@ -15,10 +15,26 @@ Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
   // §3.3.1: "the controller can be configured to push down the mappings in
   // advance" — keep the host-local cache coherent with every (re)binding,
   // which also makes live migration transparent to later connections.
-  controller_.subscribe(
+  push_sub_ = controller_.subscribe(
       [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
         cache_.insert(vni, vgid, pgid);
       });
+  // The complement: when a vGID is unregistered (VM teardown, IP change),
+  // the controller broadcasts an invalidation so this cache stops serving
+  // the stale pGID instead of serving it forever.
+  invalidate_sub_ = controller_.subscribe_invalidate(
+      [this](std::uint32_t vni, net::Gid vgid) {
+        cache_.invalidate(vni, vgid);
+      });
+}
+
+Backend::~Backend() {
+  // Run before member destruction: ~Session → ~VBond → unregister_vgid
+  // broadcasts invalidations, and sibling backends already destroyed must
+  // not be reachable through the controller's subscriber lists (and this
+  // backend must drop out before its own cache_ dies).
+  controller_.unsubscribe_invalidate(invalidate_sub_);
+  controller_.unsubscribe(push_sub_);
 }
 
 rnic::FnId Backend::tenant_fn(std::uint32_t vni) {
@@ -70,7 +86,98 @@ void Backend::Session::set_profile(verbs::LayerProfile* profile) {
   driver_.set_profile(profile, verbs::Layer::kRdmaDriver);
 }
 
+namespace {
+
+// Resolves in-batch result links against the sub-responses produced so
+// far. Returns kOk, or the error the dependent entry must fail with: a
+// link is invalid if it points outside [0, done) — i.e. forward or out of
+// range — or at an entry that itself failed.
+rnic::Status resolve_links(const BatchLink& link,
+                           const std::vector<Response>& done,
+                           BatchableCommand* cmd) {
+  auto fetch = [&done](int slot, std::uint64_t* out) -> rnic::Status {
+    if (slot < 0 || slot >= static_cast<int>(done.size())) {
+      return rnic::Status::kInvalidArgument;
+    }
+    if (done[slot].status != rnic::Status::kOk) {
+      return rnic::Status::kInvalidArgument;  // dependency failed
+    }
+    *out = done[slot].v0;
+    return rnic::Status::kOk;
+  };
+  rnic::Status st = rnic::Status::kOk;
+  std::uint64_t v = 0;
+  if (auto* c = std::get_if<CmdCreateQp>(cmd)) {
+    if (link.send_cq_from >= 0) {
+      if ((st = fetch(link.send_cq_from, &v)) != rnic::Status::kOk) return st;
+      c->attr.send_cq = static_cast<rnic::Cqn>(v);
+    }
+    if (link.recv_cq_from >= 0) {
+      if ((st = fetch(link.recv_cq_from, &v)) != rnic::Status::kOk) return st;
+      c->attr.recv_cq = static_cast<rnic::Cqn>(v);
+    }
+  }
+  if (link.qpn_from >= 0) {
+    if ((st = fetch(link.qpn_from, &v)) != rnic::Status::kOk) return st;
+    const auto qpn = static_cast<rnic::Qpn>(v);
+    if (auto* c = std::get_if<CmdModifyQp>(cmd)) c->qpn = qpn;
+    else if (auto* c = std::get_if<CmdQueryQp>(cmd)) c->qpn = qpn;
+    else if (auto* c = std::get_if<CmdDestroyQp>(cmd)) c->qpn = qpn;
+    else return rnic::Status::kInvalidArgument;  // link on a non-QP command
+  }
+  return rnic::Status::kOk;
+}
+
+}  // namespace
+
 sim::Task<Response> Backend::Session::handle(Command cmd) {
+  if (auto* b = std::get_if<CmdBatch>(&cmd)) {
+    co_return co_await handle_batch(std::move(*b));
+  }
+  BatchableCommand one = std::visit(
+      [](auto&& c) -> BatchableCommand {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, CmdBatch>) {
+          throw std::logic_error("unreachable: batch handled above");
+        } else {
+          return BatchableCommand{std::forward<decltype(c)>(c)};
+        }
+      },
+      std::move(cmd));
+  co_return co_await handle_one(std::move(one));
+}
+
+sim::Task<Response> Backend::Session::handle_batch(CmdBatch batch) {
+  Response out;
+  out.status = rnic::Status::kOk;
+  out.batch.reserve(batch.cmds.size());
+  for (std::size_t i = 0; i < batch.cmds.size(); ++i) {
+    BatchableCommand cmd = std::move(batch.cmds[i]);
+    rnic::Status link_st = rnic::Status::kOk;
+    if (i < batch.links.size() && batch.links[i].any()) {
+      link_st = resolve_links(batch.links[i], out.batch, &cmd);
+    }
+    Response r;
+    if (link_st != rnic::Status::kOk) {
+      r.status = link_st;  // broken dependency: fail just this entry
+    } else {
+      // Error independence: an exception from one entry becomes that
+      // entry's error response; the rest of the batch still runs.
+      try {
+        r = co_await handle_one(std::move(cmd));
+      } catch (...) {
+        r = Response{rnic::Status::kInvalidArgument, 0, 0};
+      }
+    }
+    if (out.status == rnic::Status::kOk && r.status != rnic::Status::kOk) {
+      out.status = r.status;  // batch status = first per-entry error
+    }
+    out.batch.push_back(std::move(r));
+  }
+  co_return out;
+}
+
+sim::Task<Response> Backend::Session::handle_one(BatchableCommand cmd) {
   // MasQ driver processing (frontend marshalling + backend dispatch).
   if (profile_ != nullptr) {
     const char* verb = std::visit(
@@ -194,7 +301,8 @@ sim::Task<Response> Backend::Session::on_modify_qp(const CmdModifyQp& cmd) {
       // the hardware view was renamed.
       tenant_view_[cmd.qpn] = cmd.attr;
     }
-    co_return Response{st, 0, 0};
+    // v0 echoes the QPN so later batch entries can link off this slot.
+    co_return Response{st, cmd.qpn, 0};
   }
   const rnic::Status st = co_await driver_.modify_qp(cmd.qpn, attr, cmd.mask);
   if (st == rnic::Status::kOk) {
@@ -205,7 +313,7 @@ sim::Task<Response> Backend::Session::on_modify_qp(const CmdModifyQp& cmd) {
     if (cmd.mask & rnic::kAttrPathMtu) view.path_mtu = cmd.attr.path_mtu;
     if (cmd.mask & rnic::kAttrQkey) view.qkey = cmd.attr.qkey;
   }
-  co_return Response{st, 0, 0};
+  co_return Response{st, cmd.qpn, 0};
 }
 
 sim::Task<Response> Backend::Session::on_query_qp(const CmdQueryQp& cmd) {

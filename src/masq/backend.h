@@ -51,6 +51,12 @@ class Backend {
   Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
           sdn::Controller& controller, overlay::VirtualNetwork& vnet,
           BackendConfig config = {});
+  // Unsubscribes from the controller before members are torn down: session
+  // teardown (vBond release) triggers unregister_vgid broadcasts, and the
+  // controller must never call into a backend that is mid-destruction.
+  ~Backend();
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
 
   // One Session per served VM — the state the backend keeps for a tenant
   // instance (assigned function, kernel-driver handle, vBond).
@@ -60,7 +66,11 @@ class Backend {
 
     // Processes one frontend command. The virtqueue transit time is
     // charged by the frontend; this charges backend processing + the
-    // kernel driver + any RConnrename/RConntrack work.
+    // kernel driver + any RConnrename/RConntrack work. A CmdBatch is
+    // drained in one wakeup: entries run in submission order through the
+    // exact per-command path (RConntrack verdicts, RConnrename rewrites
+    // and tenant-view updates are identical to solo submission) and one
+    // failed entry does not poison its batchmates.
     sim::Task<Response> handle(Command cmd);
 
     Backend& backend() { return backend_; }
@@ -78,6 +88,10 @@ class Backend {
     sim::Task<Response> dealloc_pd_local(rnic::PdId pd);
 
    private:
+    // One non-batch command through dispatch + MasQ-driver charge.
+    sim::Task<Response> handle_one(BatchableCommand cmd);
+    // Drains a whole batch in one backend wakeup.
+    sim::Task<Response> handle_batch(CmdBatch batch);
     sim::Task<Response> on_reg_mr(const CmdRegMr& cmd);
     sim::Task<Response> on_query_qp(const CmdQueryQp& cmd);
     sim::Task<Response> on_create_cq(const CmdCreateCq& cmd);
@@ -121,6 +135,8 @@ class Backend {
   overlay::VirtualNetwork& vnet_;
   BackendConfig config_;
   sdn::MappingCache cache_;
+  sdn::Controller::SubId push_sub_ = 0;
+  sdn::Controller::SubId invalidate_sub_ = 0;
   RConntrack conntrack_;
   std::unordered_map<std::uint32_t, rnic::FnId> tenant_fn_;
   rnic::FnId next_vf_ = 1;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <variant>
+#include <vector>
 
 #include "mem/physical_memory.h"
 #include "net/addr.h"
@@ -63,15 +64,51 @@ struct CmdUdSend {
   rnic::SendWr wr;
 };
 
+// A single (non-batch) command. Batches carry these, so batches cannot
+// nest by construction.
+using BatchableCommand =
+    std::variant<CmdRegMr, CmdCreateCq, CmdCreateQp, CmdModifyQp, CmdQueryQp,
+                 CmdDestroyQp, CmdDestroyCq, CmdDeregMr, CmdUdSend>;
+
+// In-batch result references: connection setup is a dependency chain
+// (create_qp needs the CQ created two slots earlier; modify_qp needs the
+// QP created one slot earlier), so a batch entry may declare that a field
+// is filled from an *earlier* entry's response instead of carrying a
+// concrete value. The backend resolves links while draining the batch —
+// this is what lets reg_mr -> create_cq -> create_qp -> modify_qp ship as
+// one descriptor batch instead of four dependent round trips.
+struct BatchLink {
+  int send_cq_from = -1;  // CmdCreateQp: attr.send_cq <- response[v0]
+  int recv_cq_from = -1;  // CmdCreateQp: attr.recv_cq <- response[v0]
+  int qpn_from = -1;      // CmdModifyQp/QueryQp/DestroyQp: qpn <- response[v0]
+
+  bool any() const {
+    return send_cq_from >= 0 || recv_cq_from >= 0 || qpn_from >= 0;
+  }
+};
+
+// A batch of commands submitted as one virtqueue transit (one kick, one
+// interrupt). The backend drains it per wakeup, preserving per-command
+// semantics: each entry runs the exact same RConntrack/RConnrename path it
+// would have run solo, and one failed entry must not poison its
+// batchmates — every entry gets its own Response.
+struct CmdBatch {
+  std::vector<BatchableCommand> cmds;
+  std::vector<BatchLink> links;  // parallel to cmds; may be shorter (no links)
+};
+
 using Command = std::variant<CmdRegMr, CmdCreateCq, CmdCreateQp, CmdModifyQp,
                              CmdQueryQp, CmdDestroyQp, CmdDestroyCq,
-                             CmdDeregMr, CmdUdSend>;
+                             CmdDeregMr, CmdUdSend, CmdBatch>;
 
 struct Response {
   rnic::Status status = rnic::Status::kOk;
   std::uint64_t v0 = 0;  // pd / lkey / cqn / qpn, depending on the command
   std::uint64_t v1 = 0;
   rnic::QpAttr attr;     // CmdQueryQp only
+  // CmdBatch only: one Response per batch entry, in submission order.
+  // status above is kOk iff every entry succeeded (first error otherwise).
+  std::vector<Response> batch;
 };
 
 }  // namespace masq

@@ -8,6 +8,7 @@
 // of the design (§3.1).
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "hyp/instance.h"
@@ -18,6 +19,8 @@
 #include "virtio/virtqueue.h"
 
 namespace masq {
+
+class MasqBatch;
 
 class MasqContext : public verbs::Context {
  public:
@@ -69,10 +72,17 @@ class MasqContext : public verbs::Context {
     return session_.vm().compute(host_time);
   }
 
+  // Pipelined control path: queued verbs ship as one CmdBatch in a single
+  // virtqueue transit (one kick + one interrupt for the whole batch, with
+  // in-batch slot links for dependent verbs). Batches wider than the ring
+  // are chunked to ring size so descriptor backpressure still holds.
+  std::unique_ptr<verbs::ControlBatch> make_batch() override;
+
   Backend::Session& session() { return session_; }
   virtio::Virtqueue<Command, Response>& virtqueue() { return vq_; }
 
  private:
+  friend class MasqBatch;
   // Charges the user-space library share of a verb and records it.
   sim::Task<void> lib_charge(const char* verb, sim::Time t);
   // lib charge + virtqueue round trip + backend handling.

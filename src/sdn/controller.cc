@@ -5,11 +5,16 @@ namespace sdn {
 void Controller::register_vgid(std::uint32_t vni, net::Gid vgid,
                                net::Gid pgid) {
   table_[VirtKey{vni, vgid}] = pgid;
-  for (const auto& fn : subscribers_) fn(vni, vgid, pgid);
+  for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
 }
 
 void Controller::unregister_vgid(std::uint32_t vni, net::Gid vgid) {
-  table_.erase(VirtKey{vni, vgid});
+  // Only broadcast if this call actually removed a live entry; a released
+  // vBond whose successor already re-registered must not clobber the
+  // successor's mapping in downstream caches.
+  if (table_.erase(VirtKey{vni, vgid}) > 0) {
+    for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
+  }
 }
 
 std::optional<net::Gid> Controller::lookup(std::uint32_t vni,
@@ -29,31 +34,79 @@ sim::Task<std::optional<net::Gid>> Controller::query(std::uint32_t vni,
 void Controller::push_down(std::uint32_t vni) const {
   for (const auto& [key, pgid] : table_) {
     if (key.vni == vni) {
-      for (const auto& fn : subscribers_) fn(key.vni, key.vgid, pgid);
+      for (const auto& [id, fn] : subscribers_) fn(key.vni, key.vgid, pgid);
     }
   }
 }
 
 sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
                                                          net::Gid vgid) {
-  auto it = cache_.find(VirtKey{vni, vgid});
+  const VirtKey key{vni, vgid};
+  auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
     co_await sim::delay(loop_, hit_cost_);
     co_return it->second;
   }
+  // Bounded negative cache: a recently-confirmed-absent key is answered
+  // locally instead of hammering the controller.
+  auto nit = negative_.find(key);
+  if (nit != negative_.end()) {
+    if (loop_.now() < nit->second) {
+      ++negative_hits_;
+      co_await sim::delay(loop_, hit_cost_);
+      co_return std::nullopt;
+    }
+    negative_.erase(nit);
+  }
+  // Single-flight: if a query for this key is already on the wire, ride it
+  // instead of issuing another controller RTT.
+  auto fit = inflight_.find(key);
+  if (fit != inflight_.end()) {
+    ++coalesced_;
+    auto future = fit->second;  // copy: the leader erases the map entry
+    co_return co_await future;
+  }
   ++misses_;
-  auto result = co_await controller_.query(vni, vgid);
-  if (result) cache_[VirtKey{vni, vgid}] = *result;
+  sim::Promise<std::optional<net::Gid>> leader(loop_);
+  inflight_.emplace(key, leader.get_future());
+  poisoned_.erase(key);
+  std::optional<net::Gid> result;
+  try {
+    result = co_await controller_.query(vni, vgid);
+  } catch (...) {
+    inflight_.erase(key);
+    poisoned_.erase(key);
+    leader.set_exception(std::current_exception());
+    throw;
+  }
+  // Install the verdict — unless the key was invalidated mid-flight, in
+  // which case the result may already be stale and must not be cached
+  // (followers still get the answer their query observed).
+  if (!poisoned_.erase(key)) {
+    if (result) {
+      cache_[key] = *result;
+    } else {
+      if (negative_.size() >= kMaxNegativeEntries) negative_.clear();
+      negative_[key] = loop_.now() + negative_ttl_;
+    }
+  }
+  inflight_.erase(key);
+  leader.set_value(result);
   co_return result;
 }
 
 void MappingCache::insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
-  cache_[VirtKey{vni, vgid}] = pgid;
+  const VirtKey key{vni, vgid};
+  cache_[key] = pgid;
+  negative_.erase(key);
 }
 
 void MappingCache::invalidate(std::uint32_t vni, net::Gid vgid) {
-  cache_.erase(VirtKey{vni, vgid});
+  const VirtKey key{vni, vgid};
+  cache_.erase(key);
+  negative_.erase(key);
+  if (inflight_.count(key) > 0) poisoned_.insert(key);
 }
 
 }  // namespace sdn

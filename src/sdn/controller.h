@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/addr.h"
@@ -31,8 +32,14 @@ struct VirtKey {
 
 struct VirtKeyHash {
   std::size_t operator()(const VirtKey& k) const noexcept {
-    return std::hash<net::Gid>{}(k.vgid) ^
-           (std::hash<std::uint32_t>{}(k.vni) * 0x9e3779b9u);
+    // Boost-style hash_combine: the multiply+shift mix keeps the combine
+    // asymmetric and spreads entropy across all bits. (A plain XOR is
+    // symmetric — hash(a)^hash(b) == hash(b)^hash(a) — and collapses keys
+    // whose per-field hashes differ only in low bytes.)
+    std::size_t h = std::hash<std::uint32_t>{}(k.vni);
+    const std::size_t g = std::hash<net::Gid>{}(k.vgid);
+    h ^= g + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
   }
 };
 
@@ -54,11 +61,37 @@ class Controller {
   // Remote query as RConnrename performs it: charges the controller RTT.
   sim::Task<std::optional<net::Gid>> query(std::uint32_t vni, net::Gid vgid);
 
+  // Subscriptions return a token; subscribers whose lifetime is shorter
+  // than the controller's MUST unsubscribe in their destructor (vBond
+  // teardown broadcasts invalidations, so a dangling callback would fire
+  // into freed memory during shutdown).
+  using SubId = std::uint64_t;
+
   // Proactive push-down (§4.2.3: "the controller can push down the
   // mappings in advance"): streams every entry of `vni` to the subscriber.
   using PushFn = std::function<void(std::uint32_t, net::Gid, net::Gid)>;
-  void subscribe(PushFn fn) { subscribers_.push_back(std::move(fn)); }
+  SubId subscribe(PushFn fn) {
+    subscribers_.emplace_back(next_sub_, std::move(fn));
+    return next_sub_++;
+  }
+  void unsubscribe(SubId id) {
+    std::erase_if(subscribers_, [id](const auto& s) { return s.first == id; });
+  }
   void push_down(std::uint32_t vni) const;
+
+  // Invalidation channel: unregister_vgid() broadcasts the dead key so
+  // host-local caches stop serving the stale pGID (the complement of the
+  // push-down channel — without it a dead mapping lives in every cache
+  // forever).
+  using InvalidateFn = std::function<void(std::uint32_t, net::Gid)>;
+  SubId subscribe_invalidate(InvalidateFn fn) {
+    invalidate_subscribers_.emplace_back(next_sub_, std::move(fn));
+    return next_sub_++;
+  }
+  void unsubscribe_invalidate(SubId id) {
+    std::erase_if(invalidate_subscribers_,
+                  [id](const auto& s) { return s.first == id; });
+  }
 
   std::size_t table_size() const { return table_.size(); }
   std::size_t table_bytes() const { return table_.size() * kRecordBytes; }
@@ -69,7 +102,9 @@ class Controller {
   sim::EventLoop& loop_;
   sim::Time query_rtt_;
   std::unordered_map<VirtKey, net::Gid, VirtKeyHash> table_;
-  std::vector<PushFn> subscribers_;
+  std::vector<std::pair<SubId, PushFn>> subscribers_;
+  std::vector<std::pair<SubId, InvalidateFn>> invalidate_subscribers_;
+  SubId next_sub_ = 1;
   std::uint64_t queries_ = 0;
 };
 
@@ -77,11 +112,21 @@ class Controller {
 // peer misses and pays the controller RTT; subsequent ones hit in a few
 // microseconds. In the common case a record never changes after insertion,
 // so hits always stay hits.
+//
+// resolve() is *single-flight*: concurrent misses for the same (VNI, vGID)
+// coalesce onto one in-flight controller query, so a 100-QP fan-in to a
+// brand-new peer pays one controller RTT, not 100. Unresolvable keys are
+// negatively cached for a bounded TTL so a misconfigured peer cannot turn
+// every connection attempt into a controller round trip.
 class MappingCache {
  public:
   MappingCache(sim::EventLoop& loop, Controller& controller,
-               sim::Time hit_cost = sim::microseconds(2))
-      : loop_(loop), controller_(controller), hit_cost_(hit_cost) {}
+               sim::Time hit_cost = sim::microseconds(2),
+               sim::Time negative_ttl = sim::milliseconds(1))
+      : loop_(loop),
+        controller_(controller),
+        hit_cost_(hit_cost),
+        negative_ttl_(negative_ttl) {}
 
   sim::Task<std::optional<net::Gid>> resolve(std::uint32_t vni,
                                              net::Gid vgid);
@@ -92,16 +137,35 @@ class MappingCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  // Concurrent misses that rode another miss's in-flight controller query.
+  std::uint64_t single_flight_coalesced() const { return coalesced_; }
+  // Lookups answered from the bounded negative cache.
+  std::uint64_t negative_hits() const { return negative_hits_; }
   std::size_t size() const { return cache_.size(); }
   std::size_t bytes() const { return cache_.size() * kRecordBytes; }
 
  private:
+  // Bound on the negative cache: it is a DoS shield, not a datastore.
+  static constexpr std::size_t kMaxNegativeEntries = 1024;
+
   sim::EventLoop& loop_;
   Controller& controller_;
   sim::Time hit_cost_;
+  sim::Time negative_ttl_;
   std::unordered_map<VirtKey, net::Gid, VirtKeyHash> cache_;
+  // Key -> expiry time of the "known absent" verdict.
+  std::unordered_map<VirtKey, sim::Time, VirtKeyHash> negative_;
+  // One leader query per key; followers await the leader's future.
+  std::unordered_map<VirtKey, sim::Future<std::optional<net::Gid>>,
+                     VirtKeyHash>
+      inflight_;
+  // Keys invalidated while their leader query was in flight: the stale
+  // result must not be installed when the leader returns.
+  std::unordered_set<VirtKey, VirtKeyHash> poisoned_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t negative_hits_ = 0;
 };
 
 }  // namespace sdn

@@ -45,6 +45,190 @@ std::vector<std::string> LayerProfile::verbs() const {
   return out;
 }
 
+namespace {
+
+// Default ControlBatch: replays the queued entries one by one through the
+// plain virtual verbs at commit() time. Semantics intentionally mirror the
+// backend's batch drain (masq/backend.cc): in order, error-independent,
+// broken slot dependencies fail with kInvalidArgument without executing.
+class SequentialBatch final : public ControlBatch {
+ public:
+  explicit SequentialBatch(Context& ctx) : ctx_(ctx) {}
+
+  int reg_mr(rnic::PdId pd, mem::Addr addr, std::uint64_t len,
+             std::uint32_t access) override {
+    Op op;
+    op.kind = Op::kRegMr;
+    op.pd = pd;
+    op.addr = addr;
+    op.len = len;
+    op.access = access;
+    return push(op);
+  }
+
+  int create_cq(int cqe) override {
+    Op op;
+    op.kind = Op::kCreateCq;
+    op.cqe = cqe;
+    return push(op);
+  }
+
+  int create_qp(const rnic::QpInitAttr& attr, int send_cq_slot,
+                int recv_cq_slot) override {
+    Op op;
+    op.kind = Op::kCreateQp;
+    op.init = attr;
+    op.send_cq_slot = send_cq_slot;
+    op.recv_cq_slot = recv_cq_slot;
+    return push(op);
+  }
+
+  int modify_qp(rnic::Qpn qpn, const rnic::QpAttr& attr,
+                std::uint32_t mask) override {
+    Op op;
+    op.kind = Op::kModifyQp;
+    op.qpn = qpn;
+    op.attr = attr;
+    op.mask = mask;
+    return push(op);
+  }
+
+  int modify_qp_slot(int qp_slot, const rnic::QpAttr& attr,
+                     std::uint32_t mask) override {
+    Op op;
+    op.kind = Op::kModifyQp;
+    op.qp_slot = qp_slot;
+    op.attr = attr;
+    op.mask = mask;
+    return push(op);
+  }
+
+  sim::Task<rnic::Status> commit() override {
+    rnic::Status first = rnic::Status::kOk;
+    for (std::size_t i = committed_; i < ops_.size(); ++i) {
+      results_[i].status = co_await run_one(i);
+      if (first == rnic::Status::kOk &&
+          results_[i].status != rnic::Status::kOk) {
+        first = results_[i].status;
+      }
+    }
+    committed_ = ops_.size();
+    co_return first;
+  }
+
+  rnic::Status status(int slot) const override {
+    return results_.at(slot).status;
+  }
+  std::uint64_t value(int slot) const override {
+    return results_.at(slot).value;
+  }
+  MrHandle mr(int slot) const override { return results_.at(slot).mr; }
+  int size() const override { return static_cast<int>(ops_.size()); }
+
+ private:
+  struct Op {
+    enum Kind { kRegMr, kCreateCq, kCreateQp, kModifyQp } kind = kRegMr;
+    rnic::PdId pd = 0;
+    mem::Addr addr = 0;
+    std::uint64_t len = 0;
+    std::uint32_t access = 0;
+    int cqe = 0;
+    rnic::QpInitAttr init;
+    int send_cq_slot = -1;
+    int recv_cq_slot = -1;
+    rnic::Qpn qpn = 0;
+    int qp_slot = -1;
+    rnic::QpAttr attr;
+    std::uint32_t mask = 0;
+  };
+  struct Result {
+    rnic::Status status = rnic::Status::kOk;
+    std::uint64_t value = 0;
+    MrHandle mr;
+  };
+
+  int push(const Op& op) {
+    ops_.push_back(op);
+    results_.emplace_back();
+    return static_cast<int>(ops_.size()) - 1;
+  }
+
+  // Reads an earlier slot's value; fails if the slot is invalid (forward /
+  // out of range) or its entry failed.
+  rnic::Status fetch(int slot, std::size_t self, std::uint64_t* out) const {
+    if (slot < 0 || static_cast<std::size_t>(slot) >= self) {
+      return rnic::Status::kInvalidArgument;
+    }
+    if (results_[slot].status != rnic::Status::kOk) {
+      return rnic::Status::kInvalidArgument;
+    }
+    *out = results_[slot].value;
+    return rnic::Status::kOk;
+  }
+
+  sim::Task<rnic::Status> run_one(std::size_t self) {
+    Op& op = ops_[self];
+    Result& res = results_[self];
+    switch (op.kind) {
+      case Op::kRegMr: {
+        auto r = co_await ctx_.reg_mr(op.pd, op.addr, op.len, op.access);
+        if (r.ok()) res.mr = r.value;
+        co_return r.status;
+      }
+      case Op::kCreateCq: {
+        auto r = co_await ctx_.create_cq(op.cqe);
+        if (r.ok()) res.value = r.value;
+        co_return r.status;
+      }
+      case Op::kCreateQp: {
+        std::uint64_t v = 0;
+        if (op.send_cq_slot >= 0) {
+          if (auto st = fetch(op.send_cq_slot, self, &v);
+              st != rnic::Status::kOk) {
+            co_return st;
+          }
+          op.init.send_cq = static_cast<rnic::Cqn>(v);
+        }
+        if (op.recv_cq_slot >= 0) {
+          if (auto st = fetch(op.recv_cq_slot, self, &v);
+              st != rnic::Status::kOk) {
+            co_return st;
+          }
+          op.init.recv_cq = static_cast<rnic::Cqn>(v);
+        }
+        auto r = co_await ctx_.create_qp(op.init);
+        if (r.ok()) res.value = r.value;
+        co_return r.status;
+      }
+      case Op::kModifyQp: {
+        rnic::Qpn qpn = op.qpn;
+        if (op.qp_slot >= 0) {
+          std::uint64_t v = 0;
+          if (auto st = fetch(op.qp_slot, self, &v);
+              st != rnic::Status::kOk) {
+            co_return st;
+          }
+          qpn = static_cast<rnic::Qpn>(v);
+        }
+        res.value = qpn;
+        co_return co_await ctx_.modify_qp(qpn, op.attr, op.mask);
+      }
+    }
+    co_return rnic::Status::kInvalidArgument;
+  }
+
+  Context& ctx_;
+  std::vector<Op> ops_;
+  std::vector<Result> results_;
+  std::size_t committed_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ControlBatch> Context::make_batch() {
+  return std::make_unique<SequentialBatch>(*this);
+}
+
 sim::Task<rnic::Completion> Context::wait_completion(rnic::Cqn cq) {
   while (true) {
     rnic::Completion c;
