@@ -20,6 +20,15 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
       fluid_(loop),
       vnet_(loop, config_.cal.oob_oneway),
       controller_(loop, config_.cal.controller_rtt) {
+  if (config_.faults.any()) {
+    fault_plane_ = std::make_unique<sim::FaultPlane>(loop_, config_.faults,
+                                                     config_.fault_seed);
+    // SDN outage windows flip the controller's reachability; queries made
+    // while down return "unreachable" after the detection timeout and the
+    // host caches serve degraded (stale-but-bounded) mappings.
+    fault_plane_->arm(
+        [this](bool down) { controller_.set_reachable(!down); });
+  }
   for (int h = 0; h < config_.num_hosts; ++h) {
     auto host = std::make_unique<hyp::Host>(
         loop_, fluid_, "server-" + std::to_string(h),
@@ -46,6 +55,9 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
       bc.driver_costs = config_.cal.driver_costs;
       bc.conntrack_costs = config_.cal.conntrack_costs;
       bc.mapping_cache_hit = config_.cal.mapping_cache_hit;
+      bc.retry = config_.retry;
+      bc.cache_staleness_bound = config_.cache_staleness_bound;
+      bc.faults = fault_plane_.get();
       backends_.push_back(std::make_unique<masq::Backend>(
           loop_, dev, controller_, vnet_, bc));
     } else if (config_.candidate == Candidate::kFreeFlow) {

@@ -29,6 +29,7 @@
 #include "rnic/device.h"
 #include "sdn/controller.h"
 #include "sim/event_loop.h"
+#include "sim/faults.h"
 #include "verbs/api.h"
 
 namespace fabric {
@@ -49,6 +50,17 @@ struct TestbedConfig {
   // Ablation: RConnrename queries the controller on every connection.
   bool masq_disable_cache = false;
   Calibration cal;
+  // Chaos testing: when any fault probability or SDN outage window is set
+  // (faults.any()), the testbed builds a seeded FaultPlane and wires it
+  // into every MasQ backend, each frontend's virtqueue, and the SDN
+  // controller's reachability. Fault-free configs build no plane at all,
+  // so default runs keep a bit-identical event stream.
+  sim::FaultConfig faults;
+  std::uint64_t fault_seed = 1;
+  // Control-path retry policy and degraded-mode staleness bound shared by
+  // every MasQ backend/frontend pair.
+  masq::RetryPolicy retry;
+  sim::Time cache_staleness_bound = sim::seconds(5);
 };
 
 class Testbed : public rnic::FabricRouter {
@@ -81,6 +93,8 @@ class Testbed : public rnic::FabricRouter {
   net::FluidNet& fluid() { return fluid_; }
   overlay::VirtualNetwork& vnet() { return vnet_; }
   sdn::Controller& controller() { return controller_; }
+  // Null unless the config enabled fault injection (config.faults.any()).
+  sim::FaultPlane* faults() { return fault_plane_.get(); }
   hyp::Host& host(std::size_t i) { return *hosts_.at(i); }
   rnic::RnicDevice& device(std::size_t host_idx) {
     return hosts_.at(host_idx)->rnic(0);
@@ -130,6 +144,9 @@ class Testbed : public rnic::FabricRouter {
   net::FluidNet fluid_;
   overlay::VirtualNetwork vnet_;
   sdn::Controller controller_;
+  // Declared before hosts/backends: they hold raw pointers into the plane
+  // and must be destroyed first.
+  std::unique_ptr<sim::FaultPlane> fault_plane_;
   std::vector<std::unique_ptr<hyp::Host>> hosts_;
   std::vector<std::unique_ptr<masq::Backend>> backends_;    // per host (MasQ)
   std::vector<std::unique_ptr<baselines::FfRouter>> ffrs_;  // per host (FF)

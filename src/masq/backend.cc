@@ -10,22 +10,32 @@ Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
       controller_(controller),
       vnet_(vnet),
       config_(std::move(config)),
-      cache_(loop, controller, config_.mapping_cache_hit),
+      cache_(loop, controller, config_.mapping_cache_hit,
+             sim::milliseconds(1), config_.cache_staleness_bound),
       conntrack_(loop, vnet, config_.conntrack_costs) {
   // §3.3.1: "the controller can be configured to push down the mappings in
   // advance" — keep the host-local cache coherent with every (re)binding,
   // which also makes live migration transparent to later connections.
+  // (Invalidations need no wiring here: the cache subscribes to the
+  // controller's invalidate channel itself.)
   push_sub_ = controller_.subscribe(
       [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
         cache_.insert(vni, vgid, pgid);
       });
-  // The complement: when a vGID is unregistered (VM teardown, IP change),
-  // the controller broadcasts an invalidation so this cache stops serving
-  // the stale pGID instead of serving it forever.
-  invalidate_sub_ = controller_.subscribe_invalidate(
-      [this](std::uint32_t vni, net::Gid vgid) {
-        cache_.invalidate(vni, vgid);
-      });
+  if (config_.faults != nullptr) {
+    cache_.set_fault_probe([f = config_.faults](std::uint64_t key_hash) {
+      return f->expire_cache_entry(key_hash);
+    });
+  }
+  // Table 2: a QP entering ERROR carries no connection any more. Purge its
+  // RConntrack entries whatever forced the transition — a rule-update
+  // teardown, a data-path fault, or an injected error — deferring the
+  // table work off the device's flush path.
+  device_.on_qp_error([this](rnic::Qpn qpn) {
+    loop_.schedule_after(0, [this, qpn] {
+      if (conntrack_.has_qp(qpn)) loop_.spawn(conntrack_.purge_qp(qpn));
+    });
+  });
 }
 
 Backend::~Backend() {
@@ -33,7 +43,6 @@ Backend::~Backend() {
   // broadcasts invalidations, and sibling backends already destroyed must
   // not be reachable through the controller's subscriber lists (and this
   // backend must drop out before its own cache_ dies).
-  controller_.unsubscribe_invalidate(invalidate_sub_);
   controller_.unsubscribe(push_sub_);
 }
 
@@ -90,8 +99,11 @@ namespace {
 
 // Resolves in-batch result links against the sub-responses produced so
 // far. Returns kOk, or the error the dependent entry must fail with: a
-// link is invalid if it points outside [0, done) — i.e. forward or out of
-// range — or at an entry that itself failed.
+// link that points outside [0, done) — i.e. forward or out of range — is
+// kInvalidArgument; a link at an entry that itself failed *propagates that
+// entry's status*, so the frontend can tell a dependent of a transient
+// failure (kUnavailable — retry the chain) from a dependent of a
+// permanent one.
 rnic::Status resolve_links(const BatchLink& link,
                            const std::vector<Response>& done,
                            BatchableCommand* cmd) {
@@ -100,7 +112,7 @@ rnic::Status resolve_links(const BatchLink& link,
       return rnic::Status::kInvalidArgument;
     }
     if (done[slot].status != rnic::Status::kOk) {
-      return rnic::Status::kInvalidArgument;  // dependency failed
+      return done[slot].status;  // dependency failed: inherit its error
     }
     *out = done[slot].v0;
     return rnic::Status::kOk;
@@ -129,6 +141,57 @@ rnic::Status resolve_links(const BatchLink& link,
 }
 
 }  // namespace
+
+sim::Task<Response> Backend::Session::handle(Envelope env) {
+  sim::FaultPlane* faults = backend_.faults();
+  if (env.cmd_id == 0) {
+    if (faults != nullptr && faults->fail_command(0)) {
+      co_return Response{rnic::Status::kUnavailable, 0, 0};
+    }
+    co_return co_await handle(std::move(env.cmd));
+  }
+  if (auto it = completed_cmds_.find(env.cmd_id);
+      it != completed_cmds_.end()) {
+    ++dedup_hits_;
+    co_return it->second;
+  }
+  if (auto it = inflight_cmds_.find(env.cmd_id); it != inflight_cmds_.end()) {
+    // A retry raced the original execution: ride its future rather than
+    // executing the command a second time.
+    ++dedup_hits_;
+    auto future = it->second;  // copy: the leader erases the map entry
+    co_return co_await future;
+  }
+  sim::Promise<Response> leader(backend_.loop());
+  inflight_cmds_.emplace(env.cmd_id, leader.get_future());
+  Response r;
+  bool injected_failure = false;
+  if (faults != nullptr && faults->fail_command(env.cmd_id)) {
+    r = Response{rnic::Status::kUnavailable, 0, 0};
+    injected_failure = true;
+  } else {
+    try {
+      r = co_await handle(std::move(env.cmd));
+    } catch (...) {
+      inflight_cmds_.erase(env.cmd_id);
+      leader.set_exception(std::current_exception());
+      throw;
+    }
+  }
+  inflight_cmds_.erase(env.cmd_id);
+  if (!injected_failure) {
+    // Memoize only real executions — a retried command must re-execute
+    // after an injected transient failure, not replay it.
+    completed_cmds_.emplace(env.cmd_id, r);
+    completed_order_.push_back(env.cmd_id);
+    if (completed_order_.size() > kDedupWindow) {
+      completed_cmds_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+  }
+  leader.set_value(r);
+  co_return r;
+}
 
 sim::Task<Response> Backend::Session::handle(Command cmd) {
   if (auto* b = std::get_if<CmdBatch>(&cmd)) {
@@ -160,6 +223,11 @@ sim::Task<Response> Backend::Session::handle_batch(CmdBatch batch) {
     Response r;
     if (link_st != rnic::Status::kOk) {
       r.status = link_st;  // broken dependency: fail just this entry
+    } else if (backend_.faults() != nullptr &&
+               backend_.faults()->fail_command(i)) {
+      // Injected per-entry transient failure: this entry reports
+      // kUnavailable (retryable); its batchmates still run.
+      r.status = rnic::Status::kUnavailable;
     } else {
       // Error independence: an exception from one entry becomes that
       // entry's error response; the rest of the batch still runs.
@@ -283,12 +351,25 @@ sim::Task<Response> Backend::Session::on_modify_qp(const CmdModifyQp& cmd) {
 
     // RConnrename: replace the peer's virtual GID with the physical GID
     // (Fig. 4 step (4)). The application keeps seeing the virtual view;
-    // only the hardware QPC gets the physical address.
-    auto pgid = backend_.config().disable_mapping_cache
-                    ? co_await backend_.controller().query(vni(),
-                                                           attr.dest_gid)
-                    : co_await backend_.mapping_cache().resolve(
-                          vni(), attr.dest_gid);
+    // only the hardware QPC gets the physical address. An unreachable
+    // controller with no fresh-enough cached mapping is kUnavailable
+    // (retryable), distinct from an authoritative kNotFound.
+    std::optional<net::Gid> pgid;
+    if (backend_.config().disable_mapping_cache) {
+      auto reply =
+          co_await backend_.controller().query_ex(vni(), attr.dest_gid);
+      if (reply.unreachable) {
+        co_return Response{rnic::Status::kUnavailable, 0, 0};
+      }
+      pgid = reply.pgid;
+    } else {
+      auto res = co_await backend_.mapping_cache().resolve_ex(
+          vni(), attr.dest_gid);
+      if (res.status == sdn::MappingCache::ResolveStatus::kUnavailable) {
+        co_return Response{rnic::Status::kUnavailable, 0, 0};
+      }
+      pgid = res.pgid;
+    }
     if (!pgid) co_return Response{rnic::Status::kNotFound, 0, 0};
     attr.dest_gid = *pgid;
 
@@ -297,6 +378,14 @@ sim::Task<Response> Backend::Session::on_modify_qp(const CmdModifyQp& cmd) {
     if (st == rnic::Status::kOk) {
       co_await backend_.conntrack().track(RConntrack::Entry{
           vni(), vm_.config().vip, *dst_vip, cmd.qpn, &driver_});
+      // The QP may have been forced into ERROR (data-path fault, injected
+      // error, rule teardown) while track() was charging its insert cost —
+      // in that case the purge hook already ran against an empty table, so
+      // re-check and drop the entry we just installed (Table 2: a dead QP
+      // carries no connection).
+      if (backend_.device().qp_state(cmd.qpn) == rnic::QpState::kError) {
+        co_await backend_.conntrack().purge_qp(cmd.qpn);
+      }
       // The tenant keeps seeing the QPC it configured (virtual GID); only
       // the hardware view was renamed.
       tenant_view_[cmd.qpn] = cmd.attr;
@@ -347,9 +436,12 @@ sim::Task<Response> Backend::Session::on_ud_send(const CmdUdSend& cmd) {
   // §3.3.4: the datagram WQE carries its own destination; rename it like a
   // connection destination, then hand the WQE to the device.
   rnic::SendWr wr = cmd.wr;
-  auto pgid = co_await backend_.mapping_cache().resolve(vni(), wr.ud.gid);
-  if (!pgid) co_return Response{rnic::Status::kNotFound, 0, 0};
-  wr.ud.gid = *pgid;
+  auto res = co_await backend_.mapping_cache().resolve_ex(vni(), wr.ud.gid);
+  if (res.status == sdn::MappingCache::ResolveStatus::kUnavailable) {
+    co_return Response{rnic::Status::kUnavailable, 0, 0};
+  }
+  if (!res.pgid) co_return Response{rnic::Status::kNotFound, 0, 0};
+  wr.ud.gid = *res.pgid;
   co_return Response{backend_.device().post_send(cmd.qpn, wr), 0, 0};
 }
 

@@ -14,12 +14,14 @@
 // enforces the tenant's policy.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "hyp/instance.h"
 #include "masq/commands.h"
+#include "sim/faults.h"
 #include "masq/rconntrack.h"
 #include "masq/vbond.h"
 #include "overlay/oob.h"
@@ -44,6 +46,16 @@ struct BackendConfig {
   verbs::DriverCosts driver_costs;
   RConntrackCosts conntrack_costs;
   sim::Time mapping_cache_hit = sim::microseconds(2);  // §3.3.1
+  // Frontend control-path retry policy (shared config so frontends and
+  // tests agree on deadlines).
+  RetryPolicy retry;
+  // Degraded SDN mode: how stale a cached mapping may be and still be
+  // served while the controller is unreachable.
+  sim::Time cache_staleness_bound = sim::seconds(5);
+  // Fault plane, or null for a fault-free run. Not owned; must outlive
+  // the backend. Wired through to the mapping cache's expiry probe and
+  // the per-command failure site.
+  sim::FaultPlane* faults = nullptr;
 };
 
 class Backend {
@@ -72,6 +84,17 @@ class Backend {
     // and tenant-view updates are identical to solo submission) and one
     // failed entry does not poison its batchmates.
     sim::Task<Response> handle(Command cmd);
+
+    // Envelope entry point (what the virtqueue delivers): idempotent
+    // command handling. A cmd_id the session already executed returns the
+    // memoized response; one still executing coalesces onto its in-flight
+    // future — so a frontend retry racing the original, or a duplicated
+    // descriptor, never runs a command twice. Injected transient failures
+    // (FaultPlane::fail_command) surface as kUnavailable and are NOT
+    // memoized, so a retry re-executes.
+    sim::Task<Response> handle(Envelope env);
+
+    std::uint64_t dedup_hits() const { return dedup_hits_; }
 
     Backend& backend() { return backend_; }
     hyp::Vm& vm() { return vm_; }
@@ -111,6 +134,15 @@ class Backend {
     // The tenant's view of each QPC — virtual addresses as the application
     // configured them, maintained alongside the renamed hardware view.
     std::unordered_map<rnic::Qpn, rnic::QpAttr> tenant_view_;
+    // Idempotency window: memoized responses by cmd_id, FIFO-evicted. The
+    // window only has to outlive a frontend's bounded retries, not the
+    // session.
+    static constexpr std::size_t kDedupWindow = 1024;
+    std::unordered_map<std::uint64_t, Response> completed_cmds_;
+    std::deque<std::uint64_t> completed_order_;
+    // cmd_id -> future of the execution currently in flight.
+    std::unordered_map<std::uint64_t, sim::Future<Response>> inflight_cmds_;
+    std::uint64_t dedup_hits_ = 0;
   };
 
   // Registers a VM with this backend: assigns a device function by the
@@ -127,6 +159,7 @@ class Backend {
   sdn::MappingCache& mapping_cache() { return cache_; }
   RConntrack& conntrack() { return conntrack_; }
   const BackendConfig& config() const { return config_; }
+  sim::FaultPlane* faults() { return config_.faults; }
 
  private:
   sim::EventLoop& loop_;
@@ -136,7 +169,6 @@ class Backend {
   BackendConfig config_;
   sdn::MappingCache cache_;
   sdn::Controller::SubId push_sub_ = 0;
-  sdn::Controller::SubId invalidate_sub_ = 0;
   RConntrack conntrack_;
   std::unordered_map<std::uint32_t, rnic::FnId> tenant_fn_;
   rnic::FnId next_vf_ = 1;

@@ -13,6 +13,7 @@
 #include "mem/physical_memory.h"
 #include "net/addr.h"
 #include "rnic/types.h"
+#include "sim/time.h"
 
 namespace masq {
 
@@ -109,6 +110,33 @@ struct Response {
   // CmdBatch only: one Response per batch entry, in submission order.
   // status above is kOk iff every entry succeeded (first error otherwise).
   std::vector<Response> batch;
+};
+
+// What actually crosses the virtqueue: the command plus a frontend-chosen
+// command id. Retried submissions reuse the id, so the backend can
+// recognise a command it already executed (a retry racing the original, a
+// duplicated descriptor) and replay the memoized response instead of
+// executing twice. Id 0 opts out of deduplication.
+struct Envelope {
+  std::uint64_t cmd_id = 0;
+  Command cmd;
+};
+
+// Frontend retry policy for control verbs. Transient failures
+// (rnic::is_retryable) and per-attempt timeouts are retried with
+// exponential backoff and jitter until max_attempts or the per-verb
+// deadline — whichever comes first — after which the verb fails with
+// kDeadlineExceeded rather than hanging.
+struct RetryPolicy {
+  int max_attempts = 4;
+  // Per-attempt response timeout (covers a dropped descriptor).
+  sim::Time attempt_timeout = sim::milliseconds(5);
+  sim::Time base_backoff = sim::microseconds(100);
+  double backoff_multiplier = 2.0;
+  // Backoff is scaled by 1 + U[0, jitter_frac).
+  double jitter_frac = 0.5;
+  // Hard wall-clock bound for one verb, all attempts included.
+  sim::Time verb_deadline = sim::milliseconds(50);
 };
 
 }  // namespace masq

@@ -1,6 +1,8 @@
 #include "masq/frontend.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace masq {
 
@@ -47,13 +49,23 @@ VerbLib modify_verb_lib(const rnic::QpAttr& attr, std::uint32_t mask,
 
 MasqContext::MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
                          virtio::ChannelCosts virtio_costs)
-    : session_(session), oob_(oob), vq_(session.backend().loop(),
-                                        virtio_costs) {
+    : session_(session),
+      oob_(oob),
+      vq_(session.backend().loop(), virtio_costs),
+      // Deterministic per-tenant jitter stream: same testbed, same seeds,
+      // same backoff schedule.
+      jitter_rng_(0x6a17c0de ^
+                  (static_cast<std::uint64_t>(session.vni()) *
+                   0x9e3779b97f4a7c15ULL)) {
   session_.set_profile(&profile_);
   vq_.set_backend(
-      [this](Command cmd) -> sim::Task<Response> {
-        return session_.handle(std::move(cmd));
+      [this](Envelope env) -> sim::Task<Response> {
+        return session_.handle(std::move(env));
       });
+  if (sim::FaultPlane* faults = session_.backend().faults()) {
+    vq_.set_transit_faults(
+        [faults](std::uint64_t cmd_id) { return faults->on_vq_transit(cmd_id); });
+  }
   // Appendix B.1: map the device's doorbell BAR into the application's
   // address space so data-path doorbells bypass the hypervisor.
   doorbell_gva_ = session_.vm().map_mmio_into_guest(
@@ -69,7 +81,88 @@ sim::Task<Response> MasqContext::call(const char* verb, sim::Time lib_time,
                                       Command cmd) {
   co_await lib_charge(verb, lib_time);
   profile_.add(verb, verbs::Layer::kVirtio, vq_.costs().round_trip());
-  co_return co_await vq_.call(std::move(cmd));
+  co_return co_await submit(std::move(cmd));
+}
+
+sim::Task<MasqContext::CallOutcome> MasqContext::attempt(
+    Envelope env, int weight, sim::Time attempt_deadline) {
+  if (session_.backend().faults() != nullptr) {
+    const std::uint64_t id = env.cmd_id;
+    co_return co_await vq_.call_deadline(std::move(env), weight,
+                                         attempt_deadline, id);
+  }
+  // Fault-free: the plain path keeps the event stream identical to a
+  // build without the resilience layer (no timer armed per verb).
+  CallOutcome out;
+  out.resp = co_await vq_.call(std::move(env), weight);
+  co_return out;
+}
+
+sim::Time MasqContext::backoff_delay(int attempt) {
+  const RetryPolicy& rp = session_.backend().config().retry;
+  double backoff = static_cast<double>(rp.base_backoff);
+  for (int i = 1; i < attempt; ++i) backoff *= rp.backoff_multiplier;
+  backoff *= 1.0 + rp.jitter_frac * jitter_rng_.next_double();
+  return static_cast<sim::Time>(backoff);
+}
+
+sim::Task<Response> MasqContext::submit(Command cmd, int weight) {
+  const RetryPolicy& rp = session_.backend().config().retry;
+  const sim::Time deadline = loop().now() + rp.verb_deadline;
+  // One cmd_id for all attempts: a retry racing its own original is
+  // deduplicated by the backend instead of executing twice.
+  const std::uint64_t id = next_cmd_id_++;
+  bool counted_retry = false;
+  for (int attempt_no = 1;; ++attempt_no) {
+    const sim::Time attempt_deadline =
+        std::min(deadline, loop().now() + rp.attempt_timeout);
+    // Named envelope + explicit move: passing a prvalue aggregate into a
+    // coroutine parameter double-frees under GCC 12 (parameter-copy bug).
+    Envelope env{id, cmd};
+    CallOutcome out =
+        co_await attempt(std::move(env), weight, attempt_deadline);
+    if (!out.timed_out && !rnic::is_retryable(out.resp.status)) {
+      co_return std::move(out.resp);
+    }
+    if (!counted_retry) {
+      counted_retry = true;
+      ++control_retries_;
+    }
+    if (attempt_no >= rp.max_attempts) break;
+    const sim::Time pause = backoff_delay(attempt_no);
+    if (loop().now() + pause >= deadline) break;
+    co_await sim::delay(loop(), pause);
+  }
+  ++deadline_failures_;
+  co_return Response{rnic::Status::kDeadlineExceeded, 0, 0};
+}
+
+sim::Task<Response> MasqContext::submit_chunk(CmdBatch chunk, int weight) {
+  const RetryPolicy& rp = session_.backend().config().retry;
+  const sim::Time deadline = loop().now() + rp.verb_deadline;
+  const std::uint64_t id = next_cmd_id_++;
+  bool counted_retry = false;
+  for (int attempt_no = 1;; ++attempt_no) {
+    const sim::Time attempt_deadline =
+        std::min(deadline, loop().now() + rp.attempt_timeout);
+    Envelope env{id, Command{chunk}};
+    CallOutcome out =
+        co_await attempt(std::move(env), weight, attempt_deadline);
+    // Per-entry errors are the batch layer's business (entry retry
+    // rounds); only a lost/late chunk is retried here, and the same
+    // cmd_id makes that retry safe even if the original executed.
+    if (!out.timed_out) co_return std::move(out.resp);
+    if (!counted_retry) {
+      counted_retry = true;
+      ++control_retries_;
+    }
+    if (attempt_no >= rp.max_attempts) break;
+    const sim::Time pause = backoff_delay(attempt_no);
+    if (loop().now() + pause >= deadline) break;
+    co_await sim::delay(loop(), pause);
+  }
+  ++deadline_failures_;
+  co_return Response{rnic::Status::kDeadlineExceeded, 0, 0};
 }
 
 sim::Task<rnic::Expected<rnic::PdId>> MasqContext::alloc_pd() {
@@ -142,7 +235,7 @@ sim::Task<rnic::Expected<rnic::QpAttr>> MasqContext::query_qp(
     rnic::Qpn qpn) {
   co_await lib_charge("query_qp", sim::microseconds(2));
   profile_.add("query_qp", verbs::Layer::kVirtio, vq_.costs().round_trip());
-  Response r = co_await vq_.call(CmdQueryQp{qpn});
+  Response r = co_await submit(CmdQueryQp{qpn});
   if (r.status != rnic::Status::kOk) {
     co_return rnic::Expected<rnic::QpAttr>::error(r.status);
   }
@@ -187,7 +280,7 @@ rnic::Status MasqContext::post_send(rnic::Qpn qpn, const rnic::SendWr& wr) {
     struct Fwd {
       static sim::Task<void> run(MasqContext* self, rnic::Qpn q,
                                  rnic::SendWr w) {
-        (void)co_await self->vq_.call(CmdUdSend{q, w});
+        (void)co_await self->submit(CmdUdSend{q, w});
       }
     };
     loop().spawn(Fwd::run(this, qpn, wr));
@@ -282,7 +375,6 @@ class MasqBatch final : public verbs::ControlBatch {
   }
 
   sim::Task<rnic::Status> commit() override {
-    rnic::Status first = rnic::Status::kOk;
     const std::size_t ring = static_cast<std::size_t>(ctx_.vq_.ring_size());
     while (committed_ < cmds_.size()) {
       const std::size_t begin = committed_;
@@ -296,9 +388,14 @@ class MasqBatch final : public verbs::ControlBatch {
       // breakdowns show the amortization directly.
       const sim::Time rt_share =
           ctx_.vq_.costs().round_trip() / static_cast<sim::Time>(n);
+      // Entries whose cross-chunk dependency already failed: they inherit
+      // that status client-side (the backend only sees a poisoned index).
+      std::unordered_map<std::size_t, rnic::Status> dep_failed;
       for (std::size_t i = begin; i < begin + n; ++i) {
         BatchableCommand cmd = cmds_[i];
-        BatchLink link = rebase_link(links_[i], begin, n, &cmd);
+        rnic::Status dep_status = rnic::Status::kOk;
+        BatchLink link = rebase_link(links_[i], begin, n, &cmd, &dep_status);
+        if (dep_status != rnic::Status::kOk) dep_failed[i] = dep_status;
         ctx_.profile_.add(metas_[i].verb, verbs::Layer::kVerbsLib,
                           metas_[i].lib);
         ctx_.profile_.add(metas_[i].verb, verbs::Layer::kVirtio, rt_share);
@@ -310,15 +407,28 @@ class MasqBatch final : public verbs::ControlBatch {
       // the channel transits are amortized.
       co_await sim::delay(ctx_.loop(), lib_total);
       Response r =
-          co_await ctx_.vq_.call(Command{std::move(b)}, static_cast<int>(n));
+          co_await ctx_.submit_chunk(std::move(b), static_cast<int>(n));
       for (std::size_t i = 0; i < n; ++i) {
-        record(begin + i, r.batch.at(i));
-        if (first == rnic::Status::kOk &&
-            results_[begin + i].status != rnic::Status::kOk) {
-          first = results_[begin + i].status;
+        if (r.batch.size() != n) {
+          // The chunk itself never completed (retry budget exhausted):
+          // every entry fails with the chunk-level status.
+          Response e;
+          e.status = r.status;
+          record(begin + i, e);
+        } else {
+          record(begin + i, r.batch.at(i));
         }
       }
+      for (const auto& [i, st] : dep_failed) results_[i].status = st;
       committed_ = begin + n;
+    }
+    co_await retry_failed_entries();
+    rnic::Status first = rnic::Status::kOk;
+    for (const Result& res : results_) {
+      if (res.status != rnic::Status::kOk) {
+        first = res.status;
+        break;
+      }
     }
     co_return first;
   }
@@ -363,9 +473,12 @@ class MasqBatch final : public verbs::ControlBatch {
   // in-chunk slots become chunk-relative (forward references stay invalid
   // and are failed by the backend, matching sequential semantics);
   // already-committed slots are substituted client-side via `apply` — or
-  // poisoned with an out-of-range index if the dependency failed.
+  // poisoned with an out-of-range index if the dependency failed, with the
+  // dependency's status reported through `dep_status` so the entry can
+  // inherit it (retryable vs permanent matters for the retry rounds).
   int rebase_slot(int slot, std::size_t begin, std::size_t n,
-                  const std::function<void(std::uint64_t)>& apply) {
+                  const std::function<void(std::uint64_t)>& apply,
+                  rnic::Status* dep_status) {
     if (slot < 0) return -1;
     if (static_cast<std::size_t>(slot) >= begin) {
       return slot - static_cast<int>(begin);  // backend resolves (or fails)
@@ -374,30 +487,156 @@ class MasqBatch final : public verbs::ControlBatch {
       apply(results_[slot].value);
       return -1;
     }
-    return static_cast<int>(n);  // dependency failed: force kInvalidArgument
+    *dep_status = results_[slot].status;
+    return static_cast<int>(n);  // dependency failed: poison for the backend
   }
 
   BatchLink rebase_link(const BatchLink& in, std::size_t begin, std::size_t n,
-                        BatchableCommand* cmd) {
+                        BatchableCommand* cmd, rnic::Status* dep_status) {
     BatchLink out;
     if (auto* c = std::get_if<CmdCreateQp>(cmd)) {
       out.send_cq_from = rebase_slot(in.send_cq_from, begin, n,
                                      [c](std::uint64_t v) {
                                        c->attr.send_cq =
                                            static_cast<rnic::Cqn>(v);
-                                     });
+                                     },
+                                     dep_status);
       out.recv_cq_from = rebase_slot(in.recv_cq_from, begin, n,
                                      [c](std::uint64_t v) {
                                        c->attr.recv_cq =
                                            static_cast<rnic::Cqn>(v);
-                                     });
+                                     },
+                                     dep_status);
     }
     if (auto* c = std::get_if<CmdModifyQp>(cmd)) {
-      out.qpn_from = rebase_slot(in.qpn_from, begin, n, [c](std::uint64_t v) {
-        c->qpn = static_cast<rnic::Qpn>(v);
-      });
+      out.qpn_from = rebase_slot(in.qpn_from, begin, n,
+                                 [c](std::uint64_t v) {
+                                   c->qpn = static_cast<rnic::Qpn>(v);
+                                 },
+                                 dep_status);
     }
     return out;
+  }
+
+  // After the initial chunked submission, transiently-failed entries are
+  // retried in rounds. Each round collects the retryable set plus ladder
+  // collateral — a modify_qp that failed kInvalidState only because an
+  // earlier transition on the same QP is being retried — then resubmits it
+  // as a mini-batch under a fresh cmd_id (entry-level retries are new work,
+  // not a replay of the original chunk). Links into the same round stay
+  // relative; satisfied dependencies are substituted client-side; entries
+  // whose dependency failed permanently inherit that status. Rounds stop
+  // when nothing retryable remains or the budget runs out, at which point
+  // still-transient entries fail kDeadlineExceeded like a solo verb would.
+  sim::Task<void> retry_failed_entries() {
+    const RetryPolicy& rp = ctx_.session_.backend().config().retry;
+    const sim::Time deadline = ctx_.loop().now() + rp.verb_deadline;
+    const std::size_t ring = static_cast<std::size_t>(ctx_.vq_.ring_size());
+    for (int round = 1; round < rp.max_attempts; ++round) {
+      std::vector<std::size_t> retry;
+      std::unordered_set<std::size_t> retry_slots;
+      std::unordered_set<std::uint64_t> retry_qpns;
+      for (std::size_t i = 0; i < cmds_.size(); ++i) {
+        bool take = rnic::is_retryable(results_[i].status);
+        const auto* mod = std::get_if<CmdModifyQp>(&cmds_[i]);
+        if (!take && mod != nullptr &&
+            results_[i].status == rnic::Status::kInvalidState) {
+          const int dep = links_[i].qpn_from;
+          if (dep >= 0) {
+            take = retry_slots.count(static_cast<std::size_t>(dep)) != 0 ||
+                   (results_[dep].status == rnic::Status::kOk &&
+                    retry_qpns.count(results_[dep].value) != 0);
+          } else {
+            take = retry_qpns.count(mod->qpn) != 0;
+          }
+        }
+        if (!take) continue;
+        retry_slots.insert(i);
+        retry.push_back(i);
+        if (mod != nullptr) {
+          const int dep = links_[i].qpn_from;
+          if (dep < 0) {
+            retry_qpns.insert(mod->qpn);
+          } else if (results_[dep].status == rnic::Status::kOk) {
+            retry_qpns.insert(results_[dep].value);
+          }
+        }
+      }
+      if (retry.empty()) co_return;
+      if (ctx_.loop().now() >= deadline) break;
+      ++ctx_.control_retries_;
+      co_await sim::delay(ctx_.loop(), ctx_.backoff_delay(round));
+      // Resubmit ring-sized slices; links point backwards only, so a
+      // dependency in an earlier slice has its fresh result recorded by
+      // the time the later slice is built.
+      for (std::size_t off = 0; off < retry.size(); off += ring) {
+        const std::size_t n = std::min(ring, retry.size() - off);
+        std::unordered_map<std::size_t, std::size_t> pos;
+        for (std::size_t k = 0; k < n; ++k) pos[retry[off + k]] = k;
+        CmdBatch mini;
+        mini.cmds.reserve(n);
+        mini.links.reserve(n);
+        std::unordered_map<std::size_t, rnic::Status> dep_failed;
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t i = retry[off + k];
+          BatchableCommand cmd = cmds_[i];
+          rnic::Status dep_status = rnic::Status::kOk;
+          auto map_slot =
+              [&](int slot,
+                  const std::function<void(std::uint64_t)>& apply) -> int {
+            if (slot < 0) return -1;
+            if (auto it = pos.find(static_cast<std::size_t>(slot));
+                it != pos.end()) {
+              return static_cast<int>(it->second);
+            }
+            if (results_[slot].status == rnic::Status::kOk) {
+              apply(results_[slot].value);
+              return -1;
+            }
+            dep_status = results_[slot].status;
+            return static_cast<int>(n);  // poison for the backend
+          };
+          BatchLink out;
+          if (auto* c = std::get_if<CmdCreateQp>(&cmd)) {
+            out.send_cq_from =
+                map_slot(links_[i].send_cq_from, [c](std::uint64_t v) {
+                  c->attr.send_cq = static_cast<rnic::Cqn>(v);
+                });
+            out.recv_cq_from =
+                map_slot(links_[i].recv_cq_from, [c](std::uint64_t v) {
+                  c->attr.recv_cq = static_cast<rnic::Cqn>(v);
+                });
+          }
+          if (auto* c = std::get_if<CmdModifyQp>(&cmd)) {
+            out.qpn_from = map_slot(links_[i].qpn_from, [c](std::uint64_t v) {
+              c->qpn = static_cast<rnic::Qpn>(v);
+            });
+          }
+          if (dep_status != rnic::Status::kOk) dep_failed[i] = dep_status;
+          mini.cmds.push_back(std::move(cmd));
+          mini.links.push_back(out);
+        }
+        Response r =
+            co_await ctx_.submit_chunk(std::move(mini), static_cast<int>(n));
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t i = retry[off + k];
+          if (r.batch.size() != n) {
+            Response e;
+            e.status = r.status;
+            record(i, e);
+          } else {
+            record(i, r.batch.at(k));
+          }
+        }
+        for (const auto& [i, st] : dep_failed) results_[i].status = st;
+      }
+    }
+    for (Result& res : results_) {
+      if (rnic::is_retryable(res.status)) {
+        res.status = rnic::Status::kDeadlineExceeded;
+        ++ctx_.deadline_failures_;
+      }
+    }
   }
 
   void record(std::size_t i, const Response& r) {

@@ -15,6 +15,7 @@
 #include "masq/backend.h"
 #include "masq/commands.h"
 #include "overlay/oob.h"
+#include "sim/rng.h"
 #include "verbs/api.h"
 #include "virtio/virtqueue.h"
 
@@ -79,20 +80,50 @@ class MasqContext : public verbs::Context {
   std::unique_ptr<verbs::ControlBatch> make_batch() override;
 
   Backend::Session& session() { return session_; }
-  virtio::Virtqueue<Command, Response>& virtqueue() { return vq_; }
+  virtio::Virtqueue<Envelope, Response>& virtqueue() { return vq_; }
+
+  // Control-path verbs that needed at least one retry (transient failure
+  // or attempt timeout).
+  std::uint64_t control_retries() const { return control_retries_; }
+  // Verbs that exhausted their retry budget and failed kDeadlineExceeded.
+  std::uint64_t deadline_failures() const { return deadline_failures_; }
 
  private:
   friend class MasqBatch;
+  using CallOutcome = virtio::Virtqueue<Envelope, Response>::CallOutcome;
+
   // Charges the user-space library share of a verb and records it.
   sim::Task<void> lib_charge(const char* verb, sim::Time t);
-  // lib charge + virtqueue round trip + backend handling.
+  // lib charge + virtqueue round trip + backend handling (with retries).
   sim::Task<Response> call(const char* verb, sim::Time lib_time, Command cmd);
+
+  // One virtqueue attempt. Under a fault plane the per-attempt deadline is
+  // armed (a dropped descriptor resumes as timed_out); without one the
+  // plain never-times-out path is used so fault-free runs keep an
+  // identical event stream.
+  sim::Task<CallOutcome> attempt(Envelope env, int weight,
+                                 sim::Time attempt_deadline);
+  // Bounded retry with exponential backoff + jitter and a per-verb
+  // deadline. Retries transient failures (rnic::is_retryable) and attempt
+  // timeouts under the same cmd_id — the backend's dedup makes the retry
+  // idempotent. Exhaustion surfaces as kDeadlineExceeded, never a hang.
+  sim::Task<Response> submit(Command cmd, int weight = 1);
+  // Chunk submission for MasqBatch: retries only *timeouts* (lost
+  // descriptors); per-entry errors are returned to the batch layer, which
+  // runs its own entry-level retry rounds.
+  sim::Task<Response> submit_chunk(CmdBatch chunk, int weight);
+  // Backoff before retry `attempt` (1-based), jittered.
+  sim::Time backoff_delay(int attempt);
 
   Backend::Session& session_;
   overlay::OobEndpoint& oob_;
-  virtio::Virtqueue<Command, Response> vq_;
+  virtio::Virtqueue<Envelope, Response> vq_;
   mem::Addr doorbell_gva_ = 0;  // device BAR mapped into the guest
   std::unordered_map<rnic::Qpn, rnic::QpType> qp_types_;
+  std::uint64_t next_cmd_id_ = 1;
+  sim::Rng jitter_rng_;
+  std::uint64_t control_retries_ = 0;
+  std::uint64_t deadline_failures_ = 0;
 };
 
 }  // namespace masq

@@ -48,6 +48,20 @@ sim::Task<void> RConntrack::untrack(rnic::Qpn qpn, std::uint32_t vni) {
                table_.end());
 }
 
+sim::Task<void> RConntrack::purge_qp(rnic::Qpn qpn) {
+  if (!has_qp(qpn)) co_return;
+  co_await sim::delay(loop_, costs_.delete_conn);
+  table_.erase(std::remove_if(table_.begin(), table_.end(),
+                              [&](const Entry& e) { return e.qpn == qpn; }),
+               table_.end());
+  ++purges_;
+}
+
+bool RConntrack::has_qp(rnic::Qpn qpn) const {
+  return std::any_of(table_.begin(), table_.end(),
+                     [&](const Entry& e) { return e.qpn == qpn; });
+}
+
 const RConntrack::Entry* RConntrack::lookup(rnic::Qpn qpn,
                                             std::uint32_t vni) const {
   for (const Entry& e : table_) {

@@ -73,6 +73,13 @@ class RConntrack {
   // Removes a connection (destroy_qp path). Charges delete_conn.
   sim::Task<void> untrack(rnic::Qpn qpn, std::uint32_t vni);
 
+  // Invariant repair for a QP that entered ERROR outside RConntrack's own
+  // teardown (data-path fault, injected error): by Table 2 it carries no
+  // connection any more, so every entry referencing it is dropped. QPNs
+  // are device-global, so no VNI is needed. Idempotent with
+  // revalidate_all's own erase. Charges delete_conn when entries existed.
+  sim::Task<void> purge_qp(rnic::Qpn qpn);
+
   // §5: modern datacenters diagnose with packet headers; MasQ frames carry
   // only underlay addresses, so the mapping (underlay, QPN) -> tenant flow
   // must come from this table. Returns nullptr if untracked.
@@ -81,6 +88,10 @@ class RConntrack {
   std::size_t table_size() const { return table_.size(); }
   std::uint64_t resets_performed() const { return resets_; }
   std::uint64_t validations() const { return validations_; }
+  std::uint64_t qp_error_purges() const { return purges_; }
+  // True if any entry (any VNI) references this QPN — the chaos sweep
+  // asserts this is false for every QP in ERROR.
+  bool has_qp(rnic::Qpn qpn) const;
 
   // Testing/metrics hook: fired after each forced reset with the QPN.
   void on_reset(std::function<void(rnic::Qpn)> fn) {
@@ -99,6 +110,7 @@ class RConntrack {
   std::vector<std::uint32_t> watched_;
   std::uint64_t resets_ = 0;
   std::uint64_t validations_ = 0;
+  std::uint64_t purges_ = 0;
   std::function<void(rnic::Qpn)> reset_hook_;
 };
 

@@ -176,6 +176,14 @@ class RnicDevice : public mem::MmioDevice {
   // RNIC processing time to force this QP to ERROR right now (Fig. 18).
   sim::Time qp_error_processing_time(Qpn qpn) const;
 
+  // Fires on every transition into ERROR — via modify_qp or a data-path
+  // fault. RConntrack subscribes so its table never keeps an entry for a
+  // dead QP. Hooks run synchronously inside the transition; subscribers
+  // that need driver work must defer it to the loop.
+  void on_qp_error(std::function<void(Qpn)> fn) {
+    qp_error_hooks_.push_back(std::move(fn));
+  }
+
   // ------------------------------------------------------------------
   // Data path.
   // ------------------------------------------------------------------
@@ -304,6 +312,8 @@ class RnicDevice : public mem::MmioDevice {
   std::unordered_map<net::Gid, std::list<net::Gid>::iterator> tunnel_cache_;
   std::uint64_t tunnel_hits_ = 0;
   std::uint64_t tunnel_misses_ = 0;
+
+  std::vector<std::function<void(Qpn)>> qp_error_hooks_;
 
   Counters counters_;
 };

@@ -38,6 +38,8 @@ const char* to_string(Status s) {
     case Status::kInvalidState: return "invalid-state";
     case Status::kQueueFull: return "queue-full";
     case Status::kResourceExhausted: return "resource-exhausted";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }

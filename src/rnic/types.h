@@ -158,7 +158,12 @@ enum class Status : std::uint8_t {
   kInvalidState,      // FSM transition not allowed (Fig. 5)
   kQueueFull,
   kResourceExhausted,
+  kUnavailable,        // transient backend/controller failure: retryable
+  kDeadlineExceeded,   // verb deadline expired before a definitive answer
 };
+
+// EAGAIN-class errors: a bounded retry with backoff may succeed.
+inline bool is_retryable(Status s) { return s == Status::kUnavailable; }
 
 const char* to_string(Status s);
 

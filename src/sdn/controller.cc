@@ -1,11 +1,34 @@
 #include "sdn/controller.h"
 
+#include <algorithm>
+
 namespace sdn {
+
+void Controller::broadcast_push(std::uint32_t vni, net::Gid vgid,
+                                net::Gid pgid) {
+  if (!reachable_) {
+    pending_broadcasts_.push_back([this, vni, vgid, pgid] {
+      for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
+    });
+    return;
+  }
+  for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
+}
+
+void Controller::broadcast_invalidate(std::uint32_t vni, net::Gid vgid) {
+  if (!reachable_) {
+    pending_broadcasts_.push_back([this, vni, vgid] {
+      for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
+    });
+    return;
+  }
+  for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
+}
 
 void Controller::register_vgid(std::uint32_t vni, net::Gid vgid,
                                net::Gid pgid) {
   table_[VirtKey{vni, vgid}] = pgid;
-  for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
+  broadcast_push(vni, vgid, pgid);
 }
 
 void Controller::unregister_vgid(std::uint32_t vni, net::Gid vgid) {
@@ -13,7 +36,7 @@ void Controller::unregister_vgid(std::uint32_t vni, net::Gid vgid) {
   // vBond whose successor already re-registered must not clobber the
   // successor's mapping in downstream caches.
   if (table_.erase(VirtKey{vni, vgid}) > 0) {
-    for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
+    broadcast_invalidate(vni, vgid);
   }
 }
 
@@ -26,9 +49,33 @@ std::optional<net::Gid> Controller::lookup(std::uint32_t vni,
 
 sim::Task<std::optional<net::Gid>> Controller::query(std::uint32_t vni,
                                                      net::Gid vgid) {
-  ++queries_;
+  QueryReply r = co_await query_ex(vni, vgid);
+  co_return r.pgid;
+}
+
+sim::Task<Controller::QueryReply> Controller::query_ex(std::uint32_t vni,
+                                                       net::Gid vgid) {
+  // The RTT is charged either way: when the controller is down it models
+  // the querier's detection timeout, so an outage slows callers instead of
+  // answering instantly-wrong.
   co_await sim::delay(loop_, query_rtt_);
-  co_return lookup(vni, vgid);
+  if (!reachable_) {
+    ++unreachable_queries_;
+    co_return QueryReply{true, std::nullopt};
+  }
+  ++queries_;
+  co_return QueryReply{false, lookup(vni, vgid)};
+}
+
+void Controller::set_reachable(bool reachable) {
+  if (reachable_ == reachable) return;
+  reachable_ = reachable;
+  if (!reachable_) return;
+  // Recovery: replay the buffered broadcasts in their original order so
+  // caches converge to the same state as an outage-free run.
+  std::vector<std::function<void()>> pending;
+  pending.swap(pending_broadcasts_);
+  for (auto& fn : pending) fn();
 }
 
 void Controller::push_down(std::uint32_t vni) const {
@@ -39,14 +86,78 @@ void Controller::push_down(std::uint32_t vni) const {
   }
 }
 
-sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
-                                                         net::Gid vgid) {
+MappingCache::MappingCache(sim::EventLoop& loop, Controller& controller,
+                           sim::Time hit_cost, sim::Time negative_ttl,
+                           sim::Time staleness_bound)
+    : loop_(loop),
+      controller_(controller),
+      hit_cost_(hit_cost),
+      negative_ttl_(negative_ttl),
+      staleness_bound_(staleness_bound) {
+  push_sub_ = controller_.subscribe(
+      [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
+        on_push(vni, vgid, pgid);
+      });
+  invalidate_sub_ = controller_.subscribe_invalidate(
+      [this](std::uint32_t vni, net::Gid vgid) { invalidate(vni, vgid); });
+}
+
+MappingCache::~MappingCache() {
+  controller_.unsubscribe(push_sub_);
+  controller_.unsubscribe_invalidate(invalidate_sub_);
+}
+
+void MappingCache::on_push(std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
   const VirtKey key{vni, vgid};
+  // A (re-)registered key must not stay negatively cached until TTL
+  // expiry — the controller just vouched for it.
+  negative_.erase(key);
+  // Refresh only what we already hold; pre-warm *inserts* stay the
+  // owner's policy (the backend wires push -> insert() explicitly).
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    ++hits_;
+    it->second = Entry{pgid, loop_.now()};
+  }
+}
+
+sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
+                                                         net::Gid vgid) {
+  Resolution r = co_await resolve_ex(vni, vgid);
+  co_return r.pgid;
+}
+
+sim::Task<MappingCache::Resolution> MappingCache::resolve_ex(
+    std::uint32_t vni, net::Gid vgid) {
+  const VirtKey key{vni, vgid};
+  auto it = cache_.find(key);
+  if (it != cache_.end() && fault_probe_ &&
+      fault_probe_(VirtKeyHash{}(key))) {
+    // Injected expiry/corruption: drop the entry and fall through to the
+    // miss path as if it had never been cached.
+    cache_.erase(it);
+    it = cache_.end();
+    ++fault_expirations_;
+  }
+  if (it != cache_.end()) {
+    if (controller_.reachable()) {
+      ++hits_;
+      co_await sim::delay(loop_, hit_cost_);
+      co_return Resolution{ResolveStatus::kOk, it->second.pgid};
+    }
+    // Degraded mode: the controller cannot confirm, but a recently
+    // confirmed mapping is overwhelmingly likely still valid — serve it,
+    // bounded, and count it. Entries past the bound are *not* served:
+    // better a fast kUnavailable than a rename to a stale peer.
+    const sim::Time age = loop_.now() - it->second.confirmed_at;
+    if (age <= staleness_bound_) {
+      ++degraded_serves_;
+      max_served_staleness_ = std::max(max_served_staleness_, age);
+      co_await sim::delay(loop_, hit_cost_);
+      co_return Resolution{ResolveStatus::kOkDegraded, it->second.pgid};
+    }
+    ++unavailable_;
     co_await sim::delay(loop_, hit_cost_);
-    co_return it->second;
+    co_return Resolution{ResolveStatus::kUnavailable, std::nullopt};
   }
   // Bounded negative cache: a recently-confirmed-absent key is answered
   // locally instead of hammering the controller.
@@ -55,7 +166,7 @@ sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
     if (loop_.now() < nit->second) {
       ++negative_hits_;
       co_await sim::delay(loop_, hit_cost_);
-      co_return std::nullopt;
+      co_return Resolution{ResolveStatus::kNotFound, std::nullopt};
     }
     negative_.erase(nit);
   }
@@ -68,27 +179,39 @@ sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
     co_return co_await future;
   }
   ++misses_;
-  sim::Promise<std::optional<net::Gid>> leader(loop_);
+  sim::Promise<Resolution> leader(loop_);
   inflight_.emplace(key, leader.get_future());
   poisoned_.erase(key);
-  std::optional<net::Gid> result;
+  Controller::QueryReply reply;
   try {
-    result = co_await controller_.query(vni, vgid);
+    reply = co_await controller_.query_ex(vni, vgid);
   } catch (...) {
     inflight_.erase(key);
     poisoned_.erase(key);
     leader.set_exception(std::current_exception());
     throw;
   }
-  // Install the verdict — unless the key was invalidated mid-flight, in
-  // which case the result may already be stale and must not be cached
-  // (followers still get the answer their query observed).
-  if (!poisoned_.erase(key)) {
-    if (result) {
-      cache_[key] = *result;
-    } else {
-      if (negative_.size() >= kMaxNegativeEntries) negative_.clear();
-      negative_[key] = loop_.now() + negative_ttl_;
+  Resolution result;
+  if (reply.unreachable) {
+    // No verdict either way: do NOT install a negative entry (the key may
+    // exist), just report unavailable. Callers retry with backoff.
+    ++unavailable_;
+    result = Resolution{ResolveStatus::kUnavailable, std::nullopt};
+    poisoned_.erase(key);
+  } else {
+    result = reply.pgid
+                 ? Resolution{ResolveStatus::kOk, reply.pgid}
+                 : Resolution{ResolveStatus::kNotFound, std::nullopt};
+    // Install the verdict — unless the key was invalidated mid-flight, in
+    // which case the result may already be stale and must not be cached
+    // (followers still get the answer their query observed).
+    if (!poisoned_.erase(key)) {
+      if (reply.pgid) {
+        cache_[key] = Entry{*reply.pgid, loop_.now()};
+      } else {
+        if (negative_.size() >= kMaxNegativeEntries) negative_.clear();
+        negative_[key] = loop_.now() + negative_ttl_;
+      }
     }
   }
   inflight_.erase(key);
@@ -98,7 +221,7 @@ sim::Task<std::optional<net::Gid>> MappingCache::resolve(std::uint32_t vni,
 
 void MappingCache::insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
   const VirtKey key{vni, vgid};
-  cache_[key] = pgid;
+  cache_[key] = Entry{pgid, loop_.now()};
   negative_.erase(key);
 }
 

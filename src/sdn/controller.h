@@ -8,6 +8,12 @@
 // Each record costs 35 B (vGID 16 B + VNI 3 B + pGID 16 B) — the paper's
 // argument that a 10k-peer cache fits in ~0.33 MB of DRAM; record_bytes()
 // exposes that arithmetic for the ablation bench.
+//
+// Fault model: the controller can be marked unreachable for a window
+// (set_reachable). While down, queries burn the RTT as a detection timeout
+// and report kUnavailable, and push/invalidate broadcasts are buffered and
+// flushed in order on recovery — the control-plane database itself stays
+// authoritative throughout.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +67,21 @@ class Controller {
   // Remote query as RConnrename performs it: charges the controller RTT.
   sim::Task<std::optional<net::Gid>> query(std::uint32_t vni, net::Gid vgid);
 
+  // Like query(), but distinguishes "the key is absent" from "the
+  // controller did not answer". When unreachable, the RTT is still charged
+  // — it models the caller's detection timeout.
+  struct QueryReply {
+    bool unreachable = false;
+    std::optional<net::Gid> pgid;
+  };
+  sim::Task<QueryReply> query_ex(std::uint32_t vni, net::Gid vgid);
+
+  // Fault plane: controller reachability window. Coming back up flushes
+  // the broadcasts buffered while down, in their original order.
+  void set_reachable(bool reachable);
+  bool reachable() const { return reachable_; }
+  std::uint64_t unreachable_queries() const { return unreachable_queries_; }
+
   // Subscriptions return a token; subscribers whose lifetime is shorter
   // than the controller's MUST unsubscribe in their destructor (vBond
   // teardown broadcasts invalidations, so a dangling callback would fire
@@ -99,6 +120,9 @@ class Controller {
   sim::Time query_rtt() const { return query_rtt_; }
 
  private:
+  void broadcast_push(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
+  void broadcast_invalidate(std::uint32_t vni, net::Gid vgid);
+
   sim::EventLoop& loop_;
   sim::Time query_rtt_;
   std::unordered_map<VirtKey, net::Gid, VirtKeyHash> table_;
@@ -106,6 +130,10 @@ class Controller {
   std::vector<std::pair<SubId, InvalidateFn>> invalidate_subscribers_;
   SubId next_sub_ = 1;
   std::uint64_t queries_ = 0;
+  bool reachable_ = true;
+  std::uint64_t unreachable_queries_ = 0;
+  // Broadcasts that happened while unreachable, replayed on recovery.
+  std::vector<std::function<void()>> pending_broadcasts_;
 };
 
 // Host-local cache in front of the controller (§3.3.1): first query for a
@@ -118,22 +146,58 @@ class Controller {
 // brand-new peer pays one controller RTT, not 100. Unresolvable keys are
 // negatively cached for a bounded TTL so a misconfigured peer cannot turn
 // every connection attempt into a controller round trip.
+//
+// The cache self-subscribes to the controller's channels: a register
+// broadcast purges any negative verdict for that key (a re-registered peer
+// must not stay unresolvable until TTL expiry) and refreshes an
+// already-cached entry; an invalidate broadcast evicts. Pre-warm *inserts*
+// remain the owner's choice — the backend wires push -> insert explicitly.
+//
+// Degraded mode: when the controller is unreachable, a cached entry whose
+// last confirmation is younger than the staleness bound is still served
+// (kOkDegraded, counted) — established peers keep connecting through an
+// outage — while entries past the bound and uncached keys report
+// kUnavailable so callers fail fast instead of hanging.
 class MappingCache {
  public:
+  enum class ResolveStatus : std::uint8_t {
+    kOk,          // fresh answer (cache hit or controller round trip)
+    kOkDegraded,  // controller down; served stale-but-bounded from cache
+    kNotFound,    // controller authoritatively says: no such key
+    kUnavailable, // controller down and no fresh-enough cached answer
+  };
+  struct Resolution {
+    ResolveStatus status = ResolveStatus::kUnavailable;
+    std::optional<net::Gid> pgid;
+
+    bool ok() const {
+      return status == ResolveStatus::kOk ||
+             status == ResolveStatus::kOkDegraded;
+    }
+  };
+
   MappingCache(sim::EventLoop& loop, Controller& controller,
                sim::Time hit_cost = sim::microseconds(2),
-               sim::Time negative_ttl = sim::milliseconds(1))
-      : loop_(loop),
-        controller_(controller),
-        hit_cost_(hit_cost),
-        negative_ttl_(negative_ttl) {}
+               sim::Time negative_ttl = sim::milliseconds(1),
+               sim::Time staleness_bound = sim::seconds(5));
+  ~MappingCache();
+  MappingCache(const MappingCache&) = delete;
+  MappingCache& operator=(const MappingCache&) = delete;
 
   sim::Task<std::optional<net::Gid>> resolve(std::uint32_t vni,
                                              net::Gid vgid);
+  sim::Task<Resolution> resolve_ex(std::uint32_t vni, net::Gid vgid);
 
   // Accepts controller push-downs (pre-warming).
   void insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
   void invalidate(std::uint32_t vni, net::Gid vgid);
+
+  // Fault plane: consulted with the key hash before a cached entry is
+  // served; returning true evicts the entry first (models expiry or
+  // corruption detection). Null = off.
+  void set_fault_probe(std::function<bool(std::uint64_t)> probe) {
+    fault_probe_ = std::move(probe);
+  }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -141,6 +205,16 @@ class MappingCache {
   std::uint64_t single_flight_coalesced() const { return coalesced_; }
   // Lookups answered from the bounded negative cache.
   std::uint64_t negative_hits() const { return negative_hits_; }
+  // Degraded-mode serves while the controller was unreachable.
+  std::uint64_t degraded_serves() const { return degraded_serves_; }
+  // Resolutions that found the controller down and nothing fresh enough.
+  std::uint64_t unavailable_results() const { return unavailable_; }
+  // Entries evicted by the fault probe.
+  std::uint64_t fault_expirations() const { return fault_expirations_; }
+  // Largest staleness (now - last confirmation) ever served in degraded
+  // mode; the sweep asserts this stays <= staleness_bound.
+  sim::Time max_served_staleness() const { return max_served_staleness_; }
+  sim::Time staleness_bound() const { return staleness_bound_; }
   std::size_t size() const { return cache_.size(); }
   std::size_t bytes() const { return cache_.size() * kRecordBytes; }
 
@@ -148,16 +222,26 @@ class MappingCache {
   // Bound on the negative cache: it is a DoS shield, not a datastore.
   static constexpr std::size_t kMaxNegativeEntries = 1024;
 
+  struct Entry {
+    net::Gid pgid;
+    sim::Time confirmed_at = 0;  // when the controller last vouched for it
+  };
+
+  void on_push(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
+
   sim::EventLoop& loop_;
   Controller& controller_;
   sim::Time hit_cost_;
   sim::Time negative_ttl_;
-  std::unordered_map<VirtKey, net::Gid, VirtKeyHash> cache_;
+  sim::Time staleness_bound_;
+  Controller::SubId push_sub_ = 0;
+  Controller::SubId invalidate_sub_ = 0;
+  std::function<bool(std::uint64_t)> fault_probe_;
+  std::unordered_map<VirtKey, Entry, VirtKeyHash> cache_;
   // Key -> expiry time of the "known absent" verdict.
   std::unordered_map<VirtKey, sim::Time, VirtKeyHash> negative_;
   // One leader query per key; followers await the leader's future.
-  std::unordered_map<VirtKey, sim::Future<std::optional<net::Gid>>,
-                     VirtKeyHash>
+  std::unordered_map<VirtKey, sim::Future<Resolution>, VirtKeyHash>
       inflight_;
   // Keys invalidated while their leader query was in flight: the stale
   // result must not be installed when the leader returns.
@@ -166,6 +250,10 @@ class MappingCache {
   std::uint64_t misses_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t negative_hits_ = 0;
+  std::uint64_t degraded_serves_ = 0;
+  std::uint64_t unavailable_ = 0;
+  std::uint64_t fault_expirations_ = 0;
+  sim::Time max_served_staleness_ = 0;
 };
 
 }  // namespace sdn

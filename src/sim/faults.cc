@@ -1,0 +1,233 @@
+#include "sim/faults.h"
+
+#include <charconv>
+#include <sstream>
+#include <memory>
+#include <utility>
+
+namespace sim {
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::kVqTransit:
+      return "vq_transit";
+    case FaultSite::kCmdExec:
+      return "cmd_exec";
+    case FaultSite::kCacheEntry:
+      return "cache_entry";
+    case FaultSite::kSdnControl:
+      return "sdn_control";
+    case FaultSite::kQpError:
+      return "qp_error";
+  }
+  return "?";
+}
+
+const char* to_string(FaultAction a) {
+  switch (a) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kDrop:
+      return "drop";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kDuplicate:
+      return "duplicate";
+    case FaultAction::kFail:
+      return "fail";
+    case FaultAction::kExpire:
+      return "expire";
+    case FaultAction::kOutageBegin:
+      return "outage_begin";
+    case FaultAction::kOutageEnd:
+      return "outage_end";
+    case FaultAction::kForceError:
+      return "force_error";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_double(std::string_view v, double* out) {
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && ptr == v.data() + v.size();
+}
+
+bool parse_i64(std::string_view v, std::int64_t* out) {
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && ptr == v.data() + v.size();
+}
+
+}  // namespace
+
+bool FaultConfig::parse(std::string_view text, FaultConfig* out,
+                        std::string* err) {
+  FaultConfig cfg;
+  std::size_t line_no = 0;
+  auto fail = [&](std::string_view line, std::string_view why) {
+    if (err) {
+      std::ostringstream os;
+      os << "line " << line_no << ": " << why << ": '" << line << "'";
+      *err = os.str();
+    }
+    return false;
+  };
+  while (!text.empty()) {
+    ++line_no;
+    const auto nl = text.find('\n');
+    std::string_view raw = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail(raw, "expected key = value");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view val = trim(line.substr(eq + 1));
+    double* prob = nullptr;
+    if (key == "vq_drop_p") prob = &cfg.vq_drop_p;
+    else if (key == "vq_dup_p") prob = &cfg.vq_dup_p;
+    else if (key == "vq_delay_p") prob = &cfg.vq_delay_p;
+    else if (key == "cmd_fail_p") prob = &cfg.cmd_fail_p;
+    else if (key == "cache_expire_p") prob = &cfg.cache_expire_p;
+    if (prob != nullptr) {
+      if (!parse_double(val, prob) || *prob < 0.0 || *prob > 1.0) {
+        return fail(raw, "expected probability in [0,1]");
+      }
+      continue;
+    }
+    if (key == "vq_delay_min_us" || key == "vq_delay_max_us") {
+      std::int64_t us = 0;
+      if (!parse_i64(val, &us) || us < 0) {
+        return fail(raw, "expected non-negative integer microseconds");
+      }
+      (key == "vq_delay_min_us" ? cfg.vq_delay_min : cfg.vq_delay_max) =
+          microseconds(us);
+      continue;
+    }
+    if (key == "sdn_outage_ms") {
+      const auto colon = val.find(':');
+      std::int64_t begin_ms = 0, end_ms = 0;
+      if (colon == std::string_view::npos ||
+          !parse_i64(trim(val.substr(0, colon)), &begin_ms) ||
+          !parse_i64(trim(val.substr(colon + 1)), &end_ms) ||
+          begin_ms < 0 || end_ms <= begin_ms) {
+        return fail(raw, "expected <begin>:<end> in ms with begin < end");
+      }
+      cfg.sdn_outages.push_back(
+          {milliseconds(begin_ms), milliseconds(end_ms)});
+      continue;
+    }
+    return fail(raw, "unknown key");
+  }
+  if (cfg.vq_delay_max < cfg.vq_delay_min) {
+    line_no = 0;
+    return fail("", "vq_delay_max_us < vq_delay_min_us");
+  }
+  *out = cfg;
+  return true;
+}
+
+FaultPlane::FaultPlane(EventLoop& loop, FaultConfig config,
+                       std::uint64_t seed)
+    : loop_(loop), cfg_(std::move(config)), seed_(seed), rng_(seed) {}
+
+void FaultPlane::arm(std::function<void(bool)> sdn_down) {
+  if (armed_) return;
+  armed_ = true;
+  auto shared = std::make_shared<std::function<void(bool)>>(
+      std::move(sdn_down));
+  for (const OutageWindow& w : cfg_.sdn_outages) {
+    loop_.schedule_at(w.begin, [this, shared] {
+      record(FaultSite::kSdnControl, FaultAction::kOutageBegin, 0);
+      (*shared)(true);
+    });
+    loop_.schedule_at(w.end, [this, shared] {
+      record(FaultSite::kSdnControl, FaultAction::kOutageEnd, 0);
+      (*shared)(false);
+    });
+  }
+}
+
+FaultDecision FaultPlane::on_vq_transit(std::uint64_t cmd_id) {
+  // One fault per transit, tried in fixed order so a given rng stream maps
+  // to one deterministic decision sequence.
+  if (cfg_.vq_drop_p > 0 && rng_.next_bool(cfg_.vq_drop_p)) {
+    record(FaultSite::kVqTransit, FaultAction::kDrop, cmd_id);
+    return {FaultAction::kDrop, 0};
+  }
+  if (cfg_.vq_dup_p > 0 && rng_.next_bool(cfg_.vq_dup_p)) {
+    record(FaultSite::kVqTransit, FaultAction::kDuplicate, cmd_id);
+    return {FaultAction::kDuplicate, 0};
+  }
+  if (cfg_.vq_delay_p > 0 && rng_.next_bool(cfg_.vq_delay_p)) {
+    const Time d =
+        cfg_.vq_delay_min +
+        static_cast<Time>(rng_.next_below(static_cast<std::uint64_t>(
+            cfg_.vq_delay_max - cfg_.vq_delay_min + 1)));
+    record(FaultSite::kVqTransit, FaultAction::kDelay, cmd_id, d);
+    return {FaultAction::kDelay, d};
+  }
+  return {};
+}
+
+bool FaultPlane::fail_command(std::uint64_t detail) {
+  if (cfg_.cmd_fail_p > 0 && rng_.next_bool(cfg_.cmd_fail_p)) {
+    record(FaultSite::kCmdExec, FaultAction::kFail, detail);
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlane::expire_cache_entry(std::uint64_t key_hash) {
+  if (cfg_.cache_expire_p > 0 && rng_.next_bool(cfg_.cache_expire_p)) {
+    record(FaultSite::kCacheEntry, FaultAction::kExpire, key_hash);
+    return true;
+  }
+  return false;
+}
+
+void FaultPlane::inject_qp_error_at(Time t, std::uint64_t qpn,
+                                    std::function<void()> fire) {
+  loop_.schedule_at(t, [this, qpn, fire = std::move(fire)] {
+    record(FaultSite::kQpError, FaultAction::kForceError, qpn);
+    fire();
+  });
+}
+
+void FaultPlane::record(FaultSite site, FaultAction action,
+                        std::uint64_t detail, Time delay) {
+  log_.push_back({loop_.now(), site, action, detail, delay});
+}
+
+std::string FaultPlane::dump_log() const {
+  std::ostringstream os;
+  os << "# fault replay log: seed=" << seed_ << " faults=" << log_.size()
+     << "\n";
+  for (const FaultRecord& r : log_) {
+    os << r.at << " " << to_string(r.site) << " " << to_string(r.action)
+       << " detail=" << r.detail;
+    if (r.delay != 0) os << " delay=" << r.delay;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sim

@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/event_loop.h"
+#include "sim/faults.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -84,6 +86,50 @@ class Virtqueue {
     co_return resp;
   }
 
+  // Fault plane: consulted once per guest->host transit with the caller's
+  // fault key; the returned decision can drop the descriptor (no response
+  // ever arrives), delay it, or duplicate it (the backend runs twice; the
+  // second response is discarded — idempotent command handling is what
+  // makes that safe). Null = faults off; call() is never affected.
+  void set_transit_faults(
+      std::function<sim::FaultDecision(std::uint64_t)> faults) {
+    transit_faults_ = std::move(faults);
+  }
+
+  struct CallOutcome {
+    bool timed_out = false;
+    Resp resp{};  // valid only when !timed_out
+  };
+
+  // Like call(), but gives up at absolute time `deadline` — the coroutine
+  // resumes with timed_out instead of hanging on a dropped descriptor. The
+  // command may still execute (and complete late) on the host; retries
+  // must therefore be idempotent. `fault_key` identifies the request in
+  // the fault plane's replay log (the frontend passes the command id).
+  sim::Task<CallOutcome> call_deadline(Req req, int weight,
+                                       sim::Time deadline,
+                                       std::uint64_t fault_key) {
+    if (!backend_) throw std::logic_error("virtqueue: no backend attached");
+    if (weight < 1 || weight > ring_size_) {
+      throw std::invalid_argument(
+          "virtqueue: request weight exceeds ring size");
+    }
+    auto w = std::make_shared<Waiter>(loop_);
+    auto fut = w->promise.get_future();
+    loop_.spawn(run_call(std::move(req), weight, fault_key, w));
+    loop_.schedule_at(deadline, [w] {
+      if (!w->settled) {
+        w->settled = true;
+        w->promise.set_value(false);
+      }
+    });
+    const bool completed = co_await fut;
+    CallOutcome out;
+    out.timed_out = !completed;
+    if (completed) out.resp = std::move(w->resp);
+    co_return out;
+  }
+
   const ChannelCosts& costs() const { return costs_; }
   int ring_size() const { return ring_size_; }
   std::uint64_t kicks() const { return kicks_; }
@@ -93,6 +139,69 @@ class Virtqueue {
   int in_flight() const { return in_flight_; }
 
  private:
+  // Shared between the caller, the transit worker and the deadline timer:
+  // whichever settles first wins, the others see `settled` and stand down.
+  struct Waiter {
+    explicit Waiter(sim::EventLoop& loop) : promise(loop) {}
+    bool settled = false;
+    Resp resp{};
+    sim::Promise<bool> promise;
+  };
+
+  // Detached worker carrying one deadline call through the ring. Runs as a
+  // loop root task so a timed-out caller can resume (and even destruct the
+  // enclosing scope's locals) while the descriptor is still in flight.
+  sim::Task<void> run_call(Req req, int weight, std::uint64_t fault_key,
+                           std::shared_ptr<Waiter> w) {
+    while (in_flight_ + weight > ring_size_) {
+      sim::Promise<bool> p(loop_);
+      auto f = p.get_future();
+      slot_waiters_.push_back(std::move(p));
+      co_await f;
+    }
+    in_flight_ += weight;
+    sim::FaultDecision fault;
+    if (transit_faults_) fault = transit_faults_(fault_key);
+    if (fault.action == sim::FaultAction::kDrop) {
+      // Lost descriptor: the kick still happens (the guest cannot know),
+      // the slots ride the transit, then the request silently vanishes —
+      // only the caller's deadline can resolve this.
+      co_await kick_transit();
+      release_slots(weight);
+      co_return;
+    }
+    try {
+      co_await kick_transit();
+      if (fault.action == sim::FaultAction::kDelay) {
+        co_await sim::delay(loop_, fault.delay);
+      }
+      Resp resp;
+      if (fault.action == sim::FaultAction::kDuplicate) {
+        // The descriptor is seen twice by the backend; the first response
+        // wins and the duplicate's is discarded.
+        resp = co_await backend_(req);
+        (void)co_await backend_(std::move(req));
+      } else {
+        resp = co_await backend_(std::move(req));
+      }
+      co_await interrupt_transit();
+      release_slots(weight);
+      if (!w->settled) {
+        w->settled = true;
+        w->resp = std::move(resp);
+        w->promise.set_value(true);
+      }
+    } catch (...) {
+      release_slots(weight);
+      if (!w->settled) {
+        w->settled = true;
+        w->promise.set_exception(std::current_exception());
+      }
+      // A late exception (caller already timed out) is swallowed: there is
+      // nobody left to observe it.
+    }
+  }
+
   // Guest -> host transit. A command submitted while an earlier kick is
   // still in flight (i.e. before the backend's ring drain at
   // kick_arrival_) joins that batch: it arrives with the batch and pays no
@@ -141,6 +250,7 @@ class Virtqueue {
   ChannelCosts costs_;
   int ring_size_;
   Backend backend_;
+  std::function<sim::FaultDecision(std::uint64_t)> transit_faults_;
   int in_flight_ = 0;
   std::uint64_t kicks_ = 0;
   std::uint64_t interrupts_ = 0;

@@ -202,8 +202,9 @@ TEST_F(MasqBackendTest, BatchFailureDoesNotPoisonBatchmates) {
       // No such QP: this entry must fail alone.
       const int bad = batch->modify_qp(999999, attr, rnic::kAttrState);
       const int good_cq2 = batch->create_cq(64);
-      // An entry whose dependency failed is itself failed with
-      // kInvalidArgument, without executing.
+      // An entry whose dependency failed inherits the dependency's status
+      // without executing, so callers can tell retryable failures apart
+      // from permanent ones.
       rnic::QpInitAttr init;
       init.caps.max_send_wr = 16;
       init.caps.max_recv_wr = 16;
@@ -214,7 +215,7 @@ TEST_F(MasqBackendTest, BatchFailureDoesNotPoisonBatchmates) {
       EXPECT_EQ(batch->status(good_cq), rnic::Status::kOk);
       EXPECT_NE(batch->status(bad), rnic::Status::kOk);
       EXPECT_EQ(batch->status(good_cq2), rnic::Status::kOk);
-      EXPECT_EQ(batch->status(orphan), rnic::Status::kInvalidArgument);
+      EXPECT_EQ(batch->status(orphan), batch->status(bad));
     }
   };
   loop_.spawn(Flow::run(bed_.get()));

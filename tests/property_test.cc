@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "apps/common.h"
 #include "apps/kvs.h"
 #include "fabric/testbed.h"
 #include "mem/physical_memory.h"
@@ -265,6 +266,93 @@ TEST(VirtioPropertyTest, ResponsesPreserveSubmissionOrderPerCaller) {
   ASSERT_EQ(completion_order.size(), 12u);
   for (int i = 0; i < 12; ++i) EXPECT_EQ(completion_order[i], i);
 }
+
+// ------------------------------------------- chaos invariants, 100 seeds
+
+// Randomized resilience sweep: every seed draws a different fault
+// schedule (descriptor drop/dup/delay, transient command failures, cache
+// expiry, a controller outage window, one injected QP error), and every
+// run must uphold the same invariants:
+//   * a QP in ERROR has no RConntrack entry (Table 2: it carries no
+//     connection any more),
+//   * degraded mode never serves a mapping staler than the bound,
+//   * every verb reaches a terminal status — the workload coroutine runs
+//     to completion instead of hanging on a lost descriptor.
+class ChaosSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosSweepTest, ErrorQpsUntrackedAndStalenessBounded) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 32ull << 30;
+  cfg.cal.vm_mem_bytes = 512ull << 20;
+  cfg.faults.vq_drop_p = 0.04;
+  cfg.faults.vq_dup_p = 0.04;
+  cfg.faults.vq_delay_p = 0.10;
+  cfg.faults.cmd_fail_p = 0.04;
+  cfg.faults.cache_expire_p = 0.02;
+  cfg.faults.sdn_outages.push_back(
+      {sim::milliseconds(1 + seed % 5), sim::milliseconds(4 + seed % 7)});
+  cfg.fault_seed = seed;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, std::uint64_t seed,
+                              std::vector<rnic::Qpn>* qps, bool* finished) {
+      struct Srv {
+        static sim::Task<void> srv(fabric::Testbed* bed,
+                                   std::vector<rnic::Qpn>* qps) {
+          auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+          qps->push_back(ep.qp);
+          (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                              bed->instance_vip(0), 9400);
+        }
+      };
+      bed->loop().spawn(Srv::srv(bed, qps));
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      qps->push_back(ep.qp);
+      const auto st = co_await apps::connect_client(
+          bed->ctx(0), ep, bed->instance_vip(1), 9400);
+      if (st == rnic::Status::kOk) {
+        (void)co_await apps::write_and_wait(bed->ctx(0), ep, 0, 0, 128);
+      }
+      // Force the client QP into ERROR at a seed-derived instant —
+      // sometimes mid-traffic, sometimes idle.
+      const rnic::Qpn victim = ep.qp;
+      bed->faults()->inject_qp_error_at(
+          bed->loop().now() + sim::microseconds(seed % 300), victim,
+          [bed, victim] {
+            rnic::QpAttr attr;
+            attr.state = rnic::QpState::kError;
+            (void)bed->device(0).modify_qp(victim, attr, rnic::kAttrState);
+          });
+      co_await sim::delay(bed->loop(), sim::milliseconds(1));
+      *finished = true;
+    }
+  };
+  std::vector<rnic::Qpn> qps;
+  bool finished = false;
+  loop.spawn(Run::go(&bed, seed, &qps, &finished));
+  loop.run();
+  ASSERT_TRUE(finished) << "seed " << seed << " hung";
+  for (std::size_t h = 0; h < bed.num_hosts(); ++h) {
+    // No RConntrack entry references a dead QP.
+    for (rnic::Qpn qp : qps) {
+      if (bed.device(h).qp_exists(qp) &&
+          bed.device(h).qp_state(qp) == rnic::QpState::kError) {
+        EXPECT_FALSE(bed.masq_backend(h).conntrack().has_qp(qp))
+            << "seed " << seed << " qp " << qp;
+      }
+    }
+    // Degraded serves stayed within the staleness bound.
+    const auto& cache = bed.masq_backend(h).mapping_cache();
+    EXPECT_LE(cache.max_served_staleness(), cache.staleness_bound())
+        << "seed " << seed << " host " << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest, ::testing::Range(1, 101));
 
 // ------------------------------------------------------- determinism
 

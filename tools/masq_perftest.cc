@@ -10,15 +10,21 @@
 //     -q, --qps   <count>          concurrent QPs, bw only (default: 1)
 //     -r, --rate  <gbps>           MasQ tenant rate limit (default: none)
 //     --pf                         map MasQ tenants to the PF (Fig. 9)
+//     --faults <file>              fault-injection knob file (MasQ only);
+//                                  see tools/chaos.knobs for the format
+//     --fault-seed <n>             fault plane RNG seed (default: 1)
 //     -h, --help
 //
 // Examples:
 //   masq_perftest -t lat -o send -c host -s 2 -n 1000
 //   masq_perftest -t bw -o write -c masq -s 65536 -q 128
 //   masq_perftest -t bw -c masq -r 10        # rate-limited tenant
+//   masq_perftest -t lat -c masq --faults tools/chaos.knobs --fault-seed 42
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "apps/perftest.h"
@@ -29,7 +35,8 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [-t lat|bw] [-o send|write] [-c host|sriov|freeflow|masq]\n"
-      "          [-s bytes] [-n iters] [-q qps] [-r gbps] [--pf]\n",
+      "          [-s bytes] [-n iters] [-q qps] [-r gbps] [--pf]\n"
+      "          [--faults <knob-file>] [--fault-seed <n>]\n",
       argv0);
 }
 
@@ -53,6 +60,8 @@ int main(int argc, char** argv) {
   int qps = 1;
   double rate = -1.0;
   bool use_pf = false;
+  std::string faults_file;
+  std::uint64_t fault_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -85,6 +94,10 @@ int main(int argc, char** argv) {
       rate = std::atof(next());
     } else if (a == "--pf") {
       use_pf = true;
+    } else if (a == "--faults") {
+      faults_file = next();
+    } else if (a == "--fault-seed") {
+      fault_seed = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage(argv[0]);
@@ -99,6 +112,25 @@ int main(int argc, char** argv) {
   cfg.candidate = candidate;
   cfg.masq_use_pf = use_pf;
   cfg.cal.host_dram_bytes = 32ull << 30;
+  if (!faults_file.empty()) {
+    if (candidate != fabric::Candidate::kMasq) {
+      std::fprintf(stderr, "--faults requires -c masq\n");
+      return 2;
+    }
+    std::ifstream in(faults_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", faults_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    if (!sim::FaultConfig::parse(text.str(), &cfg.faults, &err)) {
+      std::fprintf(stderr, "%s: %s\n", faults_file.c_str(), err.c_str());
+      return 2;
+    }
+    cfg.fault_seed = fault_seed;
+  }
   fabric::Testbed bed(loop, cfg);
   bed.add_instances(2);
   if (rate > 0) {
@@ -115,8 +147,14 @@ int main(int argc, char** argv) {
   if (qps > 1) std::printf(" qps=%d", qps);
   if (rate > 0) std::printf(" rate=%.1fGbps", rate);
   if (use_pf) std::printf(" pf");
+  if (bed.faults() != nullptr) {
+    std::printf(" faults=%s seed=%llu", faults_file.c_str(),
+                static_cast<unsigned long long>(fault_seed));
+  }
   std::printf("\n");
+  std::fflush(stdout);  // keep the header ahead of stderr diagnostics
 
+  try {
   if (test == "lat") {
     apps::perftest::LatConfig lc;
     lc.op = op;
@@ -142,6 +180,30 @@ int main(int argc, char** argv) {
   } else {
     usage(argv[0]);
     return 2;
+  }
+  } catch (const std::exception& e) {
+    // Under aggressive fault rates a setup verb can exhaust its retry
+    // budget; the harness aborts the measurement rather than reporting
+    // numbers from a half-built testbed. Print the replay recipe so the
+    // run can be reproduced and diagnosed.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    if (bed.faults() != nullptr) {
+      std::fprintf(stderr,
+                   "# faults fired: %llu (replay: --faults %s "
+                   "--fault-seed %llu)\n%s",
+                   static_cast<unsigned long long>(
+                       bed.faults()->faults_fired()),
+                   faults_file.c_str(),
+                   static_cast<unsigned long long>(fault_seed),
+                   bed.faults()->dump_log().c_str());
+    }
+    return 1;
+  }
+  if (bed.faults() != nullptr) {
+    std::printf("# faults fired: %llu (replay: --faults %s --fault-seed %llu)\n",
+                static_cast<unsigned long long>(bed.faults()->faults_fired()),
+                faults_file.c_str(),
+                static_cast<unsigned long long>(fault_seed));
   }
   return 0;
 }
