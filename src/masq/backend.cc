@@ -30,19 +30,27 @@ Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
   // Table 2: a QP entering ERROR carries no connection any more. Purge its
   // RConntrack entries whatever forced the transition — a rule-update
   // teardown, a data-path fault, or an injected error — deferring the
-  // table work off the device's flush path.
-  device_.on_qp_error([this](rnic::Qpn qpn) {
-    loop_.schedule_after(0, [this, qpn] {
-      if (conntrack_.has_qp(qpn)) loop_.spawn(conntrack_.purge_qp(qpn));
-    });
-  });
+  // table work off the device's flush path. The deferred callback may
+  // outlive this backend in the loop's queue, so it only holds a weak
+  // liveness reference.
+  qp_error_sub_ = device_.on_qp_error(
+      [this, alive = std::weak_ptr<const char>(liveness_)](rnic::Qpn qpn) {
+        loop_.schedule_after(0, [this, alive, qpn] {
+          if (alive.expired()) return;
+          if (conntrack_.has_qp(qpn)) loop_.spawn(conntrack_.purge_qp(qpn));
+        });
+      });
 }
 
 Backend::~Backend() {
   // Run before member destruction: ~Session → ~VBond → unregister_vgid
   // broadcasts invalidations, and sibling backends already destroyed must
   // not be reachable through the controller's subscriber lists (and this
-  // backend must drop out before its own cache_ dies).
+  // backend must drop out before its own cache_ dies). Likewise the device
+  // must not call a hook into a dead backend, and loop callbacks already
+  // queued by the hook must see the liveness flag down.
+  liveness_.reset();
+  device_.remove_qp_error_hook(qp_error_sub_);
   controller_.unsubscribe(push_sub_);
 }
 
@@ -165,10 +173,8 @@ sim::Task<Response> Backend::Session::handle(Envelope env) {
   sim::Promise<Response> leader(backend_.loop());
   inflight_cmds_.emplace(env.cmd_id, leader.get_future());
   Response r;
-  bool injected_failure = false;
   if (faults != nullptr && faults->fail_command(env.cmd_id)) {
     r = Response{rnic::Status::kUnavailable, 0, 0};
-    injected_failure = true;
   } else {
     try {
       r = co_await handle(std::move(env.cmd));
@@ -179,9 +185,13 @@ sim::Task<Response> Backend::Session::handle(Envelope env) {
     }
   }
   inflight_cmds_.erase(env.cmd_id);
-  if (!injected_failure) {
-    // Memoize only real executions — a retried command must re-execute
-    // after an injected transient failure, not replay it.
+  if (!rnic::is_retryable(r.status)) {
+    // Memoize only terminal outcomes. The frontend retries a retryable
+    // response under the SAME cmd_id (id reuse keeps timeout retries
+    // idempotent), so a memoized kUnavailable would replay as a dedup hit
+    // on every backoff attempt and the command could never re-execute
+    // after the controller recovers. Transient failures — injected or
+    // real — therefore must not enter the window.
     completed_cmds_.emplace(env.cmd_id, r);
     completed_order_.push_back(env.cmd_id);
     if (completed_order_.size() > kDedupWindow) {

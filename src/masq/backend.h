@@ -89,9 +89,10 @@ class Backend {
     // command handling. A cmd_id the session already executed returns the
     // memoized response; one still executing coalesces onto its in-flight
     // future — so a frontend retry racing the original, or a duplicated
-    // descriptor, never runs a command twice. Injected transient failures
-    // (FaultPlane::fail_command) surface as kUnavailable and are NOT
-    // memoized, so a retry re-executes.
+    // descriptor, never runs a command twice. Retryable (transient)
+    // responses — injected via FaultPlane::fail_command or a real
+    // kUnavailable — are NOT memoized, so a backoff retry under the same
+    // cmd_id re-executes instead of replaying the failure.
     sim::Task<Response> handle(Envelope env);
 
     std::uint64_t dedup_hits() const { return dedup_hits_; }
@@ -169,6 +170,11 @@ class Backend {
   BackendConfig config_;
   sdn::MappingCache cache_;
   sdn::Controller::SubId push_sub_ = 0;
+  rnic::RnicDevice::QpErrorHookId qp_error_sub_ = 0;
+  // Keeps loop callbacks deferred by the qp-error hook from touching a
+  // destroyed backend: they capture a weak_ptr and stand down once this
+  // is reset.
+  std::shared_ptr<const char> liveness_ = std::make_shared<const char>(0);
   RConntrack conntrack_;
   std::unordered_map<std::uint32_t, rnic::FnId> tenant_fn_;
   rnic::FnId next_vf_ = 1;

@@ -900,7 +900,7 @@ void RnicDevice::flush_qp(Qp& qp) {
   qp.reorder.clear();
   for (auto& w : qp.window_waiters) w.set_value(true);
   qp.window_waiters.clear();
-  for (const auto& hook : qp_error_hooks_) hook(qp.qpn);
+  for (const auto& hook : qp_error_hooks_) hook.second(qp.qpn);
 }
 
 void RnicDevice::post_send_cqe(Qp& qp, const SendWr& wr, WcStatus status,

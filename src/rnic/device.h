@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/address_space.h"
@@ -179,9 +180,17 @@ class RnicDevice : public mem::MmioDevice {
   // Fires on every transition into ERROR — via modify_qp or a data-path
   // fault. RConntrack subscribes so its table never keeps an entry for a
   // dead QP. Hooks run synchronously inside the transition; subscribers
-  // that need driver work must defer it to the loop.
-  void on_qp_error(std::function<void(Qpn)> fn) {
-    qp_error_hooks_.push_back(std::move(fn));
+  // that need driver work must defer it to the loop. Returns a token the
+  // subscriber passes to remove_qp_error_hook() if it can die before the
+  // device.
+  using QpErrorHookId = std::uint64_t;
+  QpErrorHookId on_qp_error(std::function<void(Qpn)> fn) {
+    qp_error_hooks_.emplace_back(next_qp_error_hook_, std::move(fn));
+    return next_qp_error_hook_++;
+  }
+  void remove_qp_error_hook(QpErrorHookId id) {
+    std::erase_if(qp_error_hooks_,
+                  [id](const auto& h) { return h.first == id; });
   }
 
   // ------------------------------------------------------------------
@@ -313,7 +322,9 @@ class RnicDevice : public mem::MmioDevice {
   std::uint64_t tunnel_hits_ = 0;
   std::uint64_t tunnel_misses_ = 0;
 
-  std::vector<std::function<void(Qpn)>> qp_error_hooks_;
+  std::vector<std::pair<QpErrorHookId, std::function<void(Qpn)>>>
+      qp_error_hooks_;
+  QpErrorHookId next_qp_error_hook_ = 1;
 
   Counters counters_;
 };

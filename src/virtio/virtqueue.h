@@ -117,8 +117,13 @@ class Virtqueue {
     auto w = std::make_shared<Waiter>(loop_);
     auto fut = w->promise.get_future();
     loop_.spawn(run_call(std::move(req), weight, fault_key, w));
-    loop_.schedule_at(deadline, [w] {
-      if (!w->settled) {
+    // The timer holds only a weak reference: the caller keeps the waiter
+    // alive until settle, so an expired pointer means the call already
+    // completed — and a settled call does not retain its response in the
+    // loop until the absolute deadline fires.
+    loop_.schedule_at(deadline, [wk = std::weak_ptr<Waiter>(w)] {
+      auto w = wk.lock();
+      if (w && !w->settled) {
         w->settled = true;
         w->promise.set_value(false);
       }
@@ -162,15 +167,15 @@ class Virtqueue {
     in_flight_ += weight;
     sim::FaultDecision fault;
     if (transit_faults_) fault = transit_faults_(fault_key);
-    if (fault.action == sim::FaultAction::kDrop) {
-      // Lost descriptor: the kick still happens (the guest cannot know),
-      // the slots ride the transit, then the request silently vanishes —
-      // only the caller's deadline can resolve this.
-      co_await kick_transit();
-      release_slots(weight);
-      co_return;
-    }
     try {
+      if (fault.action == sim::FaultAction::kDrop) {
+        // Lost descriptor: the kick still happens (the guest cannot know),
+        // the slots ride the transit, then the request silently vanishes —
+        // only the caller's deadline can resolve this.
+        co_await kick_transit();
+        release_slots(weight);
+        co_return;
+      }
       co_await kick_transit();
       if (fault.action == sim::FaultAction::kDelay) {
         co_await sim::delay(loop_, fault.delay);

@@ -212,6 +212,72 @@ TEST(ChaosTest, ConnectLadderUnderControllerOutage) {
   EXPECT_LE(cache.max_served_staleness(), cache.staleness_bound());
 }
 
+TEST(ChaosTest, RetryReexecutesAfterControllerRecovers) {
+  // Regression: a retryable (kUnavailable) response must NOT enter the
+  // backend's idempotency window. The frontend retries it under the same
+  // cmd_id, so a memoized failure would replay as a dedup hit on every
+  // backoff attempt and the command could never re-execute. Here the
+  // outage ends in the middle of the retry schedule: the connect ladder
+  // must recover to kOk, not run its budget down to kDeadlineExceeded.
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.cal.host_dram_bytes = 32ull << 30;
+  cfg.cal.vm_mem_bytes = 512ull << 20;
+  // No cache, no degraded serving: every RTR queries the controller, so
+  // recovery only helps if the retry actually re-executes the command.
+  cfg.masq_disable_cache = true;
+  // A retry schedule that comfortably straddles the outage window: worst
+  // case (full jitter on every pause) the budget stretches ~38 ms, and
+  // the earliest attempt past 5 ms is still several rounds before it.
+  cfg.retry.max_attempts = 8;
+  cfg.retry.base_backoff = sim::microseconds(200);
+  cfg.faults.sdn_outages.push_back(
+      {sim::milliseconds(1), sim::milliseconds(5)});
+  cfg.fault_seed = 5;
+  auto bed = std::make_unique<fabric::Testbed>(loop, cfg);
+  bed->add_instances(2);
+  struct Run {
+    static sim::Task<void> go(fabric::Testbed* bed, bool* finished) {
+      auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+      rnic::QpAttr attr;
+      attr.state = rnic::QpState::kInit;
+      EXPECT_EQ(co_await bed->ctx(0).modify_qp(ep.qp, attr,
+                                               rnic::kAttrState),
+                rnic::Status::kOk);
+      // Step inside the outage before issuing the RTR (the verb that
+      // resolves the peer mapping through the controller).
+      const sim::Time mid = sim::milliseconds(2);
+      if (bed->loop().now() < mid) {
+        co_await sim::delay(bed->loop(), mid - bed->loop().now());
+      }
+      EXPECT_FALSE(bed->controller().reachable());
+      attr.state = rnic::QpState::kRtr;
+      attr.dest_gid = net::Gid::from_ipv4(bed->instance_vip(1));
+      attr.dest_qpn = 42;
+      attr.path_mtu = 1024;
+      const auto st = co_await bed->ctx(0).modify_qp(
+          ep.qp, attr,
+          rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn |
+              rnic::kAttrPathMtu);
+      EXPECT_EQ(st, rnic::Status::kOk);
+      // Success implies a retry landed after the window closed.
+      EXPECT_TRUE(bed->controller().reachable());
+      *finished = true;
+    }
+  };
+  bool finished = false;
+  loop.spawn(Run::go(bed.get(), &finished));
+  loop.run();
+  EXPECT_TRUE(finished);
+  // The outage was visible (the RTR drew kUnavailable and retried), and
+  // recovery was reached by re-execution, not by exhausting the budget.
+  EXPECT_GE(bed->controller().unreachable_queries(), 1u);
+  EXPECT_GT(masq_ctx(*bed, 0).control_retries(), 0u);
+  EXPECT_EQ(masq_ctx(*bed, 0).deadline_failures(), 0u);
+  EXPECT_EQ(masq_ctx(*bed, 1).deadline_failures(), 0u);
+}
+
 // ------------------------------- rule teardown racing injected QP ERROR
 
 TEST(ChaosTest, RuleUpdateTeardownRacingInjectedQpError) {
