@@ -65,8 +65,9 @@ Comm::Channel& Comm::channel(int from, int to) {
 sim::Task<std::unique_ptr<Comm>> Comm::create(
     fabric::Testbed& bed, std::vector<std::size_t> rank_to_instance,
     std::uint16_t base_port, std::uint32_t max_msg) {
-  std::unique_ptr<Comm> comm(new Comm(bed, std::move(rank_to_instance),
-                                      max_msg));
+  // masq-lint: allow(naked-new) make_unique cannot reach the private ctor
+  std::unique_ptr<Comm> comm(new Comm(  // NOLINT(modernize-make-unique)
+      bed, std::move(rank_to_instance), max_msg));
   comm->channels_.resize(comm->ranks_.size() * comm->ranks_.size());
   co_await comm->wireup(base_port);
   co_return comm;

@@ -102,8 +102,10 @@ class FreeflowContext : public verbs::Context {
 
   // Data-path verbs are forwarded to the FFR (asynchronously from the
   // application's point of view; errors surface as CQEs).
-  rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) override;
-  rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) override;
+  [[nodiscard]] rnic::Status post_send(rnic::Qpn qpn,
+                                       const rnic::SendWr& wr) override;
+  [[nodiscard]] rnic::Status post_recv(rnic::Qpn qpn,
+                                       const rnic::RecvWr& wr) override;
   // The application polls a *shadow* CQ that the FFR fills after its own
   // forwarding delay.
   int poll_cq(rnic::Cqn cq, int max_entries,

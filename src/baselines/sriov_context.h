@@ -47,8 +47,10 @@ class SriovContext : public verbs::Context {
   sim::Task<rnic::Status> dereg_mr(const verbs::MrHandle& mr) override;
   sim::Task<rnic::Status> dealloc_pd(rnic::PdId pd) override;
 
-  rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) override;
-  rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) override {
+  [[nodiscard]] rnic::Status post_send(rnic::Qpn qpn,
+                                       const rnic::SendWr& wr) override;
+  [[nodiscard]] rnic::Status post_recv(rnic::Qpn qpn,
+                                       const rnic::RecvWr& wr) override {
     return device_.post_recv(qpn, wr);
   }
   int poll_cq(rnic::Cqn cq, int max_entries,

@@ -1,0 +1,280 @@
+#include "check/auditors.h"
+
+#include <array>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "masq/backend.h"
+#include "masq/rconntrack.h"
+#include "rnic/device.h"
+#include "rnic/qp_state.h"
+#include "sdn/controller.h"
+
+namespace check {
+
+namespace {
+
+constexpr int kNumQpStates = 7;  // Fig. 5: RESET..ERROR
+
+// Multi-step reachability closure over the Fig. 5 edge relation (driver
+// modify edges plus hardware error edges). Audits are periodic, so several
+// legal transitions can land between two observations of the same QP — the
+// auditor asks "is there *any* legal path", not "is this one edge legal".
+const std::array<std::array<bool, kNumQpStates>, kNumQpStates>&
+qp_reachability() {
+  static const auto table = [] {
+    std::array<std::array<bool, kNumQpStates>, kNumQpStates> r{};
+    for (int a = 0; a < kNumQpStates; ++a) {
+      for (int b = 0; b < kNumQpStates; ++b) {
+        const auto from = static_cast<rnic::QpState>(a);
+        const auto to = static_cast<rnic::QpState>(b);
+        r[a][b] = a == b || rnic::modify_allowed(from, to) ||
+                  rnic::hw_error_transition_allowed(from, to);
+      }
+    }
+    for (int k = 0; k < kNumQpStates; ++k) {
+      for (int i = 0; i < kNumQpStates; ++i) {
+        for (int j = 0; j < kNumQpStates; ++j) {
+          r[i][j] = r[i][j] || (r[i][k] && r[k][j]);
+        }
+      }
+    }
+    return r;
+  }();
+  return table;
+}
+
+bool qp_state_reachable(rnic::QpState from, rnic::QpState to) {
+  return qp_reachability()[static_cast<int>(from)][static_cast<int>(to)];
+}
+
+// States whose QPC the hardware consults for addressing: a virtual GID
+// surviving here means RConnrename failed (the frame would be unroutable
+// on the underlay).
+bool qp_state_is_connected(rnic::QpState s) {
+  return s == rnic::QpState::kRtr || s == rnic::QpState::kRts ||
+         s == rnic::QpState::kSqd || s == rnic::QpState::kSqe;
+}
+
+}  // namespace
+
+void register_qp_auditor(InvariantRegistry& registry, rnic::RnicDevice& device,
+                         const sdn::Controller& controller) {
+  // Last observed (state, legal-transition count) per QPN. QPNs are never
+  // reused (the device hands them out from a monotone counter), so a QPN
+  // absent from the previous observation is a fresh QP born in RESET.
+  // Audits are periodic, so legality is judged against the count delta:
+  //   delta 0  -> the state must not have changed at all (a change with no
+  //               legal transition recorded is corruption by definition);
+  //   delta 1  -> the change must be one legal Fig. 5 edge;
+  //   delta >1 -> any multi-step path (each step was validated by the
+  //               device when it happened), checked against the closure.
+  struct Observed {
+    rnic::QpState state = rnic::QpState::kReset;
+    std::uint32_t transitions = 0;
+  };
+  auto seen = std::make_shared<std::map<rnic::Qpn, Observed>>();
+  registry.add_auditor(
+      "qp-state[" + device.config().name + "]",
+      [&device, &controller, seen](InvariantRegistry::Reporter& r) {
+        std::map<rnic::Qpn, Observed> current;
+        for (rnic::Qpn qpn : device.qp_numbers()) {
+          const rnic::QpState state = device.qp_state(qpn);
+          const std::uint32_t transitions = device.qp_state_transitions(qpn);
+          current[qpn] = Observed{state, transitions};
+          const auto prev = seen->find(qpn);
+          const Observed last =
+              prev == seen->end() ? Observed{} : prev->second;
+          const std::uint32_t delta = transitions - last.transitions;
+          if (delta == 0 && state != last.state) {
+            std::ostringstream os;
+            os << "QP " << qpn << " changed " << rnic::to_string(last.state)
+               << " -> " << rnic::to_string(state)
+               << " without performing any legal Fig. 5 transition";
+            r.fail(os.str());
+          } else if (delta == 1 &&
+                     !(state == last.state ||
+                       rnic::modify_allowed(last.state, state) ||
+                       rnic::hw_error_transition_allowed(last.state, state))) {
+            std::ostringstream os;
+            os << "QP " << qpn << " moved " << rnic::to_string(last.state)
+               << " -> " << rnic::to_string(state)
+               << " which is not a legal Fig. 5 edge";
+            r.fail(os.str());
+          } else if (delta > 1 && !qp_state_reachable(last.state, state)) {
+            std::ostringstream os;
+            os << "QP " << qpn << " moved " << rnic::to_string(last.state)
+               << " -> " << rnic::to_string(state)
+               << " with no legal Fig. 5 path between them";
+            r.fail(os.str());
+          }
+          if (qp_state_is_connected(state)) {
+            const net::Gid& dgid = device.qp_hw_attr(qpn).dest_gid;
+            if (controller.is_virtual_gid(dgid)) {
+              std::ostringstream os;
+              os << "QP " << qpn << " in state " << rnic::to_string(state)
+                 << " holds tenant-virtual dest GID " << dgid.str()
+                 << " in its hardware QPC (RConnrename postcondition)";
+              r.fail(os.str());
+            }
+          }
+        }
+        *seen = std::move(current);
+      });
+}
+
+void register_ring_auditor(InvariantRegistry& registry, RingProbe probe) {
+  // Built before the lambda's init-capture moves `probe` out — argument
+  // evaluation order is unspecified, so reading probe.name inline races
+  // the move.
+  std::string name = "vq-ring[" + probe.name + "]";
+  registry.add_auditor(
+      std::move(name),
+      [p = std::move(probe)](InvariantRegistry::Reporter& r) {
+        const std::uint64_t acquired = p.acquired();
+        const std::uint64_t released = p.released();
+        const int in_flight = p.in_flight();
+        const int ring_size = p.ring_size();
+        if (released > acquired) {
+          std::ostringstream os;
+          os << "descriptor released twice: released=" << released
+             << " > acquired=" << acquired;
+          r.fail(os.str());
+        } else if (acquired - released !=
+                   static_cast<std::uint64_t>(in_flight)) {
+          std::ostringstream os;
+          os << "ring accounting drifted: acquired=" << acquired
+             << " released=" << released << " but in_flight=" << in_flight
+             << " (descriptor leaked or duplicated)";
+          r.fail(os.str());
+        }
+        if (in_flight < 0 || in_flight > ring_size) {
+          std::ostringstream os;
+          os << "in_flight=" << in_flight << " escapes ring bounds [0, "
+             << ring_size << "]";
+          r.fail(os.str());
+        }
+        if (r.point() == "quiesce") {
+          if (in_flight != 0) {
+            std::ostringstream os;
+            os << in_flight << " descriptor(s) still in flight at quiescence";
+            r.fail(os.str());
+          }
+          if (p.waiting() != 0) {
+            std::ostringstream os;
+            os << p.waiting() << " caller(s) still waiting for ring slots at "
+               << "quiescence";
+            r.fail(os.str());
+          }
+        }
+      });
+}
+
+void register_cache_auditor(InvariantRegistry& registry,
+                            const sdn::MappingCache& cache,
+                            const sdn::Controller& controller) {
+  registry.add_auditor(
+      "cache", [&cache, &controller](InvariantRegistry::Reporter& r) {
+        if (cache.max_served_staleness() > cache.staleness_bound()) {
+          std::ostringstream os;
+          os << "degraded mode served an entry " << cache.max_served_staleness()
+             << " stale, past the bound " << cache.staleness_bound();
+          r.fail(os.str());
+        }
+        if (cache.negative_size() > sdn::MappingCache::max_negative_entries()) {
+          std::ostringstream os;
+          os << "negative cache holds " << cache.negative_size()
+             << " entries, past its bound "
+             << sdn::MappingCache::max_negative_entries();
+          r.fail(os.str());
+        }
+        // Entry-by-entry truth check only when divergence is illegitimate:
+        // the controller is up and has no buffered broadcasts in flight.
+        if (!controller.reachable() ||
+            controller.pending_broadcast_count() != 0) {
+          return;
+        }
+        cache.for_each_entry([&](const sdn::VirtKey& key, net::Gid pgid,
+                                 sim::Time /*confirmed_at*/) {
+          const std::optional<net::Gid> truth =
+              controller.lookup(key.vni, key.vgid);
+          if (!truth.has_value()) {
+            std::ostringstream os;
+            os << "cache serves (vni=" << key.vni << ", vgid="
+               << key.vgid.str()
+               << ") but the controller has no such mapping (missed "
+               << "invalidation?)";
+            r.fail(os.str());
+          } else if (*truth != pgid) {
+            std::ostringstream os;
+            os << "cache maps (vni=" << key.vni << ", vgid=" << key.vgid.str()
+               << ") to " << pgid.str() << " but controller truth is "
+               << truth->str();
+            r.fail(os.str());
+          }
+        });
+      });
+}
+
+void register_conntrack_auditor(InvariantRegistry& registry,
+                                masq::Backend& backend) {
+  registry.add_auditor(
+      "conntrack[" + backend.device().config().name + "]",
+      [&backend](InvariantRegistry::Reporter& r) {
+        // A row referencing an ERROR'd QP is legal exactly while its purge
+        // is scheduled but not yet drained by the loop.
+        if (backend.pending_qp_purges() != 0) return;
+        const rnic::RnicDevice& device = backend.device();
+        backend.conntrack().for_each_entry(
+            [&](const masq::RConntrack::Entry& e) {
+              if (!device.qp_exists(e.qpn)) {
+                std::ostringstream os;
+                os << "RConntrack row (vni=" << e.vni << ", src="
+                   << e.src_vip.str() << ", dst=" << e.dst_vip.str()
+                   << ") references QP " << e.qpn
+                   << " which no longer exists";
+                r.fail(os.str());
+              } else if (device.qp_state(e.qpn) == rnic::QpState::kError) {
+                std::ostringstream os;
+                os << "RConntrack row (vni=" << e.vni << ", src="
+                   << e.src_vip.str() << ", dst=" << e.dst_vip.str()
+                   << ") references QP " << e.qpn
+                   << " in ERROR with no purge pending";
+                r.fail(os.str());
+              }
+            });
+      });
+}
+
+namespace {
+
+std::uint64_t traced_run(
+    const std::function<void(sim::EventLoop&)>& scenario) {
+  sim::EventLoop loop;
+  loop.enable_trace();
+  scenario(loop);
+  return loop.trace_hash();
+}
+
+}  // namespace
+
+DeterminismResult run_twice(
+    const std::function<void(sim::EventLoop&)>& scenario) {
+  DeterminismResult result;
+  result.first_hash = traced_run(scenario);
+  result.second_hash = traced_run(scenario);
+  return result;
+}
+
+void audit_determinism(InvariantRegistry& registry,
+                       const std::function<void(sim::EventLoop&)>& scenario) {
+  const DeterminismResult result = run_twice(scenario);
+  if (result.identical()) return;
+  std::ostringstream os;
+  os << "two runs of the same (config, seed) diverged: trace hash 0x"
+     << std::hex << result.first_hash << " vs 0x" << result.second_hash;
+  registry.report_violation("determinism", "run-twice", os.str());
+}
+
+}  // namespace check

@@ -1,0 +1,106 @@
+// The invariant catalog (DESIGN.md §11): one registration function per
+// auditor. Each takes the InvariantRegistry plus const-refs/refs to the
+// live components it inspects; registration captures those references, so
+// the components must outlive the registry's last audit.
+//
+// The five auditors:
+//   qp-state     — every observed QP state change is reachable through the
+//                  Fig. 5 FSM (modify edges + hardware error edges), and no
+//                  connected QP's hardware QPC holds a tenant-virtual GID
+//                  (RConnrename's postcondition).
+//   vq-ring      — virtqueue descriptor accounting balances: acquired −
+//                  released == in-flight, bounded by the ring; at
+//                  quiescence nothing is in flight or waiting. Catches
+//                  leaked/duplicated descriptors across fault injections.
+//   cache        — host mapping caches agree with controller truth when the
+//                  controller is reachable and broadcasts are drained;
+//                  degraded-mode staleness never exceeded its bound; the
+//                  negative cache respects its size bound.
+//   conntrack    — every RConntrack row references a QP that exists and is
+//                  not in ERROR (modulo purges the backend has scheduled
+//                  but not yet drained).
+//   determinism  — two runs of the same scenario on fresh event loops
+//                  produce bit-identical trace hashes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "check/invariant.h"
+
+namespace rnic {
+class RnicDevice;
+}
+namespace sdn {
+class Controller;
+class MappingCache;
+}
+namespace masq {
+class Backend;
+}
+
+namespace check {
+
+// (1) QP state-machine legality + RConnrename postcondition. Tracks the
+// last state observed per QPN and requires the current state to be
+// reachable from it via the Fig. 5 edge relation (multi-step: audits are
+// periodic, several legal transitions may land between two looks).
+void register_qp_auditor(InvariantRegistry& registry, rnic::RnicDevice& device,
+                         const sdn::Controller& controller);
+
+// (2) Virtqueue ring accounting. Virtqueue<Req, Resp> is a template, so
+// the auditor works against a type-erased probe; make_ring_probe() builds
+// one from any instantiation.
+struct RingProbe {
+  std::string name;  // e.g. "host0/vm2" — names the queue in diagnostics
+  std::function<std::uint64_t()> acquired;
+  std::function<std::uint64_t()> released;
+  std::function<int()> in_flight;
+  std::function<int()> ring_size;
+  std::function<std::size_t()> waiting;
+};
+
+template <typename Vq>
+RingProbe make_ring_probe(std::string name, const Vq& vq) {
+  return RingProbe{
+      std::move(name),
+      [&vq] { return vq.slots_acquired(); },
+      [&vq] { return vq.slots_released(); },
+      [&vq] { return vq.in_flight(); },
+      [&vq] { return vq.ring_size(); },
+      [&vq] { return vq.waiting_callers(); },
+  };
+}
+
+void register_ring_auditor(InvariantRegistry& registry, RingProbe probe);
+
+// (3) Mapping-cache coherence against controller truth.
+void register_cache_auditor(InvariantRegistry& registry,
+                            const sdn::MappingCache& cache,
+                            const sdn::Controller& controller);
+
+// (4) RConntrack <-> QP consistency for one backend (its device + table).
+void register_conntrack_auditor(InvariantRegistry& registry,
+                                masq::Backend& backend);
+
+// (5) Determinism. Runs `scenario` twice, each on a fresh trace-enabled
+// event loop, and compares the trace hashes. The callback owns the whole
+// run: build the world, schedule work, and drive loop.run() to completion
+// before returning (world objects must outlive the run, so they live
+// inside the callback).
+struct DeterminismResult {
+  std::uint64_t first_hash = 0;
+  std::uint64_t second_hash = 0;
+  bool identical() const { return first_hash == second_hash; }
+};
+
+DeterminismResult run_twice(
+    const std::function<void(sim::EventLoop&)>& scenario);
+
+// run_twice + a registry-reported violation when the hashes differ.
+void audit_determinism(InvariantRegistry& registry,
+                       const std::function<void(sim::EventLoop&)>& scenario);
+
+}  // namespace check

@@ -1,0 +1,85 @@
+#include "check/invariant.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace check {
+
+namespace {
+
+std::string format_violation(const Violation& v) {
+  std::ostringstream os;
+  os << "[masq-check] invariant '" << v.invariant << "' violated at point '"
+     << v.point << "' t=" << v.at << ": " << v.diagnostic;
+  return os.str();
+}
+
+// MASQ_CHECK_LOG names a file each violation line is appended to — the CI
+// chaos job uploads it as an artifact so a red run carries its diagnosis.
+void append_to_log(const std::string& line) {
+  const char* path = std::getenv("MASQ_CHECK_LOG");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream f(path, std::ios::app);
+  if (f) f << line << '\n';
+}
+
+}  // namespace
+
+bool env_enabled() {
+  const char* v = std::getenv("MASQ_CHECK");
+  if (v == nullptr || *v == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+InvariantViolationError::InvariantViolationError(const Violation& v)
+    : std::runtime_error(format_violation(v)) {}
+
+InvariantRegistry::InvariantRegistry(sim::EventLoop& loop) : loop_(loop) {}
+
+InvariantRegistry::~InvariantRegistry() { detach(); }
+
+void InvariantRegistry::add_auditor(std::string name, AuditFn fn) {
+  auditors_.emplace_back(std::move(name), std::move(fn));
+}
+
+void InvariantRegistry::audit(std::string_view point) {
+  ++audits_;
+  for (auto& [name, fn] : auditors_) {
+    ++checks_;
+    Reporter reporter(*this, name, point);
+    fn(reporter);
+  }
+}
+
+void InvariantRegistry::attach(std::uint64_t every_n_events) {
+  loop_.set_audit_hook(every_n_events, [this] { audit("periodic"); });
+  attached_ = true;
+}
+
+void InvariantRegistry::detach() {
+  if (!attached_) return;
+  loop_.clear_audit_hook();
+  attached_ = false;
+}
+
+void InvariantRegistry::report_violation(std::string invariant,
+                                         std::string_view point,
+                                         std::string diagnostic) {
+  Violation v{std::move(invariant), std::string(point), loop_.now(),
+              std::move(diagnostic)};
+  violations_.push_back(v);
+  append_to_log(format_violation(v));
+  if (policy_ == ViolationPolicy::kThrow) throw InvariantViolationError(v);
+}
+
+std::string InvariantRegistry::report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += format_violation(v);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace check

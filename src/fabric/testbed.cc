@@ -1,6 +1,9 @@
 #include "fabric/testbed.h"
 
+#include <cstdio>
 #include <new>
+
+#include "check/auditors.h"
 
 namespace fabric {
 
@@ -68,9 +71,45 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
     hosts_.push_back(std::move(host));
     vf_in_use_.push_back(0);
   }
+
+  if (config_.check_invariants) {
+    checks_ = std::make_unique<check::InvariantRegistry>(loop_);
+    if (config_.candidate == Candidate::kMasq) {
+      // The RConnrename/cache/conntrack invariants are MasQ mechanisms;
+      // other candidates legitimately keep virtual GIDs in their QPCs
+      // (SR-IOV translates them in the VXLAN offload), so only the MasQ
+      // testbed registers component auditors. Per-instance virtqueue
+      // probes are added in add_instance().
+      for (std::size_t h = 0; h < hosts_.size(); ++h) {
+        masq::Backend& backend = *backends_[h];
+        check::register_qp_auditor(*checks_, hosts_[h]->rnic(0), controller_);
+        check::register_cache_auditor(*checks_, backend.mapping_cache(),
+                                      controller_);
+        check::register_conntrack_auditor(*checks_, backend);
+      }
+    }
+    checks_->attach(config_.check_audit_every);
+  }
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() {
+  if (checks_ == nullptr) return;
+  checks_->detach();
+  // Final audit at quiescence — but only if the loop actually drained
+  // (an aborted run legitimately leaves descriptors in flight). A
+  // destructor must not throw, so violations are recorded and surfaced on
+  // stderr; tests that want a hard failure run audit("quiesce") themselves
+  // before teardown.
+  if (!loop_.empty()) return;
+  const check::ViolationPolicy saved = checks_->policy();
+  checks_->set_policy(check::ViolationPolicy::kRecord);
+  const std::size_t before = checks_->violations().size();
+  checks_->audit("quiesce");
+  checks_->set_policy(saved);
+  if (checks_->violations().size() > before) {
+    std::fputs(checks_->report().c_str(), stderr);
+  }
+}
 
 masq::Backend& Testbed::masq_backend(std::size_t host_idx) {
   if (config_.candidate != Candidate::kMasq) {
@@ -199,6 +238,13 @@ std::optional<std::size_t> Testbed::add_instance(
       virtio::ChannelCosts vcosts = config_.cal.virtio_costs;
       inst->ctx = std::make_unique<masq::MasqContext>(session, *inst->oob,
                                                       vcosts);
+      if (checks_ != nullptr) {
+        check::register_ring_auditor(
+            *checks_,
+            check::make_ring_probe(
+                "inst" + std::to_string(instances_.size()),
+                static_cast<masq::MasqContext&>(*inst->ctx).virtqueue()));
+      }
       break;
     }
   }
@@ -238,6 +284,10 @@ rnic::Status Testbed::migrate_instance(std::size_t i,
   // The old session's vBond hands over the (VNI, vGID) registration so its
   // eventual destruction doesn't clobber the successor's mapping.
   static_cast<masq::MasqContext&>(*inst.ctx).session().vbond().release();
+  // The ring probe holds a reference into the dying context's virtqueue.
+  if (checks_ != nullptr) {
+    checks_->remove_auditor("vq-ring[inst" + std::to_string(i) + "]");
+  }
   inst.ctx.reset();
   vnet_.destroy_endpoint(inst.oob);
   hyp::Vm::Config vc = inst.vm->config();
@@ -251,6 +301,13 @@ rnic::Status Testbed::migrate_instance(std::size_t i,
   auto& session = backends_[target_host]->register_vm(*inst.vm);
   inst.ctx = std::make_unique<masq::MasqContext>(session, *inst.oob,
                                                  config_.cal.virtio_costs);
+  if (checks_ != nullptr) {
+    check::register_ring_auditor(
+        *checks_,
+        check::make_ring_probe(
+            "inst" + std::to_string(i),
+            static_cast<masq::MasqContext&>(*inst.ctx).virtqueue()));
+  }
   return rnic::Status::kOk;
 }
 

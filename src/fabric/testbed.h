@@ -19,6 +19,7 @@
 #include "baselines/freeflow.h"
 #include "baselines/host_context.h"
 #include "baselines/sriov_context.h"
+#include "check/invariant.h"
 #include "fabric/calibration.h"
 #include "hyp/host.h"
 #include "hyp/instance.h"
@@ -61,6 +62,15 @@ struct TestbedConfig {
   // every MasQ backend/frontend pair.
   masq::RetryPolicy retry;
   sim::Time cache_staleness_bound = sim::seconds(5);
+  // Runtime invariant auditing (src/check). Defaults to the MASQ_CHECK
+  // environment switch, so `MASQ_CHECK=1 ctest` audits every testbed-based
+  // test without code changes. When on, the MasQ candidate registers the
+  // qp-state / vq-ring / cache / conntrack auditors and the event loop
+  // audits every `check_audit_every` events; violations throw out of
+  // EventLoop::run(). When off, no registry exists and the loop pays one
+  // branch per event.
+  bool check_invariants = check::env_enabled();
+  std::uint64_t check_audit_every = 512;
 };
 
 class Testbed : public rnic::FabricRouter {
@@ -95,6 +105,10 @@ class Testbed : public rnic::FabricRouter {
   sdn::Controller& controller() { return controller_; }
   // Null unless the config enabled fault injection (config.faults.any()).
   sim::FaultPlane* faults() { return fault_plane_.get(); }
+  // Null unless the config enabled invariant auditing (check_invariants).
+  // Tests use it to run explicit audit points (e.g. "quiesce" after a
+  // drained run) or to inspect recorded violations under kRecord policy.
+  check::InvariantRegistry* checks() { return checks_.get(); }
   hyp::Host& host(std::size_t i) { return *hosts_.at(i); }
   rnic::RnicDevice& device(std::size_t host_idx) {
     return hosts_.at(host_idx)->rnic(0);
@@ -119,7 +133,8 @@ class Testbed : public rnic::FabricRouter {
   // application falls back to TCP during the blackout). vBond re-registers
   // the unchanged vGID against the new host's physical GID and the
   // controller pushes the update to every host cache. ctx(i) is replaced.
-  rnic::Status migrate_instance(std::size_t i, std::size_t target_host);
+  [[nodiscard]] rnic::Status migrate_instance(std::size_t i,
+                                              std::size_t target_host);
 
   // rnic::FabricRouter: route underlay IPs to devices.
   rnic::RnicDevice* device_by_ip(net::Ipv4Addr underlay_ip) override;
@@ -147,6 +162,10 @@ class Testbed : public rnic::FabricRouter {
   // Declared before hosts/backends: they hold raw pointers into the plane
   // and must be destroyed first.
   std::unique_ptr<sim::FaultPlane> fault_plane_;
+  // Auditors capture references into hosts/backends/instances below; the
+  // destructor detaches + runs the final quiesce audit before any of them
+  // die, and declaration order makes the registry outlive its subjects.
+  std::unique_ptr<check::InvariantRegistry> checks_;
   std::vector<std::unique_ptr<hyp::Host>> hosts_;
   std::vector<std::unique_ptr<masq::Backend>> backends_;    // per host (MasQ)
   std::vector<std::unique_ptr<baselines::FfRouter>> ffrs_;  // per host (FF)

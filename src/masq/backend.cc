@@ -35,11 +35,25 @@ Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
   // liveness reference.
   qp_error_sub_ = device_.on_qp_error(
       [this, alive = std::weak_ptr<const char>(liveness_)](rnic::Qpn qpn) {
+        // pending_qp_purges_ lets the invariant auditor distinguish "entry
+        // for an ERROR'd QP because the deferred purge has not run yet"
+        // (legal) from a genuinely leaked row.
+        ++pending_qp_purges_;
         loop_.schedule_after(0, [this, alive, qpn] {
           if (alive.expired()) return;
-          if (conntrack_.has_qp(qpn)) loop_.spawn(conntrack_.purge_qp(qpn));
+          if (conntrack_.has_qp(qpn)) {
+            loop_.spawn(purge_and_settle(qpn, alive));
+          } else {
+            --pending_qp_purges_;
+          }
         });
       });
+}
+
+sim::Task<void> Backend::purge_and_settle(
+    rnic::Qpn qpn, std::weak_ptr<const char> alive) {
+  co_await conntrack_.purge_qp(qpn);
+  if (!alive.expired()) --pending_qp_purges_;
 }
 
 Backend::~Backend() {

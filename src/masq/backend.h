@@ -162,7 +162,16 @@ class Backend {
   const BackendConfig& config() const { return config_; }
   sim::FaultPlane* faults() { return config_.faults; }
 
+  // QP-ERROR purges scheduled but not yet applied to the RConntrack table.
+  // While nonzero, an RConntrack row referencing an ERROR'd QP is a
+  // not-yet-drained repair, not an invariant violation (src/check).
+  std::uint64_t pending_qp_purges() const { return pending_qp_purges_; }
+
  private:
+  // Runs the deferred purge and then settles the pending count (guarded by
+  // the liveness flag: the loop may drain this after the backend died).
+  sim::Task<void> purge_and_settle(rnic::Qpn qpn,
+                                   std::weak_ptr<const char> alive);
   sim::EventLoop& loop_;
   rnic::RnicDevice& device_;
   sdn::Controller& controller_;
@@ -178,6 +187,7 @@ class Backend {
   RConntrack conntrack_;
   std::unordered_map<std::uint32_t, rnic::FnId> tenant_fn_;
   rnic::FnId next_vf_ = 1;
+  std::uint64_t pending_qp_purges_ = 0;
   std::vector<std::unique_ptr<Session>> sessions_;
 };
 

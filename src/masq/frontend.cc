@@ -1,6 +1,7 @@
 #include "masq/frontend.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -390,7 +391,8 @@ class MasqBatch final : public verbs::ControlBatch {
           ctx_.vq_.costs().round_trip() / static_cast<sim::Time>(n);
       // Entries whose cross-chunk dependency already failed: they inherit
       // that status client-side (the backend only sees a poisoned index).
-      std::unordered_map<std::size_t, rnic::Status> dep_failed;
+      // Ordered: iterated below to patch per-slot results.
+      std::map<std::size_t, rnic::Status> dep_failed;
       for (std::size_t i = begin; i < begin + n; ++i) {
         BatchableCommand cmd = cmds_[i];
         rnic::Status dep_status = rnic::Status::kOk;
@@ -576,7 +578,8 @@ class MasqBatch final : public verbs::ControlBatch {
         CmdBatch mini;
         mini.cmds.reserve(n);
         mini.links.reserve(n);
-        std::unordered_map<std::size_t, rnic::Status> dep_failed;
+        // Ordered: iterated below to patch per-slot results.
+        std::map<std::size_t, rnic::Status> dep_failed;
         for (std::size_t k = 0; k < n; ++k) {
           const std::size_t i = retry[off + k];
           BatchableCommand cmd = cmds_[i];

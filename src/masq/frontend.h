@@ -58,8 +58,10 @@ class MasqContext : public verbs::Context {
   sim::Task<rnic::Status> dereg_mr(const verbs::MrHandle& mr) override;
   sim::Task<rnic::Status> dealloc_pd(rnic::PdId pd) override;
 
-  rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) override;
-  rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) override;
+  [[nodiscard]] rnic::Status post_send(rnic::Qpn qpn,
+                                       const rnic::SendWr& wr) override;
+  [[nodiscard]] rnic::Status post_recv(rnic::Qpn qpn,
+                                       const rnic::RecvWr& wr) override;
   int poll_cq(rnic::Cqn cq, int max_entries,
               rnic::Completion* out) override;
   sim::Future<bool> cq_nonempty(rnic::Cqn cq) override;

@@ -98,6 +98,19 @@ class RConntrack {
     reset_hook_ = std::move(fn);
   }
 
+  // Invariant auditing (src/check): walks the table in insertion order
+  // (the table is a plain vector, so this is already deterministic).
+  void for_each_entry(const std::function<void(const Entry&)>& fn) const {
+    for (const Entry& e : table_) fn(e);
+  }
+
+  // Test-only corruption hook: plants a row directly, without the
+  // validate/track path or its cost charge — used to prove the
+  // RConntrack<->QP consistency auditor trips on an orphaned row.
+  void corrupt_insert_for_test(Entry entry) {
+    table_.push_back(std::move(entry));
+  }
+
  private:
   // Rescans the table after a rule change; resets now-forbidden
   // connections (Fig. 6 step 2 / §4.3.2).

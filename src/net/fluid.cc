@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 namespace net {
@@ -131,7 +132,8 @@ void FluidNet::reallocate() {
   for (std::size_t i = 0; i < links_.size(); ++i) {
     ls[i].remaining = links_[i].capacity;
   }
-  std::unordered_map<FlowId, Flow*> unfixed;
+  // std::map, not unordered: fixing order feeds rate assignment below.
+  std::map<FlowId, Flow*> unfixed;
   for (auto& [id, f] : flows_) {
     f.rate = 0;
     unfixed.emplace(id, &f);

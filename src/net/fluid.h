@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -104,7 +104,10 @@ class FluidNet {
 
   sim::EventLoop& loop_;
   std::vector<Link> links_;
-  std::unordered_map<FlowId, Flow> flows_;
+  // Ordered by FlowId: reallocate()/fire_completions() iterate this map
+  // and their iteration order feeds completion-event ordering, which
+  // must be deterministic (masq-lint: unordered-iter).
+  std::map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
   sim::Time last_settle_ = 0;
   std::uint64_t timer_generation_ = 0;

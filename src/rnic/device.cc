@@ -37,9 +37,30 @@ RnicDevice::RnicDevice(sim::EventLoop& loop, net::FluidNet& net,
 }
 
 RnicDevice::~RnicDevice() {
-  for (auto& [qpn, qp] : qps_) {
-    for (net::FlowId fl : qp->active_flows) net_.cancel_flow(fl);
+  // Walk in QPN order: cancel_flow reallocates the fluid net, so the
+  // cancellation order must not depend on hash-table layout.
+  for (Qpn qpn : qp_numbers()) {
+    for (net::FlowId fl : qps_.at(qpn)->active_flows) net_.cancel_flow(fl);
   }
+}
+
+std::vector<Qpn> RnicDevice::qp_numbers() const {
+  std::vector<Qpn> out;
+  out.reserve(qps_.size());
+  for (const auto& [qpn, qp] :
+       qps_) {  // masq-lint: allow(unordered-iter) sorted before use
+    out.push_back(qpn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RnicDevice::corrupt_qp_for_test(Qpn qpn, QpState state,
+                                     const QpAttr& attr) {
+  Qp* qp = find_qp(qpn);
+  if (qp == nullptr) throw std::invalid_argument("corrupt_qp_for_test: no QP");
+  qp->state = state;
+  qp->attr = attr;
 }
 
 net::Gid RnicDevice::gid(FnId id) const {
@@ -198,7 +219,7 @@ Status RnicDevice::modify_qp(Qpn qpn, const QpAttr& attr, std::uint32_t mask) {
   if (mask & kAttrQkey) qp->attr.qkey = attr.qkey;
   if (mask & kAttrState) {
     const QpState prev = qp->state;
-    qp->state = attr.state;
+    transition_qp(*qp, attr.state);
     qp->attr.state = attr.state;
     if (attr.state == QpState::kError && prev != QpState::kError) {
       flush_qp(*qp);
@@ -226,6 +247,19 @@ QpState RnicDevice::qp_state(Qpn qpn) const {
   const Qp* qp = find_qp(qpn);
   if (qp == nullptr) throw std::out_of_range("qp_state: no such QP");
   return qp->state;
+}
+
+std::uint32_t RnicDevice::qp_state_transitions(Qpn qpn) const {
+  const Qp* qp = find_qp(qpn);
+  if (qp == nullptr) {
+    throw std::out_of_range("qp_state_transitions: no such QP");
+  }
+  return qp->state_transitions;
+}
+
+void RnicDevice::transition_qp(Qp& qp, QpState to) {
+  qp.state = to;
+  ++qp.state_transitions;
 }
 
 const QpAttr& RnicDevice::qp_hw_attr(Qpn qpn) const {
@@ -384,7 +418,7 @@ void RnicDevice::launch_wqe(Qp& qp, SendWr wr) {
     if (mr == nullptr) {
       post_send_cqe(qp, wr, st, 0);
       if (hw_error_transition_allowed(qp.state, QpState::kSqe)) {
-        qp.state = QpState::kSqe;
+        transition_qp(qp, QpState::kSqe);
       }
       return;
     }
@@ -397,7 +431,7 @@ void RnicDevice::launch_wqe(Qp& qp, SendWr wr) {
     if (validate_local_sge(qp, wr.sge, &st) == nullptr) {
       post_send_cqe(qp, wr, st, 0);
       if (hw_error_transition_allowed(qp.state, QpState::kSqe)) {
-        qp.state = QpState::kSqe;
+        transition_qp(qp, QpState::kSqe);
       }
       return;
     }
@@ -437,7 +471,7 @@ void RnicDevice::launch_wqe(Qp& qp, SendWr wr) {
     // never leaves; retries exhaust.
     post_send_cqe(qp, wr, WcStatus::kTransportRetryExc, 0);
     if (hw_error_transition_allowed(qp.state, QpState::kSqe)) {
-      qp.state = QpState::kSqe;
+      transition_qp(qp, QpState::kSqe);
     }
     return;
   }
@@ -721,7 +755,7 @@ void RnicDevice::handle_in_order(Qp& qp, Message& msg) {
           post_completion(qp.init.recv_cq, c);
           if (msg.op == MsgOp::kSend) {
             send_ack(msg, WcStatus::kRemAccessErr);
-            qp.state = QpState::kError;
+            transition_qp(qp, QpState::kError);
             flush_qp(qp);
           }
           return;
@@ -742,7 +776,7 @@ void RnicDevice::handle_in_order(Qp& qp, Message& msg) {
           !mr->contains(msg.remote_addr, msg.payload.size())) {
         ++counters_.remote_access_naks;
         send_ack(msg, WcStatus::kRemAccessErr);
-        qp.state = QpState::kError;
+        transition_qp(qp, QpState::kError);
         flush_qp(qp);
         return;
       }
@@ -772,7 +806,7 @@ void RnicDevice::handle_in_order(Qp& qp, Message& msg) {
           !mr->contains(msg.remote_addr, msg.payload.size())) {
         ++counters_.remote_access_naks;
         send_ack(msg, WcStatus::kRemAccessErr);
-        qp.state = QpState::kError;  // responder fails the connection
+        transition_qp(qp, QpState::kError);  // responder fails the connection
         flush_qp(qp);
         return;
       }
@@ -787,7 +821,7 @@ void RnicDevice::handle_in_order(Qp& qp, Message& msg) {
           !mr->contains(msg.remote_addr, msg.read_len)) {
         ++counters_.remote_access_naks;
         send_ack(msg, WcStatus::kRemAccessErr);
-        qp.state = QpState::kError;
+        transition_qp(qp, QpState::kError);
         flush_qp(qp);
         return;
       }
@@ -850,7 +884,7 @@ void RnicDevice::drain_acks(Qp& qp) {
       // A completion error stops the send queue (Fig. 5: RTS -> SQE);
       // everything behind the failed WQE flushes.
       if (hw_error_transition_allowed(qp.state, QpState::kSqe)) {
-        qp.state = QpState::kSqe;
+        transition_qp(qp, QpState::kSqe);
       }
       for (auto& [p, pend] : qp.pending) {
         post_send_cqe(qp, pend.wr, WcStatus::kWrFlushErr, 0);

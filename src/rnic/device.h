@@ -152,23 +152,35 @@ class RnicDevice : public mem::MmioDevice {
   // ------------------------------------------------------------------
   // Control bookkeeping (latency is charged by the calling driver).
   // ------------------------------------------------------------------
-  Expected<PdId> alloc_pd(FnId fn);
-  Status dealloc_pd(PdId pd);
-  Expected<MrInfo> create_mr(FnId fn, PdId pd, mem::Addr va, std::uint64_t len,
+  [[nodiscard]] Expected<PdId> alloc_pd(FnId fn);
+  [[nodiscard]] Status dealloc_pd(PdId pd);
+  [[nodiscard]] Expected<MrInfo> create_mr(FnId fn, PdId pd, mem::Addr va, std::uint64_t len,
                              std::uint32_t access,
                              std::vector<mem::Segment> hpa_segments);
-  Status destroy_mr(Key lkey);
-  Expected<Cqn> create_cq(FnId fn, int capacity);
-  Status destroy_cq(Cqn cq);
-  Expected<Qpn> create_qp(FnId fn, const QpInitAttr& attr);
-  Status destroy_qp(Qpn qpn);
+  [[nodiscard]] Status destroy_mr(Key lkey);
+  [[nodiscard]] Expected<Cqn> create_cq(FnId fn, int capacity);
+  [[nodiscard]] Status destroy_cq(Cqn cq);
+  [[nodiscard]] Expected<Qpn> create_qp(FnId fn, const QpInitAttr& attr);
+  [[nodiscard]] Status destroy_qp(Qpn qpn);
   // Validates the Fig. 5 FSM; transition to ERROR flushes all WQEs and
   // kills in-flight flows (Table 2).
-  Status modify_qp(Qpn qpn, const QpAttr& attr, std::uint32_t mask);
+  [[nodiscard]] Status modify_qp(Qpn qpn, const QpAttr& attr, std::uint32_t mask);
 
   // Introspection (tests / RConntrack / Fig. 18 drain accounting).
   bool qp_exists(Qpn qpn) const;
   QpState qp_state(Qpn qpn) const;
+  // Count of legal state transitions this QP has performed (modify_qp and
+  // hardware error edges both count; corrupt_qp_for_test deliberately does
+  // not). The qp-state auditor (src/check) uses it to detect state changes
+  // that happened outside any legal transition path.
+  std::uint32_t qp_state_transitions(Qpn qpn) const;
+  // All live QPNs in ascending order (the QP table itself is unordered;
+  // auditors and teardown paths need a deterministic walk).
+  std::vector<Qpn> qp_numbers() const;
+  // Test-only corruption hook: overwrites a QP's state and hardware QPC
+  // directly, bypassing the Fig. 5 FSM validation and the ERROR-transition
+  // hooks. Exists to prove the src/check auditors trip on illegal states.
+  void corrupt_qp_for_test(Qpn qpn, QpState state, const QpAttr& attr);
   // The QPC as the *hardware* sees it — tests assert RConnrename rewrote it.
   const QpAttr& qp_hw_attr(Qpn qpn) const;
   FnId qp_fn(Qpn qpn) const;
@@ -198,8 +210,9 @@ class RnicDevice : public mem::MmioDevice {
   // ------------------------------------------------------------------
   // `ring_doorbell=false` enqueues the WQE without kicking the engine —
   // callers then ring through the MMIO BAR (the MasQ/SR-IOV guest path).
-  Status post_send(Qpn qpn, const SendWr& wr, bool ring_doorbell = true);
-  Status post_recv(Qpn qpn, const RecvWr& wr);
+  [[nodiscard]] Status post_send(Qpn qpn, const SendWr& wr,
+                                 bool ring_doorbell = true);
+  [[nodiscard]] Status post_recv(Qpn qpn, const RecvWr& wr);
   int poll_cq(Cqn cq, int max_entries, Completion* out);
   sim::Future<bool> cq_nonempty(Cqn cq);
   bool cq_overflowed(Cqn cq) const;
@@ -241,6 +254,7 @@ class RnicDevice : public mem::MmioDevice {
     FnId fn = kPf;
     QpInitAttr init;
     QpState state = QpState::kReset;
+    std::uint32_t state_transitions = 0;  // bumped by transition_qp only
     QpAttr attr;  // hardware view of the QPC
     std::deque<SendWr> send_queue;
     std::deque<RecvWr> recv_queue;
@@ -258,6 +272,9 @@ class RnicDevice : public mem::MmioDevice {
 
   Qp* find_qp(Qpn qpn);
   const Qp* find_qp(Qpn qpn) const;
+  // The single legal mutation point for Qp::state (keeps the transition
+  // count honest).
+  void transition_qp(Qp& qp, QpState to);
   CompletionQueue* find_cq(Cqn cq);
   MemoryRegion* find_mr(Key lkey);
 

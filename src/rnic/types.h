@@ -150,7 +150,10 @@ enum QpAttrMask : std::uint32_t {
 };
 
 // Verb-level status. Control verbs either succeed or explain why not.
-enum class Status : std::uint8_t {
+// [[nodiscard]] on the type: any call (including a co_await resume) whose
+// result is a Status must consume it — a silently dropped status is a
+// latent bug, so intentional drops are spelled `(void)` with a reason.
+enum class [[nodiscard]] Status : std::uint8_t {
   kOk,
   kInvalidArgument,
   kNotFound,
@@ -169,7 +172,7 @@ const char* to_string(Status s);
 
 // Verb result: a status plus a value that is only meaningful on kOk.
 template <typename T>
-struct Expected {
+struct [[nodiscard]] Expected {
   Status status = Status::kOk;
   T value{};
 

@@ -79,11 +79,26 @@ void Controller::set_reachable(bool reachable) {
 }
 
 void Controller::push_down(std::uint32_t vni) const {
-  for (const auto& [key, pgid] : table_) {
-    if (key.vni == vni) {
-      for (const auto& [id, fn] : subscribers_) fn(key.vni, key.vgid, pgid);
-    }
+  // The table is an unordered_map, but the push order feeds subscriber-side
+  // cache-insert ordering (and through it the event trace), so the matching
+  // entries are streamed in sorted key order.
+  std::vector<std::pair<net::Gid, net::Gid>> entries;  // vgid -> pgid
+  for (const auto& [key, pgid] :
+       table_) {  // masq-lint: allow(unordered-iter) sorted before fan-out
+    if (key.vni == vni) entries.emplace_back(key.vgid, pgid);
   }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [vgid, pgid] : entries) {
+    for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
+  }
+}
+
+bool Controller::is_virtual_gid(net::Gid vgid) const {
+  for (const auto& [key, pgid] :
+       table_) {  // masq-lint: allow(unordered-iter) pure predicate, no fan-out
+    if (key.vgid == vgid) return true;
+  }
+  return false;
 }
 
 MappingCache::MappingCache(sim::EventLoop& loop, Controller& controller,
@@ -217,6 +232,27 @@ sim::Task<MappingCache::Resolution> MappingCache::resolve_ex(
   inflight_.erase(key);
   leader.set_value(result);
   co_return result;
+}
+
+void MappingCache::for_each_entry(
+    const std::function<void(const VirtKey&, net::Gid, sim::Time)>& fn)
+    const {
+  std::vector<std::pair<VirtKey, Entry>> entries;
+  entries.reserve(cache_.size());
+  for (const auto& [key, e] :
+       cache_) {  // masq-lint: allow(unordered-iter) sorted before streaming
+    entries.emplace_back(key, e);
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.vni, a.first.vgid) <
+           std::tie(b.first.vni, b.first.vgid);
+  });
+  for (const auto& [key, e] : entries) fn(key, e.pgid, e.confirmed_at);
+}
+
+void MappingCache::corrupt_entry_for_test(std::uint32_t vni, net::Gid vgid,
+                                          net::Gid pgid) {
+  cache_[VirtKey{vni, vgid}] = Entry{pgid, loop_.now()};
 }
 
 void MappingCache::insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid) {

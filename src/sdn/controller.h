@@ -119,6 +119,16 @@ class Controller {
   std::uint64_t queries_served() const { return queries_; }
   sim::Time query_rtt() const { return query_rtt_; }
 
+  // Invariant auditing (src/check): true if any tenant currently maps this
+  // GID as *virtual* — a QPC holding such a GID past RTR means RConnrename
+  // failed to rewrite it.
+  bool is_virtual_gid(net::Gid vgid) const;
+  // Broadcasts buffered during an outage and not yet replayed; host caches
+  // may legitimately diverge from the table while this is nonzero.
+  std::size_t pending_broadcast_count() const {
+    return pending_broadcasts_.size();
+  }
+
  private:
   void broadcast_push(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
   void broadcast_invalidate(std::uint32_t vni, net::Gid vgid);
@@ -217,6 +227,22 @@ class MappingCache {
   sim::Time staleness_bound() const { return staleness_bound_; }
   std::size_t size() const { return cache_.size(); }
   std::size_t bytes() const { return cache_.size() * kRecordBytes; }
+  std::size_t negative_size() const { return negative_.size(); }
+  static constexpr std::size_t max_negative_entries() {
+    return kMaxNegativeEntries;
+  }
+
+  // Invariant auditing (src/check): streams every positive entry in sorted
+  // key order — (vni, vgid, pgid, last confirmation time).
+  void for_each_entry(
+      const std::function<void(const VirtKey&, net::Gid, sim::Time)>& fn)
+      const;
+
+  // Test-only corruption hook: plants `pgid` for the key directly, bypassing
+  // the controller-truth maintenance that insert()/on_push() perform. Used
+  // to prove the coherence auditor trips on a wrong mapping.
+  void corrupt_entry_for_test(std::uint32_t vni, net::Gid vgid,
+                              net::Gid pgid);
 
  private:
   // Bound on the negative cache: it is a DoS shield, not a datastore.

@@ -14,9 +14,10 @@ struct EventLoop::RootTask {
   explicit RootTask(Task<void> t) : task(std::move(t)) {}
 };
 
-EventLoop::~EventLoop() {
-  for (RootTask* r : roots_) delete r;
-}
+// Defined after RootTask is complete so ~vector<unique_ptr<RootTask>>
+// instantiates here, not in the header.
+EventLoop::EventLoop() = default;
+EventLoop::~EventLoop() = default;
 
 void EventLoop::schedule_at(Time t, Callback cb) {
   if (t < now_) t = now_;
@@ -37,7 +38,12 @@ void EventLoop::step() {
   assert(ev.t >= now_);
   now_ = ev.t;
   ++executed_;
+  if (trace_enabled_) {
+    mix_trace(static_cast<std::uint64_t>(ev.t));
+    mix_trace(ev.seq);
+  }
   ev.cb();
+  if (audit_hook_ && executed_ % audit_every_ == 0) audit_hook_();
 }
 
 Time EventLoop::run() {
@@ -61,8 +67,8 @@ void EventLoop::run_until(Time deadline) {
 
 void EventLoop::spawn(Task<void> task) {
   if (!task.valid() || task.done()) return;
-  auto* root = new RootTask(std::move(task));
-  roots_.push_back(root);
+  roots_.push_back(std::make_unique<RootTask>(std::move(task)));
+  RootTask* root = roots_.back().get();
   auto handle = std::coroutine_handle<Task<void>::promise_type>::from_address(
       root->task.release().address());
   // Re-wrap the released handle so the RootTask still owns the frame.
@@ -74,7 +80,7 @@ void EventLoop::reap_finished_tasks() {
   std::exception_ptr first_error;
   auto it = roots_.begin();
   while (it != roots_.end()) {
-    RootTask* r = *it;
+    RootTask* r = it->get();
     if (r->task.done()) {
       auto handle =
           std::coroutine_handle<Task<void>::promise_type>::from_address(
@@ -83,7 +89,6 @@ void EventLoop::reap_finished_tasks() {
         first_error = handle.promise().error;
       }
       handle.destroy();
-      delete r;
       it = roots_.erase(it);
     } else {
       ++it;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -22,7 +23,7 @@ class EventLoop {
  public:
   using Callback = std::function<void()>;
 
-  EventLoop() = default;
+  EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
   ~EventLoop();
@@ -49,6 +50,33 @@ class EventLoop {
 
   bool empty() const { return queue_.empty(); }
 
+  // ------------------------------------------------------------------
+  // Invariant auditing (src/check). The hook fires between events, every
+  // `every_n_events` executed events. Cost when unset: one branch per
+  // event. An exception thrown by the hook propagates out of run().
+  // ------------------------------------------------------------------
+  void set_audit_hook(std::uint64_t every_n_events, Callback hook) {
+    audit_every_ = every_n_events == 0 ? 1 : every_n_events;
+    audit_hook_ = std::move(hook);
+  }
+  void clear_audit_hook() { audit_hook_ = nullptr; }
+
+  // ------------------------------------------------------------------
+  // Event-trace hash (determinism auditing). When enabled, every executed
+  // event mixes (time, seq) into an FNV-1a accumulator, and instrumented
+  // components mix in content markers via trace(). Two runs of the same
+  // (config, seed) must produce bit-identical hashes; a divergence means
+  // something fed nondeterministic state (e.g. unordered-container
+  // iteration order) into the event stream. Cost when disabled: one
+  // branch per call.
+  // ------------------------------------------------------------------
+  void enable_trace() { trace_enabled_ = true; }
+  bool trace_enabled() const { return trace_enabled_; }
+  void trace(std::uint64_t v) {
+    if (trace_enabled_) mix_trace(v);
+  }
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
  private:
   struct Event {
     Time t;
@@ -66,13 +94,24 @@ class EventLoop {
   void step();
   void reap_finished_tasks();
 
+  void mix_trace(std::uint64_t v) {
+    // FNV-1a over the 8 value bytes, folded in one multiply per word.
+    trace_hash_ = (trace_hash_ ^ v) * 0x100000001b3ull;
+  }
+
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
 
+  std::uint64_t audit_every_ = 0;
+  Callback audit_hook_;
+
+  bool trace_enabled_ = false;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis
+
   struct RootTask;
-  std::vector<RootTask*> roots_;
+  std::vector<std::unique_ptr<RootTask>> roots_;
 };
 
 }  // namespace sim

@@ -117,7 +117,7 @@ class ControlBatch {
   virtual sim::Task<rnic::Status> commit() = 0;
 
   // Post-commit, per-slot results.
-  virtual rnic::Status status(int slot) const = 0;
+  [[nodiscard]] virtual rnic::Status status(int slot) const = 0;
   virtual std::uint64_t value(int slot) const = 0;  // cqn / qpn
   virtual MrHandle mr(int slot) const = 0;          // reg_mr slots only
   virtual int size() const = 0;
@@ -165,8 +165,10 @@ class Context {
   virtual sim::Task<rnic::Status> dealloc_pd(rnic::PdId pd) = 0;
 
   // --- data path (Fig. 1, second phase) -----------------------------------
-  virtual rnic::Status post_send(rnic::Qpn qpn, const rnic::SendWr& wr) = 0;
-  virtual rnic::Status post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) = 0;
+  [[nodiscard]] virtual rnic::Status post_send(rnic::Qpn qpn,
+                                               const rnic::SendWr& wr) = 0;
+  [[nodiscard]] virtual rnic::Status post_recv(rnic::Qpn qpn,
+                                               const rnic::RecvWr& wr) = 0;
   virtual int poll_cq(rnic::Cqn cq, int max_entries,
                       rnic::Completion* out) = 0;
   virtual sim::Future<bool> cq_nonempty(rnic::Cqn cq) = 0;

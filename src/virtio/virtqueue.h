@@ -72,7 +72,7 @@ class Virtqueue {
       slot_waiters_.push_back(std::move(p));
       co_await f;
     }
-    in_flight_ += weight;
+    acquire_slots(weight);
     co_await kick_transit();
     Resp resp;
     try {
@@ -143,6 +143,18 @@ class Virtqueue {
   std::uint64_t coalesced_interrupts() const { return coalesced_interrupts_; }
   int in_flight() const { return in_flight_; }
 
+  // Ring-accounting introspection (src/check auditor): every descriptor
+  // slot ever acquired/released. The steady-state invariant is
+  // acquired - released == in_flight; at quiescence in_flight == 0 even
+  // across fault-plane drop/dup injections.
+  std::uint64_t slots_acquired() const { return slots_acquired_; }
+  std::uint64_t slots_released() const { return slots_released_; }
+  std::size_t waiting_callers() const { return slot_waiters_.size(); }
+
+  // Test-only corruption hook: books one phantom acquired slot so the ring
+  // accounting no longer balances — used to prove the ring auditor trips.
+  void corrupt_ring_accounting_for_test() { ++slots_acquired_; }
+
  private:
   // Shared between the caller, the transit worker and the deadline timer:
   // whichever settles first wins, the others see `settled` and stand down.
@@ -164,7 +176,7 @@ class Virtqueue {
       slot_waiters_.push_back(std::move(p));
       co_await f;
     }
-    in_flight_ += weight;
+    acquire_slots(weight);
     sim::FaultDecision fault;
     if (transit_faults_) fault = transit_faults_(fault_key);
     try {
@@ -239,8 +251,14 @@ class Virtqueue {
     }
   }
 
+  void acquire_slots(int weight) {
+    in_flight_ += weight;
+    slots_acquired_ += static_cast<std::uint64_t>(weight);
+  }
+
   void release_slots(int weight) {
     in_flight_ -= weight;
+    slots_released_ += static_cast<std::uint64_t>(weight);
     // Wake waiters FIFO; each re-checks the backpressure condition and
     // re-queues if its weight still does not fit (keeps big batches from
     // being starved by a stream of small commands).
@@ -261,6 +279,8 @@ class Virtqueue {
   std::uint64_t interrupts_ = 0;
   std::uint64_t coalesced_kicks_ = 0;
   std::uint64_t coalesced_interrupts_ = 0;
+  std::uint64_t slots_acquired_ = 0;
+  std::uint64_t slots_released_ = 0;
   sim::Time kick_arrival_ = -1;   // when the in-flight kick's batch lands
   sim::Time intr_dispatch_ = -1;  // when the in-flight interrupt dispatches
   std::deque<sim::Promise<bool>> slot_waiters_;

@@ -200,9 +200,11 @@ TEST_F(RnicTest, SqdPausesTransmitUntilResumed) {
   rnic::QpAttr attr;
   attr.state = QpState::kSqd;
   ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
   fill(ea, 0, "drain-test");
-  a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 10, ea.key}});
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 10, ea.key}}),
+      Status::kOk);
   loop_.run();
   EXPECT_TRUE(drain(*b_, eb.rcq).empty());  // nothing sent while drained
   attr.state = QpState::kRts;
@@ -218,8 +220,10 @@ TEST_F(RnicTest, SendRecvMovesRealBytes) {
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
   fill(ea, 0, "hello rdma world");
-  b_->post_recv(eb.qp, RecvWr{7, {eb.va, 64, eb.key}});
-  a_->post_send(ea.qp, SendWr{9, WrOpcode::kSend, {ea.va, 16, ea.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{7, {eb.va, 64, eb.key}}), Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{9, WrOpcode::kSend, {ea.va, 16, ea.key}}),
+      Status::kOk);
   loop_.run();
   auto send_cqes = drain(*a_, ea.scq);
   ASSERT_EQ(send_cqes.size(), 1u);
@@ -240,7 +244,7 @@ TEST_F(RnicTest, RdmaWriteLandsAtRemoteOffsetWithoutRecvWqe) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 9, ea.key}};
   wr.remote_addr = eb.va + 100;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   EXPECT_EQ(peek(eb, 100, 9), "one-sided");
   ASSERT_EQ(drain(*a_, ea.scq).size(), 1u);
@@ -255,7 +259,7 @@ TEST_F(RnicTest, RdmaReadFetchesRemoteBytes) {
   SendWr wr{3, WrOpcode::kRdmaRead, {ea.va + 50, 16, ea.key}};
   wr.remote_addr = eb.va + 200;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   auto cqes = drain(*a_, ea.scq);
   ASSERT_EQ(cqes.size(), 1u);
@@ -268,10 +272,10 @@ TEST_F(RnicTest, UnsignaledSendRaisesNoCqe) {
   auto ea = make_ep(*a_);
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
   SendWr wr{2, WrOpcode::kSend, {ea.va, 8, ea.key}};
   wr.signaled = false;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   EXPECT_TRUE(drain(*a_, ea.scq).empty());
   EXPECT_EQ(drain(*b_, eb.rcq).size(), 1u);
@@ -282,16 +286,16 @@ TEST_F(RnicTest, CompletionsArriveInPostingOrderAcrossSizes) {
   auto eb = make_ep(*b_, rnic::kPf, 64 * 1024);
   connect(*a_, ea, *b_, eb);
   for (int i = 0; i < 6; ++i) {
-    b_->post_recv(eb.qp,
-                  RecvWr{static_cast<std::uint64_t>(i),
-                         {eb.va + 8192u * i, 8192, eb.key}});
+    ASSERT_EQ(
+        b_->post_recv(eb.qp, RecvWr{static_cast<std::uint64_t>(i), {eb.va + 8192u * i, 8192, eb.key}}),
+        Status::kOk);
   }
   // Alternate large and tiny messages; RC must complete them in order.
   const std::uint32_t sizes[] = {8000, 2, 4000, 2, 8000, 2};
   for (int i = 0; i < 6; ++i) {
-    a_->post_send(ea.qp, SendWr{static_cast<std::uint64_t>(100 + i),
-                                WrOpcode::kSend,
-                                {ea.va, sizes[i], ea.key}});
+    ASSERT_EQ(
+        a_->post_send(ea.qp, SendWr{static_cast<std::uint64_t>(100 + i), WrOpcode::kSend, {ea.va, sizes[i], ea.key}}),
+        Status::kOk);
   }
   loop_.run();
   auto send_cqes = drain(*a_, ea.scq);
@@ -341,10 +345,10 @@ TEST_F(RnicTest, MultiPageMrWithDiscontiguousMtt) {
                          10});
   phys_.write(p2, {reinterpret_cast<const std::uint8_t*>(msg.data()) + 10,
                    msg.size() - 10});
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
-  a_->post_send(qp, SendWr{2, WrOpcode::kSend,
-                           {va + off, static_cast<std::uint32_t>(msg.size()),
-                            mr.value.lkey}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(qp, SendWr{2, WrOpcode::kSend, {va + off, static_cast<std::uint32_t>(msg.size()), mr.value.lkey}}),
+      Status::kOk);
   loop_.run();
   EXPECT_EQ(peek(eb, 0, msg.size()), msg);
 }
@@ -355,7 +359,9 @@ TEST_F(RnicTest, RnrWhenNoRecvWqePosted) {
   auto ea = make_ep(*a_);
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
-  a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va, 8, ea.key}});
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va, 8, ea.key}}),
+      Status::kOk);
   loop_.run();
   auto cqes = drain(*a_, ea.scq);
   ASSERT_EQ(cqes.size(), 1u);
@@ -371,7 +377,7 @@ TEST_F(RnicTest, BadRkeyTriggersRemoteAccessNak) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 8, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = 0xdead;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   auto cqes = drain(*a_, ea.scq);
   ASSERT_EQ(cqes.size(), 1u);
@@ -387,7 +393,7 @@ TEST_F(RnicTest, WriteBeyondMrBoundsRejected) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 64, ea.key}};
   wr.remote_addr = eb.va + eb.buf_len - 8;  // 64 bytes won't fit
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   auto cqes = drain(*a_, ea.scq);
   ASSERT_EQ(cqes.size(), 1u);
@@ -401,7 +407,7 @@ TEST_F(RnicTest, WriteWithoutRemoteWriteAccessRejected) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 8, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   ASSERT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kRemAccessErr);
 }
@@ -410,8 +416,9 @@ TEST_F(RnicTest, LocalSgeOutsideMrFailsLocally) {
   auto ea = make_ep(*a_);
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
-  a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend,
-                              {ea.va + ea.buf_len, 8, ea.key}});
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va + ea.buf_len, 8, ea.key}}),
+      Status::kOk);
   loop_.run();
   auto cqes = drain(*a_, ea.scq);
   ASSERT_EQ(cqes.size(), 1u);
@@ -429,8 +436,9 @@ TEST_F(RnicTest, MrFromAnotherPdRejected) {
   auto mr2 = a_->create_mr(rnic::kPf, pd2, 0x7f9000000000ull, 4096,
                            rnic::kLocalWrite, {{hpa, 4096}});
   ASSERT_TRUE(mr2.ok());
-  a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend,
-                              {0x7f9000000000ull, 8, mr2.value.lkey}});
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {0x7f9000000000ull, 8, mr2.value.lkey}}),
+      Status::kOk);
   loop_.run();
   EXPECT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kLocProtErr);
 }
@@ -442,8 +450,9 @@ TEST_F(RnicTest, VfCannotUseAnotherFunctionsMr) {
   auto ea_vf = make_ep(*a_, 1);              // VF1 QP
   auto eb = make_ep(*b_);
   connect(*a_, ea_vf, *b_, eb);
-  a_->post_send(ea_vf.qp, SendWr{1, WrOpcode::kSend,
-                                 {ea_pf.va, 8, ea_pf.key}});
+  ASSERT_EQ(
+      a_->post_send(ea_vf.qp, SendWr{1, WrOpcode::kSend, {ea_pf.va, 8, ea_pf.key}}),
+      Status::kOk);
   loop_.run();
   EXPECT_EQ(drain(*a_, ea_vf.scq)[0].status, WcStatus::kLocProtErr);
 }
@@ -454,15 +463,18 @@ TEST_F(RnicTest, UnroutableVirtualGidTimesOut) {
   auto ea = make_ep(*a_);
   rnic::QpAttr attr;
   attr.state = QpState::kInit;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   attr.state = QpState::kRtr;
   attr.dest_gid = net::Gid::from_ipv4(ip("192.168.1.2"));  // virtual!
   attr.dest_qpn = 42;
-  a_->modify_qp(ea.qp, attr,
-                rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn);
+  ASSERT_EQ(
+      a_->modify_qp(ea.qp, attr, rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn),
+      Status::kOk);
   attr.state = QpState::kRts;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
-  a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va, 8, ea.key}});
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va, 8, ea.key}}),
+      Status::kOk);
   loop_.run();
   auto cqes = drain(*a_, ea.scq);
   ASSERT_EQ(cqes.size(), 1u);
@@ -478,14 +490,15 @@ TEST_F(RnicTest, ModifyToErrorFlushesQueuedWqes) {
   connect(*a_, ea, *b_, eb);
   rnic::QpAttr attr;
   attr.state = QpState::kSqd;  // park the engine so WQEs stay queued
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   for (int i = 0; i < 3; ++i) {
-    a_->post_send(ea.qp, SendWr{static_cast<std::uint64_t>(i),
-                                WrOpcode::kSend, {ea.va, 8, ea.key}});
+    ASSERT_EQ(
+        a_->post_send(ea.qp, SendWr{static_cast<std::uint64_t>(i), WrOpcode::kSend, {ea.va, 8, ea.key}}),
+        Status::kOk);
   }
-  a_->post_recv(ea.qp, RecvWr{77, {ea.va, 64, ea.key}});
+  ASSERT_EQ(a_->post_recv(ea.qp, RecvWr{77, {ea.va, 64, ea.key}}), Status::kOk);
   attr.state = QpState::kError;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   loop_.run();
   auto send_cqes = drain(*a_, ea.scq);
   ASSERT_EQ(send_cqes.size(), 3u);
@@ -504,7 +517,7 @@ TEST_F(RnicTest, PostingInErrorStateAllowedButFlushes) {
   connect(*a_, ea, *b_, eb);
   rnic::QpAttr attr;
   attr.state = QpState::kError;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   EXPECT_EQ(a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend,
                                         {ea.va, 8, ea.key}}),
             Status::kOk);
@@ -520,9 +533,13 @@ TEST_F(RnicTest, ErrorQpDropsIncomingPackets) {
   connect(*a_, ea, *b_, eb);
   rnic::QpAttr attr;
   attr.state = QpState::kError;
-  b_->modify_qp(eb.qp, attr, rnic::kAttrState);
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});  // flushes
-  a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 8, ea.key}});
+  ASSERT_EQ(b_->modify_qp(eb.qp, attr, rnic::kAttrState), Status::kOk);
+  // The post flushes immediately (Table 2) but is itself accepted.
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}),
+            Status::kOk);
+  ASSERT_EQ(a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend,
+                                        {ea.va, 8, ea.key}}),
+            Status::kOk);
   loop_.run();
   EXPECT_GE(b_->counters().dropped_bad_state, 1u);
   // Sender sees retry-exceeded since the responder never acks.
@@ -538,13 +555,13 @@ TEST_F(RnicTest, ErrorKillsInFlightTransfer) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 1 << 20, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   // 1 MiB at 40 Gbps needs ~210 us; kill the QP at 50 us.
   loop_.run_until(50_us);
   EXPECT_GT(net_.active_flows(), 0u);
   rnic::QpAttr attr;
   attr.state = QpState::kError;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   loop_.run();
   EXPECT_EQ(net_.active_flows(), 0u);  // flow cancelled, no data flows
   auto cqes = drain(*a_, ea.scq);
@@ -566,24 +583,27 @@ TEST_F(RnicTest, CqOverflowLatchesFlag) {
   auto qp = a_->create_qp(fn, init).value;
   rnic::QpAttr attr;
   attr.state = QpState::kInit;
-  a_->modify_qp(qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(qp, attr, rnic::kAttrState), Status::kOk);
   attr.state = QpState::kError;  // INIT -> ERROR ok; flush 2 sends into cq(1)
   // Park two sends first: posting in INIT is rejected, so go through RTR.
   attr.state = QpState::kRtr;
   attr.dest_gid = net::Gid::from_ipv4(b_->config().ip);
   attr.dest_qpn = 1;
-  a_->modify_qp(qp, attr,
-                rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn);
+  ASSERT_EQ(
+      a_->modify_qp(qp, attr, rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn),
+      Status::kOk);
   const mem::Addr hpa = phys_.alloc_pages(1);
   auto mr = a_->create_mr(fn, pd, 0x7fa000000000ull, 4096, rnic::kLocalWrite,
                           {{hpa, 4096}});
   // In RTR the send engine is paused, so these stay queued.
-  a_->post_send(qp, SendWr{1, WrOpcode::kSend,
-                           {0x7fa000000000ull, 8, mr.value.lkey}});
-  a_->post_send(qp, SendWr{2, WrOpcode::kSend,
-                           {0x7fa000000000ull, 8, mr.value.lkey}});
+  ASSERT_EQ(
+      a_->post_send(qp, SendWr{1, WrOpcode::kSend, {0x7fa000000000ull, 8, mr.value.lkey}}),
+      Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(qp, SendWr{2, WrOpcode::kSend, {0x7fa000000000ull, 8, mr.value.lkey}}),
+      Status::kOk);
   attr.state = QpState::kError;
-  a_->modify_qp(qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(qp, attr, rnic::kAttrState), Status::kOk);
   loop_.run();
   EXPECT_TRUE(a_->cq_overflowed(tiny));
   Completion c;
@@ -594,9 +614,11 @@ TEST_F(RnicTest, DoorbellMmioKicksQp) {
   auto ea = make_ep(*a_);
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
   fill(ea, 0, "via doorbell");
-  a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 12, ea.key}});
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 12, ea.key}}),
+      Status::kOk);
   // Redundant doorbell through the BAR must be harmless and kick the QP.
   phys_.write_u64(a_->doorbell_bar() + ea.qp * 8, 1);
   loop_.run();
@@ -611,7 +633,7 @@ TEST_F(RnicTest, SendQueueCapacityEnforced) {
   connect(*a_, ea, *b_, eb);
   rnic::QpAttr attr;
   attr.state = QpState::kSqd;  // hold the engine so the queue fills
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(a_->post_send(ea.qp, SendWr{static_cast<std::uint64_t>(i),
                                           WrOpcode::kSend,
@@ -631,7 +653,7 @@ TEST_F(RnicTest, DestroyQpWithInflightTrafficIsSafe) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 1 << 20, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run_until(50_us);
   EXPECT_EQ(a_->destroy_qp(ea.qp), Status::kOk);
   loop_.run();  // must not crash or leak flows
@@ -649,7 +671,7 @@ TEST_F(RnicTest, VfRateLimiterCapsThroughput) {
   SendWr wr{1, WrOpcode::kRdmaWrite, {ea.va, 1 << 20, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   // 1 MiB (+ header overhead) at 10 Gbps = ~876 us; at 40 Gbps it would be
   // ~219 us. Assert we're in the limited regime.
   loop_.run_until(800_us);
@@ -677,30 +699,36 @@ TEST_F(RnicTest, UdSendDeliversWithMatchingQkey) {
   rnic::QpAttr attr;
   attr.state = QpState::kInit;
   attr.qkey = 0x1111;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState | rnic::kAttrQkey);
-  b_->modify_qp(eb.qp, attr, rnic::kAttrState | rnic::kAttrQkey);
+  ASSERT_EQ(
+      a_->modify_qp(ea.qp, attr, rnic::kAttrState | rnic::kAttrQkey),
+      Status::kOk);
+  ASSERT_EQ(
+      b_->modify_qp(eb.qp, attr, rnic::kAttrState | rnic::kAttrQkey),
+      Status::kOk);
   attr.state = QpState::kRtr;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
-  b_->modify_qp(eb.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
+  ASSERT_EQ(b_->modify_qp(eb.qp, attr, rnic::kAttrState), Status::kOk);
   attr.state = QpState::kRts;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
-  b_->modify_qp(eb.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
+  ASSERT_EQ(b_->modify_qp(eb.qp, attr, rnic::kAttrState), Status::kOk);
 
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
   fill(ea, 0, "datagram");
   SendWr wr{2, WrOpcode::kSend, {ea.va, 8, ea.key}};
   wr.ud = {net::Gid::from_ipv4(b_->config().ip), eb.qp, 0x1111};
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   EXPECT_EQ(peek(eb, 0, 8), "datagram");
   EXPECT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kSuccess);
 
   // Wrong Q-Key: silently dropped, but the (unreliable) sender still
   // completes successfully.
-  b_->post_recv(eb.qp, RecvWr{3, {eb.va + 100, 64, eb.key}});
+  ASSERT_EQ(
+      b_->post_recv(eb.qp, RecvWr{3, {eb.va + 100, 64, eb.key}}),
+      Status::kOk);
   wr.wr_id = 4;
   wr.ud.qkey = 0x2222;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   EXPECT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kSuccess);
   EXPECT_TRUE(drain(*b_, eb.rcq).size() == 1u);  // only the first landed
@@ -711,12 +739,14 @@ TEST_F(RnicTest, WriteWithImmediateDeliversDataAndImm) {
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
   fill(ea, 0, "imm payload");
-  b_->post_recv(eb.qp, RecvWr{42, {eb.va + 8192, 64, eb.key}});
+  ASSERT_EQ(
+      b_->post_recv(eb.qp, RecvWr{42, {eb.va + 8192, 64, eb.key}}),
+      Status::kOk);
   SendWr wr{7, WrOpcode::kRdmaWriteImm, {ea.va, 11, ea.key}};
   wr.remote_addr = eb.va + 256;
   wr.rkey = eb.key;
   wr.imm = 0xCAFEBABE;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   // Data landed at the rkey-addressed location...
   EXPECT_EQ(peek(eb, 256, 11), "imm payload");
@@ -740,7 +770,7 @@ TEST_F(RnicTest, WriteWithImmediateNeedsRecvWqe) {
   SendWr wr{1, WrOpcode::kRdmaWriteImm, {ea.va, 8, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = eb.key;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   // No recv WQE posted: RNR, like a send.
   EXPECT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kRnrRetryExc);
@@ -751,11 +781,11 @@ TEST_F(RnicTest, WriteWithImmediateChecksRkeyLikePlainWrite) {
   auto ea = make_ep(*a_);
   auto eb = make_ep(*b_);
   connect(*a_, ea, *b_, eb);
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
   SendWr wr{2, WrOpcode::kRdmaWriteImm, {ea.va, 8, ea.key}};
   wr.remote_addr = eb.va;
   wr.rkey = 0xbad;
-  a_->post_send(ea.qp, wr);
+  ASSERT_EQ(a_->post_send(ea.qp, wr), Status::kOk);
   loop_.run();
   EXPECT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kRemAccessErr);
 }
@@ -778,30 +808,38 @@ TEST_F(RnicTest, VxlanOffloadDeliversBetweenTenantVfs) {
   auto eb = make_ep(*b_, 1);
   rnic::QpAttr attr;
   attr.state = QpState::kInit;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
-  b_->modify_qp(eb.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
+  ASSERT_EQ(b_->modify_qp(eb.qp, attr, rnic::kAttrState), Status::kOk);
   attr.state = QpState::kRtr;
   attr.dest_gid = net::Gid::from_ipv4(ip("192.168.1.2"));  // virtual peer
   attr.dest_qpn = eb.qp;
-  a_->modify_qp(ea.qp, attr,
-                rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn);
+  ASSERT_EQ(
+      a_->modify_qp(ea.qp, attr, rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn),
+      Status::kOk);
   attr.dest_gid = net::Gid::from_ipv4(ip("192.168.1.1"));
   attr.dest_qpn = ea.qp;
-  b_->modify_qp(eb.qp, attr,
-                rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn);
+  ASSERT_EQ(
+      b_->modify_qp(eb.qp, attr, rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn),
+      Status::kOk);
   attr.state = QpState::kRts;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
-  b_->modify_qp(eb.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
+  ASSERT_EQ(b_->modify_qp(eb.qp, attr, rnic::kAttrState), Status::kOk);
 
   fill(ea, 0, "tunneled");
-  b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}});
-  a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 8, ea.key}});
+  ASSERT_EQ(b_->post_recv(eb.qp, RecvWr{1, {eb.va, 64, eb.key}}), Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{2, WrOpcode::kSend, {ea.va, 8, ea.key}}),
+      Status::kOk);
   loop_.run();
   EXPECT_EQ(peek(eb, 0, 8), "tunneled");
   EXPECT_EQ(a_->tunnel_cache_misses(), 1u);  // cold cache
   // Second message hits the cache.
-  b_->post_recv(eb.qp, RecvWr{3, {eb.va + 64, 64, eb.key}});
-  a_->post_send(ea.qp, SendWr{4, WrOpcode::kSend, {ea.va, 8, ea.key}});
+  ASSERT_EQ(
+      b_->post_recv(eb.qp, RecvWr{3, {eb.va + 64, 64, eb.key}}),
+      Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{4, WrOpcode::kSend, {ea.va, 8, ea.key}}),
+      Status::kOk);
   loop_.run();
   EXPECT_EQ(a_->tunnel_cache_misses(), 1u);
   EXPECT_EQ(a_->tunnel_cache_hits(), 1u);
@@ -813,15 +851,18 @@ TEST_F(RnicTest, MissingTunnelEntryFailsTheSend) {
   auto ea = make_ep(*a_, 1);
   rnic::QpAttr attr;
   attr.state = QpState::kInit;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
   attr.state = QpState::kRtr;
   attr.dest_gid = net::Gid::from_ipv4(ip("192.168.1.9"));  // unknown peer
   attr.dest_qpn = 5;
-  a_->modify_qp(ea.qp, attr,
-                rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn);
+  ASSERT_EQ(
+      a_->modify_qp(ea.qp, attr, rnic::kAttrState | rnic::kAttrDestGid | rnic::kAttrDestQpn),
+      Status::kOk);
   attr.state = QpState::kRts;
-  a_->modify_qp(ea.qp, attr, rnic::kAttrState);
-  a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va, 8, ea.key}});
+  ASSERT_EQ(a_->modify_qp(ea.qp, attr, rnic::kAttrState), Status::kOk);
+  ASSERT_EQ(
+      a_->post_send(ea.qp, SendWr{1, WrOpcode::kSend, {ea.va, 8, ea.key}}),
+      Status::kOk);
   loop_.run();
   EXPECT_EQ(drain(*a_, ea.scq)[0].status, WcStatus::kTransportRetryExc);
 }

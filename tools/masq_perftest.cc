@@ -13,6 +13,10 @@
 //     --faults <file>              fault-injection knob file (MasQ only);
 //                                  see tools/chaos.knobs for the format
 //     --fault-seed <n>             fault plane RNG seed (default: 1)
+//     --check                      run the invariant auditors (src/check)
+//                                  during the measurement; reports audit
+//                                  counts so the overhead is visible
+//     --check-every <n>            audit every n events (default: 512)
 //     -h, --help
 //
 // Examples:
@@ -36,7 +40,8 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [-t lat|bw] [-o send|write] [-c host|sriov|freeflow|masq]\n"
       "          [-s bytes] [-n iters] [-q qps] [-r gbps] [--pf]\n"
-      "          [--faults <knob-file>] [--fault-seed <n>]\n",
+      "          [--faults <knob-file>] [--fault-seed <n>]\n"
+      "          [--check] [--check-every <n>]\n",
       argv0);
 }
 
@@ -62,6 +67,8 @@ int main(int argc, char** argv) {
   bool use_pf = false;
   std::string faults_file;
   std::uint64_t fault_seed = 1;
+  bool check = false;
+  std::uint64_t check_every = 512;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -98,6 +105,11 @@ int main(int argc, char** argv) {
       faults_file = next();
     } else if (a == "--fault-seed") {
       fault_seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--check") {
+      check = true;
+    } else if (a == "--check-every") {
+      check = true;
+      check_every = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage(argv[0]);
@@ -131,6 +143,10 @@ int main(int argc, char** argv) {
     }
     cfg.fault_seed = fault_seed;
   }
+  if (check) {
+    cfg.check_invariants = true;  // also honors MASQ_CHECK=1 without --check
+    cfg.check_audit_every = check_every == 0 ? 1 : check_every;
+  }
   fabric::Testbed bed(loop, cfg);
   bed.add_instances(2);
   if (rate > 0) {
@@ -147,6 +163,10 @@ int main(int argc, char** argv) {
   if (qps > 1) std::printf(" qps=%d", qps);
   if (rate > 0) std::printf(" rate=%.1fGbps", rate);
   if (use_pf) std::printf(" pf");
+  if (bed.checks() != nullptr) {
+    std::printf(" check=every-%llu-events",
+                static_cast<unsigned long long>(cfg.check_audit_every));
+  }
   if (bed.faults() != nullptr) {
     std::printf(" faults=%s seed=%llu", faults_file.c_str(),
                 static_cast<unsigned long long>(fault_seed));
@@ -204,6 +224,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(bed.faults()->faults_fired()),
                 faults_file.c_str(),
                 static_cast<unsigned long long>(fault_seed));
+  }
+  if (bed.checks() != nullptr) {
+    // Audit-overhead accounting: each audit ran every registered auditor
+    // once; events is the denominator for the per-event audit rate.
+    const check::InvariantRegistry& c = *bed.checks();
+    std::printf(
+        "# checks: audits=%llu auditor-calls=%llu violations=%zu "
+        "events=%llu\n",
+        static_cast<unsigned long long>(c.audits_run()),
+        static_cast<unsigned long long>(c.checks_run()),
+        c.violations().size(),
+        static_cast<unsigned long long>(loop.events_executed()));
   }
   return 0;
 }
