@@ -189,28 +189,32 @@ void register_cache_auditor(InvariantRegistry& registry,
              << sdn::MappingCache::max_negative_entries();
           r.fail(os.str());
         }
-        // Entry-by-entry truth check only when divergence is illegitimate:
-        // the controller is up and has no buffered broadcasts in flight.
-        if (!controller.reachable() ||
-            controller.pending_broadcast_count() != 0) {
-          return;
-        }
+        // Entry-by-entry truth check, scoped per shard: an entry may
+        // legitimately diverge only while *its* shard is unreachable or
+        // still has buffered broadcasts to replay — an outage of shard 3
+        // is no excuse for a wrong mapping on shard 0. (Pre-sharding this
+        // check bailed globally on any outage.)
         cache.for_each_entry([&](const sdn::VirtKey& key, net::Gid pgid,
                                  sim::Time /*confirmed_at*/) {
+          const std::size_t shard = controller.shard_of(key.vni, key.vgid);
+          if (!controller.shard_reachable(shard) ||
+              controller.shard_pending_broadcasts(shard) != 0) {
+            return;
+          }
           const std::optional<net::Gid> truth =
               controller.lookup(key.vni, key.vgid);
           if (!truth.has_value()) {
             std::ostringstream os;
             os << "cache serves (vni=" << key.vni << ", vgid="
-               << key.vgid.str()
-               << ") but the controller has no such mapping (missed "
+               << key.vgid.str() << ") on shard " << shard
+               << " but the controller has no such mapping (missed "
                << "invalidation?)";
             r.fail(os.str());
           } else if (*truth != pgid) {
             std::ostringstream os;
             os << "cache maps (vni=" << key.vni << ", vgid=" << key.vgid.str()
-               << ") to " << pgid.str() << " but controller truth is "
-               << truth->str();
+               << ") on shard " << shard << " to " << pgid.str()
+               << " but controller truth is " << truth->str();
             r.fail(os.str());
           }
         });

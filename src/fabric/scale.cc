@@ -1,0 +1,285 @@
+#include "fabric/scale.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "net/addr.h"
+#include "sdn/controller.h"
+#include "sdn/host_agent.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+
+namespace fabric {
+
+namespace {
+
+// The whole storm lives in one Driver so the coroutines below can take a
+// raw pointer (the codebase's detached-coroutine idiom); the Driver
+// outlives the loop it drives.
+struct Driver {
+  const ScaleConfig& cfg;
+  sim::EventLoop loop;
+  sdn::Controller controller;
+  std::vector<std::unique_ptr<sdn::HostAgent>> agents;  // one per host
+  // Per-VM vGID generation: bumped by each vBond IP change; the current
+  // vGID of VM g is gid_of(g, gen[g]).
+  std::vector<std::uint32_t> gen;
+  sim::Stats setup_us;  // completed (ok/degraded) setups only
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t attempted = 0;
+
+  explicit Driver(const ScaleConfig& c)
+      : cfg(c),
+        controller(loop,
+                   sdn::ControllerConfig{
+                       .query_rtt = c.query_rtt,
+                       .num_shards = c.shards,
+                       .query_service = c.query_service,
+                   }),
+        gen(c.hosts * c.vms_per_host, 0) {
+    for (std::size_t h = 0; h < c.hosts; ++h) {
+      agents.push_back(std::make_unique<sdn::HostAgent>(
+          loop, controller,
+          sdn::HostAgentConfig{
+              .cache_hit_cost = c.cache_hit_cost,
+              .cache_staleness_bound = c.staleness_bound,
+              .batch_window = c.batch_window,
+              .max_batch = c.max_batch,
+          }));
+    }
+  }
+
+  std::size_t total_vms() const { return cfg.hosts * cfg.vms_per_host; }
+  std::size_t host_of(std::size_t vm) const { return vm / cfg.vms_per_host; }
+  std::size_t tenant_of(std::size_t vm) const { return vm % cfg.tenants; }
+  std::uint32_t vni_of(std::size_t vm) const {
+    return 100 + static_cast<std::uint32_t>(tenant_of(vm));
+  }
+  // vGID value space: low 14 bits the VM id, upper bits the generation —
+  // an IP change mints a vGID never seen before.
+  net::Gid gid_of(std::size_t vm, std::uint32_t generation) const {
+    return net::Gid::from_ipv4(net::Ipv4Addr{
+        static_cast<std::uint32_t>(vm) | (generation << 14)});
+  }
+  net::Gid pgid_of_host(std::size_t h) const {
+    return net::Gid::from_ipv4(net::Ipv4Addr{
+        0x0A000000u + static_cast<std::uint32_t>(h) + 1});
+  }
+
+  void register_vm(std::size_t vm) {
+    controller.register_vgid(vni_of(vm), gid_of(vm, gen[vm]),
+                             pgid_of_host(host_of(vm)));
+  }
+
+  // One connection attempt from `src` to whatever vGID `dst` holds when
+  // the attempt starts (a churned peer between scheduling and start is
+  // resolved under its *new* identity — exactly what a retrying
+  // application would see).
+  static sim::Task<void> connect(Driver* d, std::size_t src, std::size_t dst,
+                                 sim::Time start) {
+    co_await sim::delay(d->loop, start);
+    ++d->attempted;
+    const sim::Time t0 = d->loop.now();
+    const net::Gid peer = d->gid_of(dst, d->gen[dst]);
+    const auto res = co_await d->agents[d->host_of(src)]->resolve_ex(
+        d->vni_of(dst), peer);
+    switch (res.status) {
+      case sdn::MappingCache::ResolveStatus::kOk:
+      case sdn::MappingCache::ResolveStatus::kOkDegraded:
+        res.status == sdn::MappingCache::ResolveStatus::kOk ? ++d->ok
+                                                            : ++d->degraded;
+        // The rest of the setup ladder (Fig. 15 minus the resolve).
+        co_await sim::delay(d->loop, d->cfg.ladder_cost);
+        d->setup_us.add(sim::to_us(d->loop.now() - t0));
+        break;
+      case sdn::MappingCache::ResolveStatus::kNotFound:
+        ++d->not_found;
+        break;
+      case sdn::MappingCache::ResolveStatus::kUnavailable:
+        ++d->unavailable;
+        break;
+    }
+  }
+
+  // vBond IP change: the VM drops its vGID and registers a fresh one. The
+  // unregister broadcasts an invalidation into every host cache; the
+  // register pushes the new binding.
+  static sim::Task<void> ip_change(Driver* d, std::size_t vm,
+                                   sim::Time when) {
+    co_await sim::delay(d->loop, when);
+    d->controller.unregister_vgid(d->vni_of(vm), d->gid_of(vm, d->gen[vm]));
+    ++d->gen[vm];
+    d->register_vm(vm);
+  }
+
+  static sim::Task<void> shard_down(Driver* d, std::size_t shard,
+                                    sim::Time from, sim::Time until) {
+    co_await sim::delay(d->loop, from);
+    d->controller.set_shard_reachable(shard, false);
+    co_await sim::delay(d->loop, until - from);
+    d->controller.set_shard_reachable(shard, true);
+  }
+};
+
+}  // namespace
+
+ScaleReport run_scale_storm(const ScaleConfig& cfg) {
+  Driver d(cfg);
+  const std::size_t vms = d.total_vms();
+  for (std::size_t vm = 0; vm < vms; ++vm) d.register_vm(vm);
+
+  // The whole schedule — peers, jitters, churn times — is drawn up front
+  // from one seeded stream, in one deterministic order; nothing consumes
+  // randomness while the loop runs, so the event stream cannot depend on
+  // interleaving.
+  sim::Rng rng(cfg.seed);
+  const sim::Time horizon =
+      static_cast<sim::Time>(cfg.waves) * cfg.wave_gap + cfg.spread;
+  auto same_tenant_peer = [&](std::size_t vm) {
+    // Peers are same-tenant by construction: tenant t owns VMs
+    // {t, t + T, t + 2T, ...}. Draw until the peer isn't the VM itself
+    // (a tenant with one VM connects to itself; fine for the cache).
+    const std::size_t tenant_pop = vms / cfg.tenants;
+    std::size_t peer = vm;
+    if (tenant_pop > 1) {
+      do {
+        peer = d.tenant_of(vm) +
+               cfg.tenants * rng.next_below(tenant_pop);
+      } while (peer == vm);
+    }
+    return peer;
+  };
+  for (std::size_t w = 0; w < cfg.waves; ++w) {
+    const sim::Time wave_start = static_cast<sim::Time>(w) * cfg.wave_gap;
+    for (std::size_t vm = 0; vm < vms; ++vm) {
+      for (std::size_t c = 0; c < cfg.conns_per_vm; ++c) {
+        const sim::Time start =
+            wave_start +
+            static_cast<sim::Time>(rng.next_below(
+                static_cast<std::uint64_t>(cfg.spread) + 1));
+        d.loop.spawn(Driver::connect(&d, vm, same_tenant_peer(vm), start));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cfg.ip_changes; ++i) {
+    const std::size_t vm = rng.next_below(vms);
+    const sim::Time when = static_cast<sim::Time>(
+        rng.next_below(static_cast<std::uint64_t>(horizon)));
+    d.loop.spawn(Driver::ip_change(&d, vm, when));
+  }
+  // A security-rule reset makes every VM of one tenant re-validate a peer
+  // connection: a surge of resolves against warm caches.
+  for (std::size_t i = 0; i < cfg.rule_resets; ++i) {
+    const std::size_t tenant = rng.next_below(cfg.tenants);
+    const sim::Time when = static_cast<sim::Time>(
+        rng.next_below(static_cast<std::uint64_t>(horizon)));
+    for (std::size_t vm = tenant; vm < vms; vm += cfg.tenants) {
+      d.loop.spawn(Driver::connect(&d, vm, same_tenant_peer(vm), when));
+    }
+  }
+  if (cfg.down_shard >= 0) {
+    d.loop.spawn(Driver::shard_down(
+        &d, static_cast<std::size_t>(cfg.down_shard) % cfg.shards,
+        cfg.down_from, cfg.down_until));
+  }
+
+  d.loop.run();
+
+  ScaleReport r;
+  r.tenants = cfg.tenants;
+  r.hosts = cfg.hosts;
+  r.vms = vms;
+  r.shards = cfg.shards;
+  r.seed = cfg.seed;
+  r.attempted = d.attempted;
+  r.ok = d.ok;
+  r.degraded = d.degraded;
+  r.unavailable = d.unavailable;
+  r.not_found = d.not_found;
+  if (!d.setup_us.empty()) {
+    r.p50_us = d.setup_us.percentile(50.0);
+    r.p99_us = d.setup_us.percentile(99.0);
+    r.max_us = d.setup_us.max();
+  }
+  r.elapsed_ms = sim::to_ms(d.loop.now());
+  if (r.elapsed_ms > 0) {
+    r.kconn_per_s = static_cast<double>(d.ok + d.degraded) / r.elapsed_ms;
+  }
+  for (const auto& agent : d.agents) {
+    const sdn::MappingCache& c = agent->cache();
+    r.cache_hits += c.hits();
+    r.cache_misses += c.misses();
+    r.coalesced += c.single_flight_coalesced();
+    r.agent_batches += agent->batches();
+    r.agent_batched_keys += agent->batched_keys();
+  }
+  const std::uint64_t lookups = r.cache_hits + r.cache_misses + r.coalesced;
+  if (lookups > 0) {
+    r.hit_rate = static_cast<double>(r.cache_hits) /
+                 static_cast<double>(lookups);
+  }
+  r.per_shard.resize(cfg.shards);
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    ShardReport& sr = r.per_shard[s];
+    sr.queries = d.controller.shard_queries(s);
+    sr.batched_queries = d.controller.shard_batched_queries(s);
+    sr.unreachable = d.controller.shard_unreachable_queries(s);
+    sr.max_queue_depth = d.controller.shard_max_queue_depth(s);
+    sr.table_size = d.controller.shard_table_size(s);
+    for (const auto& agent : d.agents) {
+      sr.degraded_serves += agent->cache().degraded_serves(s);
+    }
+  }
+  return r;
+}
+
+std::string ScaleReport::json() const {
+  std::string out;
+  char buf[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+  auto u64 = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  emit("{\n");
+  emit("  \"workload\": {\"tenants\": %zu, \"hosts\": %zu, \"vms\": %zu, "
+       "\"shards\": %zu, \"seed\": %llu},\n",
+       tenants, hosts, vms, shards, u64(seed));
+  emit("  \"connections\": {\"attempted\": %llu, \"ok\": %llu, "
+       "\"degraded\": %llu, \"unavailable\": %llu, \"not_found\": %llu},\n",
+       u64(attempted), u64(ok), u64(degraded), u64(unavailable),
+       u64(not_found));
+  emit("  \"setup_latency_us\": {\"p50\": %.3f, \"p99\": %.3f, "
+       "\"max\": %.3f},\n",
+       p50_us, p99_us, max_us);
+  emit("  \"throughput\": {\"elapsed_ms\": %.3f, \"kconn_per_s\": %.3f},\n",
+       elapsed_ms, kconn_per_s);
+  emit("  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+       "\"coalesced\": %llu, \"hit_rate\": %.4f, \"agent_batches\": %llu, "
+       "\"agent_batched_keys\": %llu},\n",
+       u64(cache_hits), u64(cache_misses), u64(coalesced), hit_rate,
+       u64(agent_batches), u64(agent_batched_keys));
+  emit("  \"per_shard\": [\n");
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    const ShardReport& sr = per_shard[s];
+    emit("    {\"shard\": %zu, \"queries\": %llu, \"batched\": %llu, "
+         "\"unreachable\": %llu, \"max_queue_depth\": %zu, "
+         "\"degraded_serves\": %llu, \"table_size\": %zu}%s\n",
+         s, u64(sr.queries), u64(sr.batched_queries), u64(sr.unreachable),
+         sr.max_queue_depth, u64(sr.degraded_serves), sr.table_size,
+         s + 1 < per_shard.size() ? "," : "");
+  }
+  emit("  ]\n");
+  emit("}\n");
+  return out;
+}
+
+}  // namespace fabric

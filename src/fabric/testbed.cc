@@ -22,7 +22,12 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
       config_(std::move(config)),
       fluid_(loop),
       vnet_(loop, config_.cal.oob_oneway),
-      controller_(loop, config_.cal.controller_rtt) {
+      controller_(loop,
+                  sdn::ControllerConfig{
+                      .query_rtt = config_.cal.controller_rtt,
+                      .num_shards = config_.sdn_shards,
+                      .query_service = config_.sdn_query_service,
+                  }) {
   if (config_.faults.any()) {
     fault_plane_ = std::make_unique<sim::FaultPlane>(loop_, config_.faults,
                                                      config_.fault_seed);
@@ -60,6 +65,7 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
       bc.mapping_cache_hit = config_.cal.mapping_cache_hit;
       bc.retry = config_.retry;
       bc.cache_staleness_bound = config_.cache_staleness_bound;
+      bc.resolve_batch_window = config_.sdn_resolve_batch_window;
       bc.faults = fault_plane_.get();
       backends_.push_back(std::make_unique<masq::Backend>(
           loop_, dev, controller_, vnet_, bc));

@@ -62,6 +62,14 @@ struct TestbedConfig {
   // every MasQ backend/frontend pair.
   masq::RetryPolicy retry;
   sim::Time cache_staleness_bound = sim::seconds(5);
+  // SDN control-plane sharding (DESIGN.md §12). Defaults model the flat
+  // pre-sharding controller exactly: one shard, infinitely fast query
+  // service, pass-through host agents.
+  std::size_t sdn_shards = 1;
+  // Per-key occupancy at each shard's FIFO query service (0 = pure RTT).
+  sim::Time sdn_query_service = 0;
+  // Host-agent resolve batching window (0 = pass-through).
+  sim::Time sdn_resolve_batch_window = 0;
   // Runtime invariant auditing (src/check). Defaults to the MASQ_CHECK
   // environment switch, so `MASQ_CHECK=1 ctest` audits every testbed-based
   // test without code changes. When on, the MasQ candidate registers the

@@ -10,8 +10,13 @@ Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
       controller_(controller),
       vnet_(vnet),
       config_(std::move(config)),
-      cache_(loop, controller, config_.mapping_cache_hit,
-             sim::milliseconds(1), config_.cache_staleness_bound),
+      agent_(loop, controller,
+             sdn::HostAgentConfig{
+                 .cache_hit_cost = config_.mapping_cache_hit,
+                 .negative_ttl = sim::milliseconds(1),
+                 .cache_staleness_bound = config_.cache_staleness_bound,
+                 .batch_window = config_.resolve_batch_window,
+             }),
       conntrack_(loop, vnet, config_.conntrack_costs) {
   // §3.3.1: "the controller can be configured to push down the mappings in
   // advance" — keep the host-local cache coherent with every (re)binding,
@@ -20,12 +25,13 @@ Backend::Backend(sim::EventLoop& loop, rnic::RnicDevice& device,
   // controller's invalidate channel itself.)
   push_sub_ = controller_.subscribe(
       [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
-        cache_.insert(vni, vgid, pgid);
+        agent_.cache().insert(vni, vgid, pgid);
       });
   if (config_.faults != nullptr) {
-    cache_.set_fault_probe([f = config_.faults](std::uint64_t key_hash) {
-      return f->expire_cache_entry(key_hash);
-    });
+    agent_.cache().set_fault_probe(
+        [f = config_.faults](std::uint64_t key_hash) {
+          return f->expire_cache_entry(key_hash);
+        });
   }
   // Table 2: a QP entering ERROR carries no connection any more. Purge its
   // RConntrack entries whatever forced the transition — a rule-update
@@ -60,7 +66,7 @@ Backend::~Backend() {
   // Run before member destruction: ~Session → ~VBond → unregister_vgid
   // broadcasts invalidations, and sibling backends already destroyed must
   // not be reachable through the controller's subscriber lists (and this
-  // backend must drop out before its own cache_ dies). Likewise the device
+  // backend must drop out before its own agent_ dies). Likewise the device
   // must not call a hook into a dead backend, and loop callbacks already
   // queued by the hook must see the liveness flag down.
   liveness_.reset();

@@ -27,6 +27,7 @@
 #include "overlay/oob.h"
 #include "rnic/device.h"
 #include "sdn/controller.h"
+#include "sdn/host_agent.h"
 #include "sim/event_loop.h"
 #include "verbs/api.h"
 #include "verbs/kernel_driver.h"
@@ -52,6 +53,11 @@ struct BackendConfig {
   // Degraded SDN mode: how stale a cached mapping may be and still be
   // served while the controller is unreachable.
   sim::Time cache_staleness_bound = sim::seconds(5);
+  // Host-agent resolve batching (DESIGN.md §12): how long a leader miss
+  // waits for same-shard company before the agent flushes the lane as one
+  // Controller::query_batch. 0 = pass-through (the calibrated default:
+  // every miss pays its own controller RTT, exactly the pre-agent trace).
+  sim::Time resolve_batch_window = 0;
   // Fault plane, or null for a fault-free run. Not owned; must outlive
   // the backend. Wired through to the mapping cache's expiry probe and
   // the per-command failure site.
@@ -157,7 +163,10 @@ class Backend {
   sim::EventLoop& loop() { return loop_; }
   rnic::RnicDevice& device() { return device_; }
   sdn::Controller& controller() { return controller_; }
-  sdn::MappingCache& mapping_cache() { return cache_; }
+  // The host's SDN tier: the agent owns the mapping cache and (when a
+  // batch window is configured) batches its leader misses per shard.
+  sdn::HostAgent& host_agent() { return agent_; }
+  sdn::MappingCache& mapping_cache() { return agent_.cache(); }
   RConntrack& conntrack() { return conntrack_; }
   const BackendConfig& config() const { return config_; }
   sim::FaultPlane* faults() { return config_.faults; }
@@ -177,7 +186,7 @@ class Backend {
   sdn::Controller& controller_;
   overlay::VirtualNetwork& vnet_;
   BackendConfig config_;
-  sdn::MappingCache cache_;
+  sdn::HostAgent agent_;
   sdn::Controller::SubId push_sub_ = 0;
   rnic::RnicDevice::QpErrorHookId qp_error_sub_ = 0;
   // Keeps loop callbacks deferred by the qp-error hook from touching a

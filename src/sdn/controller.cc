@@ -1,25 +1,41 @@
 #include "sdn/controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sdn {
 
+Controller::Controller(sim::EventLoop& loop, ControllerConfig config)
+    : loop_(loop), config_(config) {
+  if (config_.num_shards == 0) {
+    throw std::invalid_argument("Controller: num_shards must be >= 1");
+  }
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(loop_));
+  }
+}
+
 void Controller::broadcast_push(std::uint32_t vni, net::Gid vgid,
                                 net::Gid pgid) {
-  if (!reachable_) {
-    pending_broadcasts_.push_back([this, vni, vgid, pgid] {
-      for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
-    });
+  const std::size_t shard = shard_of(vni, vgid);
+  if (!shards_[shard]->reachable) {
+    pending_broadcasts_.push_back(
+        {shard, [this, vni, vgid, pgid] {
+           for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
+         }});
     return;
   }
   for (const auto& [id, fn] : subscribers_) fn(vni, vgid, pgid);
 }
 
 void Controller::broadcast_invalidate(std::uint32_t vni, net::Gid vgid) {
-  if (!reachable_) {
-    pending_broadcasts_.push_back([this, vni, vgid] {
-      for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
-    });
+  const std::size_t shard = shard_of(vni, vgid);
+  if (!shards_[shard]->reachable) {
+    pending_broadcasts_.push_back(
+        {shard, [this, vni, vgid] {
+           for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
+         }});
     return;
   }
   for (const auto& [id, fn] : invalidate_subscribers_) fn(vni, vgid);
@@ -27,7 +43,7 @@ void Controller::broadcast_invalidate(std::uint32_t vni, net::Gid vgid) {
 
 void Controller::register_vgid(std::uint32_t vni, net::Gid vgid,
                                net::Gid pgid) {
-  table_[VirtKey{vni, vgid}] = pgid;
+  shard_for(vni, vgid).table[VirtKey{vni, vgid}] = pgid;
   broadcast_push(vni, vgid, pgid);
 }
 
@@ -35,15 +51,16 @@ void Controller::unregister_vgid(std::uint32_t vni, net::Gid vgid) {
   // Only broadcast if this call actually removed a live entry; a released
   // vBond whose successor already re-registered must not clobber the
   // successor's mapping in downstream caches.
-  if (table_.erase(VirtKey{vni, vgid}) > 0) {
+  if (shard_for(vni, vgid).table.erase(VirtKey{vni, vgid}) > 0) {
     broadcast_invalidate(vni, vgid);
   }
 }
 
 std::optional<net::Gid> Controller::lookup(std::uint32_t vni,
                                            net::Gid vgid) const {
-  auto it = table_.find(VirtKey{vni, vgid});
-  if (it == table_.end()) return std::nullopt;
+  const auto& table = shards_[shard_of(vni, vgid)]->table;
+  auto it = table.find(VirtKey{vni, vgid});
+  if (it == table.end()) return std::nullopt;
   return it->second;
 }
 
@@ -53,39 +70,135 @@ sim::Task<std::optional<net::Gid>> Controller::query(std::uint32_t vni,
   co_return r.pgid;
 }
 
+sim::Task<void> Controller::charge_query_path(Shard& s, std::size_t keys) {
+  // Zero service budget models an infinitely fast query server: skip the
+  // queue entirely so the default configuration reproduces the
+  // pre-sharding cost model (and its event trace) exactly.
+  if (config_.query_service > 0 && keys > 0) {
+    s.max_queue_depth = std::max(s.max_queue_depth, s.queue.depth() + 1);
+    co_await s.queue.submit(config_.query_service *
+                            static_cast<sim::Time>(keys));
+  }
+  co_await sim::delay(loop_, config_.query_rtt);
+}
+
 sim::Task<Controller::QueryReply> Controller::query_ex(std::uint32_t vni,
                                                        net::Gid vgid) {
-  // The RTT is charged either way: when the controller is down it models
-  // the querier's detection timeout, so an outage slows callers instead of
-  // answering instantly-wrong.
-  co_await sim::delay(loop_, query_rtt_);
-  if (!reachable_) {
-    ++unreachable_queries_;
+  Shard& s = shard_for(vni, vgid);
+  // The service + RTT cost is charged either way: when the shard is down it
+  // models the querier's detection timeout, so an outage slows callers
+  // instead of answering instantly-wrong. Reachability is sampled after
+  // the round trip — the answer reflects the shard's state when the reply
+  // would have arrived.
+  co_await charge_query_path(s, 1);
+  if (!s.reachable) {
+    ++s.unreachable_queries;
     co_return QueryReply{true, std::nullopt};
   }
-  ++queries_;
+  ++s.queries;
   co_return QueryReply{false, lookup(vni, vgid)};
 }
 
+sim::Task<std::vector<Controller::QueryReply>> Controller::query_batch(
+    std::size_t shard, std::vector<VirtKey> keys) {
+  Shard& s = *shards_.at(shard);
+  std::vector<QueryReply> replies;
+  replies.reserve(keys.size());
+  co_await charge_query_path(s, keys.size());
+  for (const VirtKey& key : keys) {
+    if (shard_of(key.vni, key.vgid) != shard) {
+      throw std::logic_error("query_batch: key routed to the wrong shard");
+    }
+    if (!s.reachable) {
+      ++s.unreachable_queries;
+      replies.push_back(QueryReply{true, std::nullopt});
+    } else {
+      ++s.queries;
+      ++s.batched_queries;
+      replies.push_back(QueryReply{false, lookup(key.vni, key.vgid)});
+    }
+  }
+  co_return replies;
+}
+
+bool Controller::reachable() const {
+  for (const auto& s : shards_) {
+    if (!s->reachable) return false;
+  }
+  return true;
+}
+
+std::uint64_t Controller::unreachable_queries() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->unreachable_queries;
+  return n;
+}
+
+std::size_t Controller::table_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->table.size();
+  return n;
+}
+
+std::uint64_t Controller::queries_served() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->queries;
+  return n;
+}
+
+std::size_t Controller::shard_pending_broadcasts(std::size_t shard) const {
+  std::size_t n = 0;
+  for (const auto& p : pending_broadcasts_) {
+    if (p.shard == shard) ++n;
+  }
+  return n;
+}
+
 void Controller::set_reachable(bool reachable) {
-  if (reachable_ == reachable) return;
-  reachable_ = reachable;
-  if (!reachable_) return;
-  // Recovery: replay the buffered broadcasts in their original order so
-  // caches converge to the same state as an outage-free run.
-  std::vector<std::function<void()>> pending;
+  bool changed = false;
+  for (const auto& s : shards_) {
+    if (s->reachable != reachable) {
+      s->reachable = reachable;
+      changed = true;
+    }
+  }
+  if (!changed || !reachable) return;
+  // Whole-controller recovery: replay every buffered broadcast in its
+  // original global order so caches converge to the same state as an
+  // outage-free run (and as the single-shard reference).
+  std::vector<PendingBroadcast> pending;
   pending.swap(pending_broadcasts_);
-  for (auto& fn : pending) fn();
+  for (auto& p : pending) p.fn();
+}
+
+void Controller::set_shard_reachable(std::size_t shard, bool reachable) {
+  Shard& s = *shards_.at(shard);
+  if (s.reachable == reachable) return;
+  s.reachable = reachable;
+  if (!reachable) return;
+  // Partition recovery: replay only this shard's buffered broadcasts,
+  // chronologically; other downed shards keep theirs buffered.
+  std::vector<PendingBroadcast> keep;
+  std::vector<PendingBroadcast> replay;
+  keep.reserve(pending_broadcasts_.size());
+  for (auto& p : pending_broadcasts_) {
+    (p.shard == shard ? replay : keep).push_back(std::move(p));
+  }
+  pending_broadcasts_ = std::move(keep);
+  for (auto& p : replay) p.fn();
 }
 
 void Controller::push_down(std::uint32_t vni) const {
-  // The table is an unordered_map, but the push order feeds subscriber-side
-  // cache-insert ordering (and through it the event trace), so the matching
-  // entries are streamed in sorted key order.
+  // Each shard table is an unordered_map, but the push order feeds
+  // subscriber-side cache-insert ordering (and through it the event
+  // trace), so matching entries are gathered across shards and streamed in
+  // sorted key order.
   std::vector<std::pair<net::Gid, net::Gid>> entries;  // vgid -> pgid
-  for (const auto& [key, pgid] :
-       table_) {  // masq-lint: allow(unordered-iter) sorted before fan-out
-    if (key.vni == vni) entries.emplace_back(key.vgid, pgid);
+  for (const auto& s : shards_) {
+    for (const auto& [key, pgid] :
+         s->table) {  // masq-lint: allow(unordered-iter) sorted before fan-out
+      if (key.vni == vni) entries.emplace_back(key.vgid, pgid);
+    }
   }
   std::sort(entries.begin(), entries.end());
   for (const auto& [vgid, pgid] : entries) {
@@ -94,9 +207,11 @@ void Controller::push_down(std::uint32_t vni) const {
 }
 
 bool Controller::is_virtual_gid(net::Gid vgid) const {
-  for (const auto& [key, pgid] :
-       table_) {  // masq-lint: allow(unordered-iter) pure predicate, no fan-out
-    if (key.vgid == vgid) return true;
+  for (const auto& s : shards_) {
+    for (const auto& [key, pgid] :
+         s->table) {  // masq-lint: allow(unordered-iter) pure predicate
+      if (key.vgid == vgid) return true;
+    }
   }
   return false;
 }
@@ -108,7 +223,8 @@ MappingCache::MappingCache(sim::EventLoop& loop, Controller& controller,
       controller_(controller),
       hit_cost_(hit_cost),
       negative_ttl_(negative_ttl),
-      staleness_bound_(staleness_bound) {
+      staleness_bound_(staleness_bound),
+      degraded_by_shard_(controller.num_shards(), 0) {
   push_sub_ = controller_.subscribe(
       [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
         on_push(vni, vgid, pgid);
@@ -154,18 +270,22 @@ sim::Task<MappingCache::Resolution> MappingCache::resolve_ex(
     ++fault_expirations_;
   }
   if (it != cache_.end()) {
-    if (controller_.reachable()) {
+    // Reachability is judged per shard: an outage of one partition must
+    // not push hits on healthy partitions into degraded mode.
+    if (controller_.reachable_for(vni, vgid)) {
       ++hits_;
       co_await sim::delay(loop_, hit_cost_);
       co_return Resolution{ResolveStatus::kOk, it->second.pgid};
     }
-    // Degraded mode: the controller cannot confirm, but a recently
+    // Degraded mode: the key's shard cannot confirm, but a recently
     // confirmed mapping is overwhelmingly likely still valid — serve it,
-    // bounded, and count it. Entries past the bound are *not* served:
-    // better a fast kUnavailable than a rename to a stale peer.
+    // bounded, and count it (globally and against the downed shard).
+    // Entries past the bound are *not* served: better a fast kUnavailable
+    // than a rename to a stale peer.
     const sim::Time age = loop_.now() - it->second.confirmed_at;
     if (age <= staleness_bound_) {
       ++degraded_serves_;
+      ++degraded_by_shard_[controller_.shard_of(vni, vgid)];
       max_served_staleness_ = std::max(max_served_staleness_, age);
       co_await sim::delay(loop_, hit_cost_);
       co_return Resolution{ResolveStatus::kOkDegraded, it->second.pgid};
@@ -199,7 +319,13 @@ sim::Task<MappingCache::Resolution> MappingCache::resolve_ex(
   poisoned_.erase(key);
   Controller::QueryReply reply;
   try {
-    reply = co_await controller_.query_ex(vni, vgid);
+    // Plain if/else, not a conditional expression: GCC mis-lowers
+    // `cond ? co_await a : co_await b`.
+    if (query_fn_) {
+      reply = co_await query_fn_(vni, vgid);
+    } else {
+      reply = co_await controller_.query_ex(vni, vgid);
+    }
   } catch (...) {
     inflight_.erase(key);
     poisoned_.erase(key);

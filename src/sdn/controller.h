@@ -1,4 +1,4 @@
-// Logically centralized SDN controller (§3.3.1).
+// Logically centralized, physically sharded SDN controller (§3.3.1).
 //
 // Maintains the (VNI, virtual GID) -> physical GID mapping table. vBond
 // registers/updates entries whenever a vEth IP (and therefore the vGID)
@@ -9,15 +9,26 @@
 // argument that a 10k-peer cache fits in ~0.33 MB of DRAM; record_bytes()
 // exposes that arithmetic for the ablation bench.
 //
-// Fault model: the controller can be marked unreachable for a window
-// (set_reachable). While down, queries burn the RTT as a detection timeout
-// and report kUnavailable, and push/invalidate broadcasts are buffered and
-// flushed in order on recovery — the control-plane database itself stays
-// authoritative throughout.
+// Sharding (DESIGN.md §12): the directory is hash-partitioned over
+// `num_shards` shards. Each shard owns its slice of the table, a FIFO
+// query service queue with a per-key service budget (the controller-side
+// processing cost; 0 models an infinitely fast server, the pre-sharding
+// behavior), and its own reachability flag — so an outage, and the
+// degraded-mode semantics it triggers in host caches, is scoped to one
+// partition instead of the whole directory. `num_shards == 1` with zero
+// service time is exactly the old flat controller.
+//
+// Fault model: a shard (or the whole controller via set_reachable) can be
+// marked unreachable for a window. While down, queries to that shard burn
+// the RTT as a detection timeout and report kUnavailable, and push/
+// invalidate broadcasts touching its keys are buffered; recovery flushes
+// the buffered broadcasts in their original global order — the
+// control-plane database itself stays authoritative throughout.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -25,6 +36,7 @@
 
 #include "net/addr.h"
 #include "sim/event_loop.h"
+#include "sim/service_queue.h"
 #include "sim/task.h"
 
 namespace sdn {
@@ -51,11 +63,27 @@ struct VirtKeyHash {
 
 inline constexpr std::size_t kRecordBytes = 16 + 3 + 16;  // vGID + VNI + pGID
 
+struct ControllerConfig {
+  // Round trip from a host to the shard's query service (also the
+  // detection timeout while the shard is down).
+  sim::Time query_rtt = sim::microseconds(100);
+  // Hash partitions of the (VNI, vGID) directory. 1 = the flat controller.
+  std::size_t num_shards = 1;
+  // Server-side occupancy per queried key at a shard's FIFO query service.
+  // 0 = infinitely fast service (pure RTT, the pre-sharding cost model);
+  // > 0 makes shard queues contend, which is what the scale harness and
+  // the shard ablation measure.
+  sim::Time query_service = 0;
+};
+
 class Controller {
  public:
   explicit Controller(sim::EventLoop& loop,
                       sim::Time query_rtt = sim::microseconds(100))
-      : loop_(loop), query_rtt_(query_rtt) {}
+      : Controller(loop, ControllerConfig{query_rtt}) {}
+  Controller(sim::EventLoop& loop, ControllerConfig config);
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
 
   // vBond side: called on vGID creation/update.
   void register_vgid(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
@@ -64,23 +92,47 @@ class Controller {
   // Instantaneous lookup (no modeled latency; used by push-down paths).
   std::optional<net::Gid> lookup(std::uint32_t vni, net::Gid vgid) const;
 
-  // Remote query as RConnrename performs it: charges the controller RTT.
+  // Remote query as RConnrename performs it: charges the shard's service
+  // queue (when a service budget is configured) plus the controller RTT.
   sim::Task<std::optional<net::Gid>> query(std::uint32_t vni, net::Gid vgid);
 
   // Like query(), but distinguishes "the key is absent" from "the
-  // controller did not answer". When unreachable, the RTT is still charged
-  // — it models the caller's detection timeout.
+  // controller did not answer". When the key's shard is unreachable, the
+  // RTT is still charged — it models the caller's detection timeout.
   struct QueryReply {
     bool unreachable = false;
     std::optional<net::Gid> pgid;
   };
   sim::Task<QueryReply> query_ex(std::uint32_t vni, net::Gid vgid);
 
-  // Fault plane: controller reachability window. Coming back up flushes
-  // the broadcasts buffered while down, in their original order.
+  // Batched query (HostAgent tier): all `keys` MUST hash to `shard`. One
+  // service-queue pass (keys.size() service budgets back to back) and one
+  // RTT answer the whole batch — the amortization the per-host agents buy.
+  sim::Task<std::vector<QueryReply>> query_batch(std::size_t shard,
+                                                 std::vector<VirtKey> keys);
+
+  // ---- shard geometry ----
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t shard_of(std::uint32_t vni, net::Gid vgid) const {
+    return VirtKeyHash{}(VirtKey{vni, vgid}) % shards_.size();
+  }
+
+  // ---- fault plane: reachability windows ----
+  // Whole-controller switch (the PR-2 fault plane): flips every shard.
+  // Coming back up flushes all broadcasts buffered while down, in their
+  // original global order, so caches converge to an outage-free run.
   void set_reachable(bool reachable);
-  bool reachable() const { return reachable_; }
-  std::uint64_t unreachable_queries() const { return unreachable_queries_; }
+  // Scoped to one partition: only callers whose keys hash here see the
+  // outage; other shards keep serving fresh answers.
+  void set_shard_reachable(std::size_t shard, bool reachable);
+  bool reachable() const;  // true iff every shard is reachable
+  bool shard_reachable(std::size_t shard) const {
+    return shards_.at(shard)->reachable;
+  }
+  bool reachable_for(std::uint32_t vni, net::Gid vgid) const {
+    return shards_[shard_of(vni, vgid)]->reachable;
+  }
+  std::uint64_t unreachable_queries() const;
 
   // Subscriptions return a token; subscribers whose lifetime is shorter
   // than the controller's MUST unsubscribe in their destructor (vBond
@@ -114,36 +166,86 @@ class Controller {
                   [id](const auto& s) { return s.first == id; });
   }
 
-  std::size_t table_size() const { return table_.size(); }
-  std::size_t table_bytes() const { return table_.size() * kRecordBytes; }
-  std::uint64_t queries_served() const { return queries_; }
-  sim::Time query_rtt() const { return query_rtt_; }
+  std::size_t table_size() const;
+  std::size_t table_bytes() const { return table_size() * kRecordBytes; }
+  std::uint64_t queries_served() const;
+  sim::Time query_rtt() const { return config_.query_rtt; }
+  sim::Time query_service() const { return config_.query_service; }
+
+  // ---- per-shard telemetry (the scale harness reports these) ----
+  std::size_t shard_table_size(std::size_t shard) const {
+    return shards_.at(shard)->table.size();
+  }
+  std::uint64_t shard_queries(std::size_t shard) const {
+    return shards_.at(shard)->queries;
+  }
+  std::uint64_t shard_unreachable_queries(std::size_t shard) const {
+    return shards_.at(shard)->unreachable_queries;
+  }
+  // Instantaneous and high-water service-queue depth (queued + in service).
+  std::size_t shard_queue_depth(std::size_t shard) const {
+    return shards_.at(shard)->queue.depth();
+  }
+  std::size_t shard_max_queue_depth(std::size_t shard) const {
+    return shards_.at(shard)->max_queue_depth;
+  }
+  // Batched lookups answered through query_batch (subset of shard_queries).
+  std::uint64_t shard_batched_queries(std::size_t shard) const {
+    return shards_.at(shard)->batched_queries;
+  }
 
   // Invariant auditing (src/check): true if any tenant currently maps this
   // GID as *virtual* — a QPC holding such a GID past RTR means RConnrename
   // failed to rewrite it.
   bool is_virtual_gid(net::Gid vgid) const;
   // Broadcasts buffered during an outage and not yet replayed; host caches
-  // may legitimately diverge from the table while this is nonzero.
+  // may legitimately diverge from the table while this is nonzero. The
+  // shard-scoped count lets the coherence auditor keep checking healthy
+  // partitions while one shard's broadcasts are in flight.
   std::size_t pending_broadcast_count() const {
     return pending_broadcasts_.size();
   }
+  std::size_t shard_pending_broadcasts(std::size_t shard) const;
 
  private:
+  struct Shard {
+    explicit Shard(sim::EventLoop& loop) : queue(loop) {}
+    std::unordered_map<VirtKey, net::Gid, VirtKeyHash> table;
+    sim::ServiceQueue queue;
+    bool reachable = true;
+    std::uint64_t queries = 0;
+    std::uint64_t batched_queries = 0;
+    std::uint64_t unreachable_queries = 0;
+    std::size_t max_queue_depth = 0;
+  };
+  // A broadcast buffered while its shard was down. The buffer is one
+  // global chronological list (not per shard) so whole-controller recovery
+  // replays pushes and invalidations in exactly the order they happened —
+  // the property sweep holds the sharded controller to the single-shard
+  // reference's broadcast sequence.
+  struct PendingBroadcast {
+    std::size_t shard;
+    std::function<void()> fn;
+  };
+
+  Shard& shard_for(std::uint32_t vni, net::Gid vgid) {
+    return *shards_[shard_of(vni, vgid)];
+  }
+  // Charges the shard's FIFO service queue (if a budget is configured)
+  // and then the RTT; records the high-water queue depth.
+  sim::Task<void> charge_query_path(Shard& s, std::size_t keys);
   void broadcast_push(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
   void broadcast_invalidate(std::uint32_t vni, net::Gid vgid);
 
   sim::EventLoop& loop_;
-  sim::Time query_rtt_;
-  std::unordered_map<VirtKey, net::Gid, VirtKeyHash> table_;
+  ControllerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::pair<SubId, PushFn>> subscribers_;
   std::vector<std::pair<SubId, InvalidateFn>> invalidate_subscribers_;
   SubId next_sub_ = 1;
-  std::uint64_t queries_ = 0;
-  bool reachable_ = true;
-  std::uint64_t unreachable_queries_ = 0;
-  // Broadcasts that happened while unreachable, replayed on recovery.
-  std::vector<std::function<void()>> pending_broadcasts_;
+  // Broadcasts that happened while their shard was unreachable, replayed
+  // (per shard, chronologically) on recovery.
+  std::vector<PendingBroadcast> pending_broadcasts_;
 };
 
 // Host-local cache in front of the controller (§3.3.1): first query for a
@@ -163,18 +265,20 @@ class Controller {
 // already-cached entry; an invalidate broadcast evicts. Pre-warm *inserts*
 // remain the owner's choice — the backend wires push -> insert explicitly.
 //
-// Degraded mode: when the controller is unreachable, a cached entry whose
+// Degraded mode: when the key's shard is unreachable, a cached entry whose
 // last confirmation is younger than the staleness bound is still served
-// (kOkDegraded, counted) — established peers keep connecting through an
-// outage — while entries past the bound and uncached keys report
-// kUnavailable so callers fail fast instead of hanging.
+// (kOkDegraded, counted per shard) — established peers keep connecting
+// through an outage — while entries past the bound and uncached keys
+// report kUnavailable so callers fail fast instead of hanging. With a
+// sharded controller the degradation is scoped: only keys hashing to the
+// downed partition degrade; the rest of the cache keeps serving kOk.
 class MappingCache {
  public:
   enum class ResolveStatus : std::uint8_t {
     kOk,          // fresh answer (cache hit or controller round trip)
-    kOkDegraded,  // controller down; served stale-but-bounded from cache
+    kOkDegraded,  // key's shard down; served stale-but-bounded from cache
     kNotFound,    // controller authoritatively says: no such key
-    kUnavailable, // controller down and no fresh-enough cached answer
+    kUnavailable, // shard down and no fresh-enough cached answer
   };
   struct Resolution {
     ResolveStatus status = ResolveStatus::kUnavailable;
@@ -202,6 +306,16 @@ class MappingCache {
   void insert(std::uint32_t vni, net::Gid vgid, net::Gid pgid);
   void invalidate(std::uint32_t vni, net::Gid vgid);
 
+  // Miss-path override (HostAgent tier): when set, leader misses go
+  // through `fn` instead of Controller::query_ex — the agent batches
+  // same-shard leaders onto one controller round trip. The hook must
+  // preserve query_ex semantics (terminal reply, unreachable flag set
+  // only when the key's shard did not answer).
+  using QueryFn =
+      std::function<sim::Task<Controller::QueryReply>(std::uint32_t,
+                                                      net::Gid)>;
+  void set_query_fn(QueryFn fn) { query_fn_ = std::move(fn); }
+
   // Fault plane: consulted with the key hash before a cached entry is
   // served; returning true evicts the entry first (models expiry or
   // corruption detection). Null = off.
@@ -215,9 +329,14 @@ class MappingCache {
   std::uint64_t single_flight_coalesced() const { return coalesced_; }
   // Lookups answered from the bounded negative cache.
   std::uint64_t negative_hits() const { return negative_hits_; }
-  // Degraded-mode serves while the controller was unreachable.
+  // Degraded-mode serves while the key's shard was unreachable.
   std::uint64_t degraded_serves() const { return degraded_serves_; }
-  // Resolutions that found the controller down and nothing fresh enough.
+  // Degraded-mode serves attributable to one shard's outage — the scale
+  // harness proves a partition outage degrades only its partition.
+  std::uint64_t degraded_serves(std::size_t shard) const {
+    return degraded_by_shard_.at(shard);
+  }
+  // Resolutions that found the shard down and nothing fresh enough.
   std::uint64_t unavailable_results() const { return unavailable_; }
   // Entries evicted by the fault probe.
   std::uint64_t fault_expirations() const { return fault_expirations_; }
@@ -262,6 +381,7 @@ class MappingCache {
   sim::Time staleness_bound_;
   Controller::SubId push_sub_ = 0;
   Controller::SubId invalidate_sub_ = 0;
+  QueryFn query_fn_;
   std::function<bool(std::uint64_t)> fault_probe_;
   std::unordered_map<VirtKey, Entry, VirtKeyHash> cache_;
   // Key -> expiry time of the "known absent" verdict.
@@ -277,6 +397,7 @@ class MappingCache {
   std::uint64_t coalesced_ = 0;
   std::uint64_t negative_hits_ = 0;
   std::uint64_t degraded_serves_ = 0;
+  std::vector<std::uint64_t> degraded_by_shard_;
   std::uint64_t unavailable_ = 0;
   std::uint64_t fault_expirations_ = 0;
   sim::Time max_served_staleness_ = 0;

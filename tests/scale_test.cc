@@ -1,0 +1,117 @@
+// Scale tests for the sharded SDN control plane (DESIGN.md §12), built on
+// the connection-storm harness in src/fabric/scale.*:
+//   * the 10k-VM storm is deterministic — two runs of the same (config,
+//     seed) serialize to byte-identical reports — and every shard's
+//     service-queue depth stays bounded by the host count (the one
+//     in-flight batch per (host, shard) invariant),
+//   * a single-shard outage degrades only its partition: other shards see
+//     zero degraded serves and zero unreachable queries, and every
+//     connection attempt still reaches a terminal outcome.
+#include <gtest/gtest.h>
+
+#include "fabric/scale.h"
+
+namespace {
+
+// The tool's default 10k-VM storm (16 hosts x 625 VMs, 8 shards) with the
+// default churn. Kept identical to `masq_scaletest` with no arguments so
+// this test pins the exact configuration CI archives as BENCH_scale.json.
+fabric::ScaleConfig storm_10k() {
+  fabric::ScaleConfig cfg;
+  cfg.ip_changes = 200;
+  cfg.rule_resets = 3;
+  return cfg;
+}
+
+TEST(ScaleStormTest, TenKiloVmStormIsDeterministic) {
+  const fabric::ScaleReport a = fabric::run_scale_storm(storm_10k());
+  const fabric::ScaleReport b = fabric::run_scale_storm(storm_10k());
+  EXPECT_EQ(a.json(), b.json());  // byte-identical, not merely equivalent
+
+  // 16 hosts x 625 VMs x 2 conns x 3 waves, plus the rule-reset re-dials.
+  EXPECT_EQ(a.vms, 10'000u);
+  EXPECT_GE(a.attempted, 60'000u);
+  // Every attempt reached a terminal outcome — nothing hung in a lane or
+  // a shard queue when the loop drained.
+  EXPECT_EQ(a.attempted, a.ok + a.degraded + a.unavailable + a.not_found);
+  // No outage is configured, so nothing may degrade or bounce.
+  EXPECT_EQ(a.degraded, 0u);
+  EXPECT_EQ(a.unavailable, 0u);
+}
+
+TEST(ScaleStormTest, PerShardQueueDepthBoundedByHostCount) {
+  const fabric::ScaleConfig cfg = storm_10k();
+  const fabric::ScaleReport r = fabric::run_scale_storm(cfg);
+  ASSERT_EQ(r.per_shard.size(), cfg.shards);
+  for (std::size_t s = 0; s < r.per_shard.size(); ++s) {
+    // At most one query_batch in flight per (host, shard): the depth a
+    // shard's FIFO can reach is the number of hosts, independent of the
+    // 10k VMs behind them.
+    EXPECT_LE(r.per_shard[s].max_queue_depth, cfg.hosts)
+        << "shard " << s << " queue exceeded the per-host-batch bound";
+    // The storm actually exercised every shard.
+    EXPECT_GT(r.per_shard[s].queries, 0u) << "shard " << s << " idle";
+  }
+  // The agent tier amortized: batches carried more keys than round trips.
+  EXPECT_GT(r.agent_batches, 0u);
+  EXPECT_GT(r.agent_batched_keys, r.agent_batches);
+}
+
+TEST(ScaleStormTest, ShardOutageDegradesOnlyItsPartition) {
+  fabric::ScaleConfig cfg;
+  cfg.tenants = 5;
+  cfg.hosts = 8;
+  cfg.vms_per_host = 50;
+  cfg.conns_per_vm = 2;
+  cfg.waves = 3;  // waves start at 0 / 50 / 100 ms
+  cfg.shards = 4;
+  cfg.ip_changes = 20;
+  cfg.rule_resets = 1;
+  // Shard 1 is dark for waves 2 and 3; wave 1 warmed the caches, so keys
+  // on the downed shard are served stale-but-bounded (or bounce when the
+  // VM never cached its peer).
+  cfg.down_shard = 1;
+  cfg.down_from = sim::milliseconds(45);
+  cfg.down_until = sim::milliseconds(150);
+  const fabric::ScaleReport r = fabric::run_scale_storm(cfg);
+
+  // All attempts terminal, and the outage visibly bit.
+  EXPECT_EQ(r.attempted, r.ok + r.degraded + r.unavailable + r.not_found);
+  EXPECT_GT(r.degraded + r.unavailable, 0u) << "outage window never hit";
+
+  ASSERT_EQ(r.per_shard.size(), 4u);
+  for (std::size_t s = 0; s < r.per_shard.size(); ++s) {
+    if (s == 1) {
+      EXPECT_GT(r.per_shard[s].degraded_serves + r.per_shard[s].unreachable,
+                0u)
+          << "downed shard shows no outage effects";
+    } else {
+      // The blast radius stops at the partition boundary.
+      EXPECT_EQ(r.per_shard[s].degraded_serves, 0u) << "shard " << s;
+      EXPECT_EQ(r.per_shard[s].unreachable, 0u) << "shard " << s;
+      EXPECT_GT(r.per_shard[s].queries, 0u) << "shard " << s;
+    }
+  }
+}
+
+TEST(ScaleStormTest, ReportEchoesTopologyAndSeed) {
+  fabric::ScaleConfig cfg;
+  cfg.tenants = 3;
+  cfg.hosts = 2;
+  cfg.vms_per_host = 10;
+  cfg.waves = 1;
+  cfg.shards = 2;
+  cfg.seed = 42;
+  const fabric::ScaleReport r = fabric::run_scale_storm(cfg);
+  EXPECT_EQ(r.tenants, 3u);
+  EXPECT_EQ(r.hosts, 2u);
+  EXPECT_EQ(r.vms, 20u);
+  EXPECT_EQ(r.shards, 2u);
+  EXPECT_EQ(r.seed, 42u);
+  // The JSON report carries the per-shard array at the configured width.
+  const std::string j = r.json();
+  EXPECT_NE(j.find("\"per_shard\""), std::string::npos);
+  EXPECT_NE(j.find("\"seed\": 42"), std::string::npos);
+}
+
+}  // namespace

@@ -5,10 +5,12 @@
 // monotonicity, and conservation of the candidate ranking under load.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <tuple>
 
+#include "apps/common.h"
 #include "apps/perftest.h"
 #include "fabric/testbed.h"
 
@@ -111,6 +113,135 @@ INSTANTIATE_TEST_SUITE_P(AllCandidates, BandwidthGridTest,
                                    n.end());
                            return n;
                          });
+
+// ---- golden numbers: EXPERIMENTS.md Table 1 / Fig. 15, bit-exact ---------
+
+// EXPERIMENTS.md records the measured per-verb call times (Table 1) and
+// connection-setup totals (Fig. 15) of this simulated testbed. Those
+// values are part of the repo's contract — the chapters reason from them —
+// so this suite re-measures the same flow in-process and asserts equality
+// at the documents' display precision. A failure here means calibration
+// drifted: update the code or the document deliberately, not by accident.
+
+struct SetupBreakdown {
+  std::map<std::string, double> us;
+  double total_ms = 0;
+};
+
+sim::Task<void> golden_client(fabric::Testbed* bed, SetupBreakdown* out) {
+  verbs::Context& ctx = bed->ctx(0);
+  sim::EventLoop& loop = bed->loop();
+  auto pd = co_await ctx.alloc_pd();
+  const mem::Addr buf = ctx.alloc_buffer(65536);
+
+  sim::Time t0 = loop.now();
+  auto mr = co_await ctx.reg_mr(pd.value, buf, 1024, apps::kFullAccess);
+  out->us["reg_mr"] = sim::to_us(loop.now() - t0);
+
+  t0 = loop.now();
+  auto cq = co_await ctx.create_cq(200);
+  out->us["create_cq"] = sim::to_us(loop.now() - t0);
+
+  rnic::QpInitAttr init;
+  init.pd = pd.value;
+  init.send_cq = cq.value;
+  init.recv_cq = cq.value;
+  init.caps.max_send_wr = 100;
+  init.caps.max_recv_wr = 100;
+  t0 = loop.now();
+  auto qp = co_await ctx.create_qp(init);
+  out->us["create_qp"] = sim::to_us(loop.now() - t0);
+
+  t0 = loop.now();
+  auto gid = co_await ctx.query_gid();
+  out->us["query_gid"] = sim::to_us(loop.now() - t0);
+
+  verbs::ConnInfo info{qp.value, gid.value, buf, mr.value.rkey};
+  overlay::Blob blob = overlay::pack(info);
+  (void)co_await ctx.oob().send(bed->instance_vip(1), 7101, blob);
+  overlay::Blob reply = co_await ctx.oob().recv(7101);
+  const auto peer = overlay::unpack<verbs::ConnInfo>(reply);
+
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kInit;
+  t0 = loop.now();
+  (void)co_await ctx.modify_qp(qp.value, attr, rnic::kAttrState);
+  out->us["qp_INIT"] = sim::to_us(loop.now() - t0);
+
+  attr.state = rnic::QpState::kRtr;
+  attr.dest_gid = peer.gid;
+  attr.dest_qpn = peer.qpn;
+  t0 = loop.now();
+  (void)co_await ctx.modify_qp(qp.value, attr,
+                               rnic::kAttrState | rnic::kAttrDestGid |
+                                   rnic::kAttrDestQpn);
+  out->us["qp_RTR"] = sim::to_us(loop.now() - t0);
+
+  attr.state = rnic::QpState::kRts;
+  t0 = loop.now();
+  (void)co_await ctx.modify_qp(qp.value, attr, rnic::kAttrState);
+  out->us["qp_RTS"] = sim::to_us(loop.now() - t0);
+
+  for (const auto& [verb, us] : out->us) out->total_ms += us / 1000.0;
+}
+
+sim::Task<void> golden_server(fabric::Testbed* bed) {
+  verbs::Context& ctx = bed->ctx(1);
+  auto ep = co_await apps::setup_endpoint(ctx);
+  overlay::Blob blob = co_await ctx.oob().recv(7101);
+  (void)blob;
+  verbs::ConnInfo info{ep.qp, ep.local_gid, ep.buf, ep.mr.rkey};
+  overlay::Blob reply = overlay::pack(info);
+  (void)co_await ctx.oob().send(bed->instance_vip(0), 7101, reply);
+}
+
+SetupBreakdown conn_setup(Candidate c) {
+  sim::EventLoop loop;
+  fabric::TestbedConfig cfg;
+  cfg.candidate = c;
+  cfg.cal.host_dram_bytes = 48ull << 30;
+  cfg.cal.vm_mem_bytes = 8ull << 30;
+  fabric::Testbed bed(loop, cfg);
+  bed.add_instances(2);
+  SetupBreakdown out;
+  loop.spawn(golden_server(&bed));
+  loop.spawn(golden_client(&bed, &out));
+  loop.run();
+  return out;
+}
+
+// Rounding to the documents' display precision makes the comparison
+// exact: round1(77.75) and the literal 77.8 are the same double.
+double round1(double v) { return std::round(v * 10.0) / 10.0; }
+double round2(double v) { return std::round(v * 100.0) / 100.0; }
+
+TEST(GoldenNumbersTest, Fig15SetupTotalsMatchExperimentsMd) {
+  EXPECT_EQ(round2(conn_setup(Candidate::kHostRdma).total_ms), 0.80);
+  EXPECT_EQ(round2(conn_setup(Candidate::kFreeFlow).total_ms), 4.13);
+  EXPECT_EQ(round2(conn_setup(Candidate::kSriov).total_ms), 1.89);
+  EXPECT_EQ(round2(conn_setup(Candidate::kMasq).total_ms), 1.98);
+}
+
+TEST(GoldenNumbersTest, Table1HostVerbTimesMatchExperimentsMd) {
+  const SetupBreakdown b = conn_setup(Candidate::kHostRdma);
+  // Table 1, "measured host" column (µs).
+  EXPECT_EQ(round1(b.us.at("reg_mr")), 77.8);
+  EXPECT_EQ(round1(b.us.at("create_cq")), 255.6);
+  EXPECT_EQ(round1(b.us.at("create_qp")), 76.0);
+  EXPECT_EQ(round1(b.us.at("query_gid")), 22.0);
+  EXPECT_EQ(round1(b.us.at("qp_INIT")), 231.0);
+  EXPECT_EQ(round1(b.us.at("qp_RTR")), 62.0);
+  EXPECT_EQ(round1(b.us.at("qp_RTS")), 73.0);
+  // Table 1, "measured w/ virtio" column: each forwarded verb plus the
+  // 20 µs virtqueue round trip (the paper's estimation methodology).
+  const double virtio_rtt = 20.0;
+  EXPECT_EQ(round1(b.us.at("reg_mr") + virtio_rtt), 97.8);
+  EXPECT_EQ(round1(b.us.at("create_cq") + virtio_rtt), 275.6);
+  EXPECT_EQ(round1(b.us.at("create_qp") + virtio_rtt), 96.0);
+  EXPECT_EQ(round1(b.us.at("qp_INIT") + virtio_rtt), 251.0);
+  EXPECT_EQ(round1(b.us.at("qp_RTR") + virtio_rtt), 82.0);
+  EXPECT_EQ(round1(b.us.at("qp_RTS") + virtio_rtt), 93.0);
+}
 
 // ---- the headline ordering, asserted as one fact -------------------------
 

@@ -1,0 +1,166 @@
+// masq_scaletest — deterministic connection-storm driver for the sharded
+// SDN control plane (DESIGN.md §12).
+//
+//   masq_scaletest [options]
+//     --tenants <n>       tenants                       (default: 10)
+//     --hosts <n>         hosts                         (default: 16)
+//     --vms <n>           VMs per host                  (default: 625)
+//     --conns <n>         connections per VM per wave   (default: 2)
+//     --waves <n>         storm waves                   (default: 3)
+//     --shards <n>        controller shards             (default: 8)
+//     --rtt <us>          controller RTT                (default: 100)
+//     --service <us>      per-key shard service budget  (default: 1)
+//     --window <us>       host-agent batch window       (default: 5)
+//     --ip-changes <n>    vBond IP churn events         (default: 200)
+//     --rule-resets <n>   security-rule reset storms    (default: 3)
+//     --down-shard <i>    mark shard i unreachable ...
+//     --down-from <ms>      ... from this time ...      (default: 60)
+//     --down-until <ms>     ... until this time         (default: 110)
+//     --seed <n>          workload seed                 (default: 1)
+//     -o, --out <file>    report path (default: BENCH_scale.json)
+//     --smoke             small CI preset (4 hosts x 25 VMs)
+//     -h, --help
+//
+// The default configuration is the 10k-VM storm (16 hosts x 625 VMs):
+// every (config, seed) pair produces one event stream and one report —
+// two runs emit byte-identical BENCH_scale.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fabric/scale.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--tenants n] [--hosts n] [--vms n] [--conns n] [--waves n]\n"
+      "          [--shards n] [--rtt us] [--service us] [--window us]\n"
+      "          [--ip-changes n] [--rule-resets n]\n"
+      "          [--down-shard i] [--down-from ms] [--down-until ms]\n"
+      "          [--seed n] [-o file] [--smoke]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fabric::ScaleConfig cfg;
+  cfg.ip_changes = 200;
+  cfg.rule_resets = 3;
+  std::string out_path = "BENCH_scale.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_zu = [&]() {
+      return static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    };
+    auto next_us = [&]() { return sim::microseconds(std::atof(next())); };
+    if (a == "-h" || a == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (a == "--tenants") {
+      cfg.tenants = next_zu();
+    } else if (a == "--hosts") {
+      cfg.hosts = next_zu();
+    } else if (a == "--vms") {
+      cfg.vms_per_host = next_zu();
+    } else if (a == "--conns") {
+      cfg.conns_per_vm = next_zu();
+    } else if (a == "--waves") {
+      cfg.waves = next_zu();
+    } else if (a == "--shards") {
+      cfg.shards = next_zu();
+    } else if (a == "--rtt") {
+      cfg.query_rtt = next_us();
+    } else if (a == "--service") {
+      cfg.query_service = next_us();
+    } else if (a == "--window") {
+      cfg.batch_window = next_us();
+    } else if (a == "--ip-changes") {
+      cfg.ip_changes = next_zu();
+    } else if (a == "--rule-resets") {
+      cfg.rule_resets = next_zu();
+    } else if (a == "--down-shard") {
+      cfg.down_shard = std::atoi(next());
+    } else if (a == "--down-from") {
+      cfg.down_from = sim::milliseconds(std::atof(next()));
+    } else if (a == "--down-until") {
+      cfg.down_until = sim::milliseconds(std::atof(next()));
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "-o" || a == "--out") {
+      out_path = next();
+    } else if (a == "--smoke") {
+      cfg.hosts = 4;
+      cfg.vms_per_host = 25;
+      cfg.tenants = 5;
+      cfg.waves = 2;
+      cfg.shards = 4;
+      cfg.ip_changes = 20;
+      cfg.rule_resets = 1;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.down_shard >= 0 && cfg.down_until <= cfg.down_from) {
+    cfg.down_from = sim::milliseconds(60);
+    cfg.down_until = sim::milliseconds(110);
+  }
+
+  std::printf("# scale storm: %zu tenants x %zu hosts x %zu VMs/host "
+              "(%zu VMs), %zu shards, seed %llu\n",
+              cfg.tenants, cfg.hosts, cfg.vms_per_host,
+              cfg.hosts * cfg.vms_per_host, cfg.shards,
+              static_cast<unsigned long long>(cfg.seed));
+  const fabric::ScaleReport r = fabric::run_scale_storm(cfg);
+  std::printf(
+      "conns: %llu attempted, %llu ok, %llu degraded, %llu unavailable, "
+      "%llu not-found\n",
+      static_cast<unsigned long long>(r.attempted),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.degraded),
+      static_cast<unsigned long long>(r.unavailable),
+      static_cast<unsigned long long>(r.not_found));
+  std::printf("setup latency: p50 %.3f us, p99 %.3f us, max %.3f us\n",
+              r.p50_us, r.p99_us, r.max_us);
+  std::printf("throughput: %.3f kconn/s over %.3f ms\n", r.kconn_per_s,
+              r.elapsed_ms);
+  std::printf("cache: hit rate %.4f (%llu hits, %llu misses, %llu "
+              "coalesced); %llu batches carrying %llu keys\n",
+              r.hit_rate, static_cast<unsigned long long>(r.cache_hits),
+              static_cast<unsigned long long>(r.cache_misses),
+              static_cast<unsigned long long>(r.coalesced),
+              static_cast<unsigned long long>(r.agent_batches),
+              static_cast<unsigned long long>(r.agent_batched_keys));
+  for (std::size_t s = 0; s < r.per_shard.size(); ++s) {
+    const fabric::ShardReport& sr = r.per_shard[s];
+    std::printf("shard %zu: %llu queries (%llu batched, %llu unreachable), "
+                "max queue depth %zu, %llu degraded serves, %zu entries\n",
+                s, static_cast<unsigned long long>(sr.queries),
+                static_cast<unsigned long long>(sr.batched_queries),
+                static_cast<unsigned long long>(sr.unreachable),
+                sr.max_queue_depth,
+                static_cast<unsigned long long>(sr.degraded_serves),
+                sr.table_size);
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << r.json();
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}
