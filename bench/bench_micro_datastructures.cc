@@ -1,15 +1,23 @@
 // Wall-clock micro-benchmarks (google-benchmark) for the hot software data
 // structures on MasQ's control path: security-rule evaluation, the
-// (VNI,vGID) mapping cache, max-min rate reallocation, and page-table
-// walks. These bound how much host CPU the *real* implementation of each
-// mechanism would burn.
+// (VNI,vGID) mapping cache, max-min rate reallocation, page-table walks,
+// and the simulator-core substitutions from DESIGN.md §13 — sim::FlatMap
+// vs the std node-based maps it replaced, and arena event allocation vs
+// plain heap. These bound how much host CPU the *real* implementation of
+// each mechanism would burn, and justify the container swap with numbers
+// kept in-repo.
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <unordered_map>
 
 #include "mem/address_space.h"
 #include "net/fluid.h"
 #include "overlay/security.h"
 #include "sdn/controller.h"
+#include "sim/arena.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 
 namespace {
 
@@ -84,6 +92,123 @@ void BM_PageTableResolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PageTableResolve);
+
+// ---- container swap: sim::FlatMap vs std::map / std::unordered_map ----
+// The access pattern the RNIC/SDN hot paths actually have: build a table
+// of `n` integer-keyed entries once, then hammer exact-key lookups. Keys
+// are splitmix-scrambled so neither tree order nor bucket distribution
+// gets an artificially friendly sequence.
+
+std::uint64_t scramble(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename Map>
+void map_lookup_bench(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  Map m;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.emplace(static_cast<std::uint32_t>(scramble(i)), i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.find(static_cast<std::uint32_t>(scramble(i++ % n))));
+  }
+}
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  map_lookup_bench<sim::FlatMap<std::uint32_t, std::uint64_t>>(state);
+}
+void BM_StdMapLookup(benchmark::State& state) {
+  map_lookup_bench<std::map<std::uint32_t, std::uint64_t>>(state);
+}
+void BM_StdUnorderedMapLookup(benchmark::State& state) {
+  map_lookup_bench<std::unordered_map<std::uint32_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_StdMapLookup)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_StdUnorderedMapLookup)->Arg(64)->Arg(4096)->Arg(65536);
+
+template <typename Map>
+void map_churn_bench(benchmark::State& state) {
+  // QP pending-table shape: insert a window of entries, erase the oldest —
+  // the steady-state churn a send queue with outstanding WQEs produces.
+  constexpr std::uint64_t kWindow = 256;
+  Map m;
+  std::uint64_t next = 0;
+  for (; next < kWindow; ++next) {
+    m.emplace(static_cast<std::uint32_t>(next), next);
+  }
+  for (auto _ : state) {
+    m.erase(static_cast<std::uint32_t>(next - kWindow));
+    m.emplace(static_cast<std::uint32_t>(next), next);
+    ++next;
+    benchmark::DoNotOptimize(m);
+  }
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  map_churn_bench<sim::FlatMap<std::uint32_t, std::uint64_t>>(state);
+}
+void BM_StdMapChurn(benchmark::State& state) {
+  map_churn_bench<std::map<std::uint32_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
+BENCHMARK(BM_StdMapChurn);
+
+// ---- event allocation: NodePool arena vs heap new/delete ----
+// The event loop's per-event allocation, isolated: acquire + release in
+// LIFO order (the pool's free list) against the same node from the heap.
+
+struct BenchNode {
+  sim::Time t = 0;
+  std::uint64_t seq = 0;
+  sim::Callback cb;
+  BenchNode* pool_next = nullptr;
+};
+
+void BM_ArenaEventAlloc(benchmark::State& state) {
+  sim::NodePool<BenchNode> pool;
+  for (auto _ : state) {
+    BenchNode* n = pool.acquire();
+    benchmark::DoNotOptimize(n);
+    pool.release(n);
+  }
+}
+void BM_HeapEventAlloc(benchmark::State& state) {
+  for (auto _ : state) {
+    // masq-lint: allow(naked-new) — this IS the heap baseline under test.
+    BenchNode* n = new BenchNode();
+    benchmark::DoNotOptimize(n);
+    delete n;
+  }
+}
+BENCHMARK(BM_ArenaEventAlloc);
+BENCHMARK(BM_HeapEventAlloc);
+
+// End-to-end: schedule+drain a burst of timer events through the loop —
+// the composite cost the ready-queue + arena + SBO-callback refactor
+// targets (pre-refactor this path was priority_queue<std::function> with
+// two heap allocations per event).
+void BM_EventLoopScheduleDrain(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    for (int i = 0; i < burst; ++i) {
+      loop.schedule_at(static_cast<sim::Time>(scramble(i) % 1000000),
+                       [&sink] { ++sink; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_EventLoopScheduleDrain)->Arg(1024)->Arg(65536);
 
 }  // namespace
 

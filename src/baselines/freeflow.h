@@ -11,12 +11,12 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 
 #include "hyp/instance.h"
 #include "overlay/oob.h"
 #include "sdn/controller.h"
 #include "sim/service_queue.h"
+#include "sim/flat_map.h"
 #include "verbs/api.h"
 #include "verbs/kernel_driver.h"
 
@@ -140,9 +140,9 @@ class FreeflowContext : public verbs::Context {
   hyp::Container& container_;
   FfRouter& ffr_;
   overlay::OobEndpoint& oob_;
-  std::unordered_map<rnic::Cqn, std::unique_ptr<ShadowCq>> shadows_;
+  sim::FlatMap<rnic::Cqn, std::unique_ptr<ShadowCq>> shadows_;
   // Overlay-addressed view of each QPC (FFR renames before the device).
-  std::unordered_map<rnic::Qpn, rnic::QpAttr> tenant_view_;
+  sim::FlatMap<rnic::Qpn, rnic::QpAttr> tenant_view_;
 };
 
 }  // namespace baselines

@@ -4,11 +4,11 @@
 #include <cstdio>
 #include <memory>
 
+#include "fabric/storm_schedule.h"
 #include "net/addr.h"
 #include "sdn/controller.h"
 #include "sdn/host_agent.h"
 #include "sim/event_loop.h"
-#include "sim/rng.h"
 #include "sim/stats.h"
 #include "sim/task.h"
 
@@ -55,21 +55,19 @@ struct Driver {
     }
   }
 
-  std::size_t total_vms() const { return cfg.hosts * cfg.vms_per_host; }
-  std::size_t host_of(std::size_t vm) const { return vm / cfg.vms_per_host; }
-  std::size_t tenant_of(std::size_t vm) const { return vm % cfg.tenants; }
-  std::uint32_t vni_of(std::size_t vm) const {
-    return 100 + static_cast<std::uint32_t>(tenant_of(vm));
+  // Topology arithmetic is shared with the partition engine so the two
+  // describe the same storm (fabric/storm_schedule.h).
+  std::size_t total_vms() const { return storm::total_vms(cfg); }
+  std::size_t host_of(std::size_t vm) const { return storm::host_of(cfg, vm); }
+  std::size_t tenant_of(std::size_t vm) const {
+    return storm::tenant_of(cfg, vm);
   }
-  // vGID value space: low 14 bits the VM id, upper bits the generation —
-  // an IP change mints a vGID never seen before.
+  std::uint32_t vni_of(std::size_t vm) const { return storm::vni_of(cfg, vm); }
   net::Gid gid_of(std::size_t vm, std::uint32_t generation) const {
-    return net::Gid::from_ipv4(net::Ipv4Addr{
-        static_cast<std::uint32_t>(vm) | (generation << 14)});
+    return storm::gid_of(vm, generation);
   }
   net::Gid pgid_of_host(std::size_t h) const {
-    return net::Gid::from_ipv4(net::Ipv4Addr{
-        0x0A000000u + static_cast<std::uint32_t>(h) + 1});
+    return storm::pgid_of_host(h);
   }
 
   void register_vm(std::size_t vm) {
@@ -131,57 +129,24 @@ struct Driver {
 
 ScaleReport run_scale_storm(const ScaleConfig& cfg) {
   Driver d(cfg);
+  if (cfg.trace) d.loop.enable_trace();
   const std::size_t vms = d.total_vms();
   for (std::size_t vm = 0; vm < vms; ++vm) d.register_vm(vm);
 
   // The whole schedule — peers, jitters, churn times — is drawn up front
   // from one seeded stream, in one deterministic order; nothing consumes
   // randomness while the loop runs, so the event stream cannot depend on
-  // interleaving.
-  sim::Rng rng(cfg.seed);
-  const sim::Time horizon =
-      static_cast<sim::Time>(cfg.waves) * cfg.wave_gap + cfg.spread;
-  auto same_tenant_peer = [&](std::size_t vm) {
-    // Peers are same-tenant by construction: tenant t owns VMs
-    // {t, t + T, t + 2T, ...}. Draw until the peer isn't the VM itself
-    // (a tenant with one VM connects to itself; fine for the cache).
-    const std::size_t tenant_pop = vms / cfg.tenants;
-    std::size_t peer = vm;
-    if (tenant_pop > 1) {
-      do {
-        peer = d.tenant_of(vm) +
-               cfg.tenants * rng.next_below(tenant_pop);
-      } while (peer == vm);
-    }
-    return peer;
-  };
-  for (std::size_t w = 0; w < cfg.waves; ++w) {
-    const sim::Time wave_start = static_cast<sim::Time>(w) * cfg.wave_gap;
-    for (std::size_t vm = 0; vm < vms; ++vm) {
-      for (std::size_t c = 0; c < cfg.conns_per_vm; ++c) {
-        const sim::Time start =
-            wave_start +
-            static_cast<sim::Time>(rng.next_below(
-                static_cast<std::uint64_t>(cfg.spread) + 1));
-        d.loop.spawn(Driver::connect(&d, vm, same_tenant_peer(vm), start));
-      }
-    }
+  // interleaving. Spawn order matches the schedule's vector order exactly
+  // (it is the same-timestamp tie-break).
+  const storm::StormSchedule sched = storm::StormSchedule::draw(cfg);
+  for (const auto& c : sched.wave_conns) {
+    d.loop.spawn(Driver::connect(&d, c.src, c.dst, c.start));
   }
-  for (std::size_t i = 0; i < cfg.ip_changes; ++i) {
-    const std::size_t vm = rng.next_below(vms);
-    const sim::Time when = static_cast<sim::Time>(
-        rng.next_below(static_cast<std::uint64_t>(horizon)));
-    d.loop.spawn(Driver::ip_change(&d, vm, when));
+  for (const auto& ch : sched.ip_changes) {
+    d.loop.spawn(Driver::ip_change(&d, ch.vm, ch.when));
   }
-  // A security-rule reset makes every VM of one tenant re-validate a peer
-  // connection: a surge of resolves against warm caches.
-  for (std::size_t i = 0; i < cfg.rule_resets; ++i) {
-    const std::size_t tenant = rng.next_below(cfg.tenants);
-    const sim::Time when = static_cast<sim::Time>(
-        rng.next_below(static_cast<std::uint64_t>(horizon)));
-    for (std::size_t vm = tenant; vm < vms; vm += cfg.tenants) {
-      d.loop.spawn(Driver::connect(&d, vm, same_tenant_peer(vm), when));
-    }
+  for (const auto& c : sched.reset_conns) {
+    d.loop.spawn(Driver::connect(&d, c.src, c.dst, c.start));
   }
   if (cfg.down_shard >= 0) {
     d.loop.spawn(Driver::shard_down(
@@ -236,6 +201,9 @@ ScaleReport run_scale_storm(const ScaleConfig& cfg) {
       sr.degraded_serves += agent->cache().degraded_serves(s);
     }
   }
+  r.sim_events = d.loop.events_executed();
+  r.trace_hash = cfg.trace ? d.loop.trace_hash() : 0;
+  r.engine_threads = 0;
   return r;
 }
 

@@ -66,6 +66,11 @@ struct ScaleConfig {
   sim::Time down_until = 0;
 
   std::uint64_t seed = 1;
+
+  // Mix every executed event into the loop's FNV-1a trace hash (reported
+  // via ScaleReport::trace_hash). Costs a few percent of wall clock; the
+  // determinism tests turn it on to prove thread-count invariance.
+  bool trace = false;
 };
 
 struct ShardReport {
@@ -110,11 +115,30 @@ struct ScaleReport {
 
   std::vector<ShardReport> per_shard;
 
+  // ---- engine observability, NOT serialized by json() ----
+  // Kept out of the report JSON so the single-loop and partitioned
+  // engines, and runs at different thread counts, can be byte-diffed on
+  // json() alone. sim_events and trace_hash are still deterministic per
+  // engine (the scaletest tool prints them separately).
+  std::uint64_t sim_events = 0;   // events executed across all loops
+  std::uint64_t trace_hash = 0;   // FNV fold; 0 unless cfg.trace was set
+  std::size_t engine_threads = 0; // worker threads; 0 = single-loop engine
+
   // Fixed field order, fixed formatting, no timestamps — two identical
   // (config, seed) runs serialize to byte-identical JSON.
   std::string json() const;
 };
 
 ScaleReport run_scale_storm(const ScaleConfig& cfg);
+
+// Partition-parallel engine (DESIGN.md §13): cfg.shards partitions, each
+// with its own event loop and replica control plane, advanced in
+// rtt-width windows on `threads` workers with a deterministic
+// (send_time, partition, seq) merge of cross-partition traffic. The
+// report — and, with cfg.trace set, the trace hash — is byte-identical
+// for every `threads` value. Requires batching (cfg.batch_window > 0 and
+// cfg.query_rtt > 0); falls back to run_scale_storm otherwise.
+ScaleReport run_scale_storm_parallel(const ScaleConfig& cfg,
+                                     std::size_t threads);
 
 }  // namespace fabric

@@ -13,7 +13,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "baselines/freeflow.h"
@@ -31,6 +30,7 @@
 #include "sdn/controller.h"
 #include "sim/event_loop.h"
 #include "sim/faults.h"
+#include "sim/flat_map.h"
 #include "verbs/api.h"
 
 namespace fabric {
@@ -178,8 +178,8 @@ class Testbed : public rnic::FabricRouter {
   std::vector<std::unique_ptr<masq::Backend>> backends_;    // per host (MasQ)
   std::vector<std::unique_ptr<baselines::FfRouter>> ffrs_;  // per host (FF)
   std::vector<std::unique_ptr<Instance>> instances_;
-  std::unordered_map<net::Ipv4Addr, rnic::RnicDevice*> by_underlay_ip_;
-  std::unordered_map<std::uint32_t, std::uint32_t> vip_counter_;  // per vni
+  sim::FlatMap<net::Ipv4Addr, rnic::RnicDevice*> by_underlay_ip_;
+  sim::FlatMap<std::uint32_t, std::uint32_t> vip_counter_;  // per vni
   std::vector<int> vf_in_use_;  // per host (SR-IOV assignment)
 };
 

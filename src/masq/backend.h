@@ -16,7 +16,6 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "hyp/instance.h"
@@ -29,6 +28,7 @@
 #include "sdn/controller.h"
 #include "sdn/host_agent.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 #include "verbs/api.h"
 #include "verbs/kernel_driver.h"
 
@@ -140,15 +140,15 @@ class Backend {
     verbs::LayerProfile* profile_ = nullptr;
     // The tenant's view of each QPC — virtual addresses as the application
     // configured them, maintained alongside the renamed hardware view.
-    std::unordered_map<rnic::Qpn, rnic::QpAttr> tenant_view_;
+    sim::FlatMap<rnic::Qpn, rnic::QpAttr> tenant_view_;
     // Idempotency window: memoized responses by cmd_id, FIFO-evicted. The
     // window only has to outlive a frontend's bounded retries, not the
     // session.
     static constexpr std::size_t kDedupWindow = 1024;
-    std::unordered_map<std::uint64_t, Response> completed_cmds_;
+    sim::FlatMap<std::uint64_t, Response> completed_cmds_;
     std::deque<std::uint64_t> completed_order_;
     // cmd_id -> future of the execution currently in flight.
-    std::unordered_map<std::uint64_t, sim::Future<Response>> inflight_cmds_;
+    sim::FlatMap<std::uint64_t, sim::Future<Response>> inflight_cmds_;
     std::uint64_t dedup_hits_ = 0;
   };
 
@@ -194,7 +194,7 @@ class Backend {
   // is reset.
   std::shared_ptr<const char> liveness_ = std::make_shared<const char>(0);
   RConntrack conntrack_;
-  std::unordered_map<std::uint32_t, rnic::FnId> tenant_fn_;
+  sim::FlatMap<std::uint32_t, rnic::FnId> tenant_fn_;
   rnic::FnId next_vf_ = 1;
   std::uint64_t pending_qp_purges_ = 0;
   std::vector<std::unique_ptr<Session>> sessions_;

@@ -1,9 +1,8 @@
 #include "masq/frontend.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "sim/flat_map.h"
 
 namespace masq {
 
@@ -392,7 +391,7 @@ class MasqBatch final : public verbs::ControlBatch {
       // Entries whose cross-chunk dependency already failed: they inherit
       // that status client-side (the backend only sees a poisoned index).
       // Ordered: iterated below to patch per-slot results.
-      std::map<std::size_t, rnic::Status> dep_failed;
+      sim::FlatMap<std::size_t, rnic::Status> dep_failed;
       for (std::size_t i = begin; i < begin + n; ++i) {
         BatchableCommand cmd = cmds_[i];
         rnic::Status dep_status = rnic::Status::kOk;
@@ -536,8 +535,8 @@ class MasqBatch final : public verbs::ControlBatch {
     const std::size_t ring = static_cast<std::size_t>(ctx_.vq_.ring_size());
     for (int round = 1; round < rp.max_attempts; ++round) {
       std::vector<std::size_t> retry;
-      std::unordered_set<std::size_t> retry_slots;
-      std::unordered_set<std::uint64_t> retry_qpns;
+      sim::FlatSet<std::size_t> retry_slots;
+      sim::FlatSet<std::uint64_t> retry_qpns;
       for (std::size_t i = 0; i < cmds_.size(); ++i) {
         bool take = rnic::is_retryable(results_[i].status);
         const auto* mod = std::get_if<CmdModifyQp>(&cmds_[i]);
@@ -573,13 +572,13 @@ class MasqBatch final : public verbs::ControlBatch {
       // the time the later slice is built.
       for (std::size_t off = 0; off < retry.size(); off += ring) {
         const std::size_t n = std::min(ring, retry.size() - off);
-        std::unordered_map<std::size_t, std::size_t> pos;
+        sim::FlatMap<std::size_t, std::size_t> pos;
         for (std::size_t k = 0; k < n; ++k) pos[retry[off + k]] = k;
         CmdBatch mini;
         mini.cmds.reserve(n);
         mini.links.reserve(n);
         // Ordered: iterated below to patch per-slot results.
-        std::map<std::size_t, rnic::Status> dep_failed;
+        sim::FlatMap<std::size_t, rnic::Status> dep_failed;
         for (std::size_t k = 0; k < n; ++k) {
           const std::size_t i = retry[off + k];
           BatchableCommand cmd = cmds_[i];

@@ -9,13 +9,13 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 
 #include "hyp/instance.h"
 #include "masq/backend.h"
 #include "masq/commands.h"
 #include "overlay/oob.h"
 #include "sim/rng.h"
+#include "sim/flat_map.h"
 #include "verbs/api.h"
 #include "virtio/virtqueue.h"
 
@@ -121,7 +121,7 @@ class MasqContext : public verbs::Context {
   overlay::OobEndpoint& oob_;
   virtio::Virtqueue<Envelope, Response> vq_;
   mem::Addr doorbell_gva_ = 0;  // device BAR mapped into the guest
-  std::unordered_map<rnic::Qpn, rnic::QpType> qp_types_;
+  sim::FlatMap<rnic::Qpn, rnic::QpType> qp_types_;
   std::uint64_t next_cmd_id_ = 1;
   sim::Rng jitter_rng_;
   std::uint64_t control_retries_ = 0;

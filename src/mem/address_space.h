@@ -15,11 +15,11 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/physical_memory.h"
 #include "mem/region_allocator.h"
+#include "sim/flat_map.h"
 
 namespace mem {
 
@@ -95,7 +95,7 @@ class AddressSpace {
   std::string name_;
   AddressSpace* lower_ = nullptr;  // nullptr at root level
   HostPhysMap* phys_ = nullptr;    // set at root level
-  std::unordered_map<Addr, Entry> table_;  // VA page number -> entry
+  sim::FlatMap<Addr, Entry> table_;  // VA page number -> entry
 };
 
 }  // namespace mem

@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "net/fluid.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
+#include "sim/flat_map.h"
 
 namespace net {
 
@@ -68,7 +68,7 @@ class DcqcnController {
   sim::EventLoop& loop_;
   FluidNet& net_;
   DcqcnParams params_;
-  std::unordered_map<FlowId, Rp> rp_;
+  sim::FlatMap<FlowId, Rp> rp_;
   sim::Rng rng_;
   std::uint64_t marks_ = 0;
 };

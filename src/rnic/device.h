@@ -22,10 +22,8 @@
 #include <deque>
 #include <functional>
 #include <list>
-#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,6 +38,7 @@
 #include "rnic/qp_state.h"
 #include "rnic/types.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 #include "sim/service_queue.h"
 #include "sim/task.h"
 
@@ -262,9 +261,11 @@ class RnicDevice : public mem::MmioDevice {
     std::uint32_t next_tx_psn = 0;
     std::uint32_t outstanding = 0;  // launched, not yet acked
     std::uint32_t next_ack_psn = 0;
-    std::map<std::uint32_t, PendingSend> pending;  // psn -> in-flight send
+    // PSN-keyed, but only ever probed by exact key (next_ack_psn walks one
+    // PSN at a time), so no ordered container is needed.
+    sim::FlatMap<std::uint32_t, PendingSend> pending;  // psn -> in-flight
     std::uint32_t next_rx_psn = 0;
-    std::map<std::uint32_t, Message> reorder;  // early arrivals
+    sim::FlatMap<std::uint32_t, Message> reorder;  // early arrivals
     std::vector<net::FlowId> active_flows;
     std::vector<sim::Promise<bool>> window_waiters;
     std::vector<sim::Promise<bool>> rx_waiters;
@@ -321,10 +322,10 @@ class RnicDevice : public mem::MmioDevice {
   mem::Addr doorbell_bar_;
 
   std::vector<FunctionInfo> fns_;
-  std::unordered_map<PdId, FnId> pds_;
-  std::unordered_map<Key, std::unique_ptr<MemoryRegion>> mrs_;
-  std::unordered_map<Cqn, std::unique_ptr<CompletionQueue>> cqs_;
-  std::unordered_map<Qpn, std::unique_ptr<Qp>> qps_;
+  sim::FlatMap<PdId, FnId> pds_;
+  sim::FlatMap<Key, std::unique_ptr<MemoryRegion>> mrs_;
+  sim::FlatMap<Cqn, std::unique_ptr<CompletionQueue>> cqs_;
+  sim::FlatMap<Qpn, std::unique_ptr<Qp>> qps_;
   PdId next_pd_ = 1;
   Key next_key_ = 1;
   Cqn next_cq_ = 1;
@@ -333,9 +334,9 @@ class RnicDevice : public mem::MmioDevice {
   sim::ServiceQueue engine_;  // shared WQE pipeline (tx and rx)
 
   // VXLAN tunnel table: full table in "DRAM" + finite on-chip LRU cache.
-  std::unordered_map<net::Gid, TunnelEntry> tunnel_table_;
+  sim::FlatMap<net::Gid, TunnelEntry> tunnel_table_;
   std::list<net::Gid> tunnel_lru_;  // front = most recent
-  std::unordered_map<net::Gid, std::list<net::Gid>::iterator> tunnel_cache_;
+  sim::FlatMap<net::Gid, std::list<net::Gid>::iterator> tunnel_cache_;
   std::uint64_t tunnel_hits_ = 0;
   std::uint64_t tunnel_misses_ = 0;
 

@@ -189,14 +189,14 @@ void Controller::set_shard_reachable(std::size_t shard, bool reachable) {
 }
 
 void Controller::push_down(std::uint32_t vni) const {
-  // Each shard table is an unordered_map, but the push order feeds
-  // subscriber-side cache-insert ordering (and through it the event
-  // trace), so matching entries are gathered across shards and streamed in
-  // sorted key order.
+  // Shard tables iterate in insertion order (FlatMap), which is
+  // deterministic — but the push order feeds subscriber-side cache-insert
+  // ordering (and through it the event trace), and the wire contract has
+  // always been sorted key order, so matching entries are still gathered
+  // across shards and streamed sorted.
   std::vector<std::pair<net::Gid, net::Gid>> entries;  // vgid -> pgid
   for (const auto& s : shards_) {
-    for (const auto& [key, pgid] :
-         s->table) {  // masq-lint: allow(unordered-iter) sorted before fan-out
+    for (const auto& [key, pgid] : s->table) {
       if (key.vni == vni) entries.emplace_back(key.vgid, pgid);
     }
   }
@@ -208,8 +208,7 @@ void Controller::push_down(std::uint32_t vni) const {
 
 bool Controller::is_virtual_gid(net::Gid vgid) const {
   for (const auto& s : shards_) {
-    for (const auto& [key, pgid] :
-         s->table) {  // masq-lint: allow(unordered-iter) pure predicate
+    for (const auto& [key, pgid] : s->table) {
       if (key.vgid == vgid) return true;
     }
   }
@@ -365,8 +364,7 @@ void MappingCache::for_each_entry(
     const {
   std::vector<std::pair<VirtKey, Entry>> entries;
   entries.reserve(cache_.size());
-  for (const auto& [key, e] :
-       cache_) {  // masq-lint: allow(unordered-iter) sorted before streaming
+  for (const auto& [key, e] : cache_) {
     entries.emplace_back(key, e);
   }
   std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {

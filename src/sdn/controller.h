@@ -30,12 +30,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/addr.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 #include "sim/service_queue.h"
 #include "sim/task.h"
 
@@ -210,7 +209,7 @@ class Controller {
  private:
   struct Shard {
     explicit Shard(sim::EventLoop& loop) : queue(loop) {}
-    std::unordered_map<VirtKey, net::Gid, VirtKeyHash> table;
+    sim::FlatMap<VirtKey, net::Gid, VirtKeyHash> table;
     sim::ServiceQueue queue;
     bool reachable = true;
     std::uint64_t queries = 0;
@@ -383,15 +382,14 @@ class MappingCache {
   Controller::SubId invalidate_sub_ = 0;
   QueryFn query_fn_;
   std::function<bool(std::uint64_t)> fault_probe_;
-  std::unordered_map<VirtKey, Entry, VirtKeyHash> cache_;
+  sim::FlatMap<VirtKey, Entry, VirtKeyHash> cache_;
   // Key -> expiry time of the "known absent" verdict.
-  std::unordered_map<VirtKey, sim::Time, VirtKeyHash> negative_;
+  sim::FlatMap<VirtKey, sim::Time, VirtKeyHash> negative_;
   // One leader query per key; followers await the leader's future.
-  std::unordered_map<VirtKey, sim::Future<Resolution>, VirtKeyHash>
-      inflight_;
+  sim::FlatMap<VirtKey, sim::Future<Resolution>, VirtKeyHash> inflight_;
   // Keys invalidated while their leader query was in flight: the stale
   // result must not be installed when the leader returns.
-  std::unordered_set<VirtKey, VirtKeyHash> poisoned_;
+  sim::FlatSet<VirtKey, VirtKeyHash> poisoned_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t coalesced_ = 0;

@@ -7,21 +7,28 @@
 
 namespace sim {
 
-// A root task is a Task<void> whose lifetime the loop owns. The coroutine
-// frame is kept alive until the loop observes completion during reaping.
-struct EventLoop::RootTask {
-  Task<void> task;
-  explicit RootTask(Task<void> t) : task(std::move(t)) {}
-};
+namespace {
 
-// Defined after RootTask is complete so ~vector<unique_ptr<RootTask>>
-// instantiates here, not in the header.
+using RootHandle = std::coroutine_handle<Task<void>::promise_type>;
+
+RootHandle root_handle(void* addr) { return RootHandle::from_address(addr); }
+
+}  // namespace
+
 EventLoop::EventLoop() = default;
-EventLoop::~EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  // The loop owns every spawned frame, finished or not.
+  for (void* addr : roots_) root_handle(addr).destroy();
+}
 
 void EventLoop::schedule_at(Time t, Callback cb) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, seq_++, std::move(cb)});
+  EventNode* n = pool_.acquire();
+  n->t = t;
+  n->seq = seq_++;
+  n->cb = std::move(cb);
+  queue_.push(n);
 }
 
 void EventLoop::schedule_after(Time delay, Callback cb) {
@@ -30,19 +37,22 @@ void EventLoop::schedule_after(Time delay, Callback cb) {
 }
 
 void EventLoop::step() {
-  assert(!queue_.empty());
-  // priority_queue::top() is const; the callback must be moved out, so copy
-  // the wrapper (std::function copy) before pop.
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.t >= now_);
-  now_ = ev.t;
+  EventNode* n = queue_.pop();
+  assert(n->t >= now_);
+  now_ = n->t;
+  last_event_time_ = n->t;
   ++executed_;
   if (trace_enabled_) {
-    mix_trace(static_cast<std::uint64_t>(ev.t));
-    mix_trace(ev.seq);
+    mix_trace(static_cast<std::uint64_t>(n->t));
+    mix_trace(n->seq);
   }
-  ev.cb();
+  // Move the callback out and recycle the node *before* invoking: the
+  // callback may schedule new events, and the freshest node is the one
+  // most likely to still be in cache.
+  Callback cb = std::move(n->cb);
+  n->cb = nullptr;
+  pool_.release(n);
+  cb();
   if (audit_hook_ && executed_ % audit_every_ == 0) audit_hook_();
 }
 
@@ -57,7 +67,7 @@ Time EventLoop::run() {
 
 void EventLoop::run_until(Time deadline) {
   if (deadline < now_) return;
-  while (!queue_.empty() && queue_.top().t <= deadline) {
+  while (queue_.next_time() <= deadline) {
     step();
     if ((executed_ & 0x3ff) == 0) reap_finished_tasks();
   }
@@ -65,35 +75,42 @@ void EventLoop::run_until(Time deadline) {
   reap_finished_tasks();
 }
 
+void EventLoop::run_before(Time end) {
+  if (end <= now_) return;
+  while (queue_.next_time() < end) {
+    step();
+    if ((executed_ & 0x3ff) == 0) reap_finished_tasks();
+  }
+  now_ = end;
+  reap_finished_tasks();
+}
+
 void EventLoop::spawn(Task<void> task) {
   if (!task.valid() || task.done()) return;
-  roots_.push_back(std::make_unique<RootTask>(std::move(task)));
-  RootTask* root = roots_.back().get();
-  auto handle = std::coroutine_handle<Task<void>::promise_type>::from_address(
-      root->task.release().address());
-  // Re-wrap the released handle so the RootTask still owns the frame.
-  root->task = Task<void>(handle);
+  RootHandle handle = task.release();
+  handle.promise().root_owner = this;
+  handle.promise().root_index = roots_.size();
+  roots_.push_back(handle.address());
   schedule_after(0, [handle] { handle.resume(); });
 }
 
 void EventLoop::reap_finished_tasks() {
+  if (finished_roots_.empty()) return;
   std::exception_ptr first_error;
-  auto it = roots_.begin();
-  while (it != roots_.end()) {
-    RootTask* r = it->get();
-    if (r->task.done()) {
-      auto handle =
-          std::coroutine_handle<Task<void>::promise_type>::from_address(
-              r->task.release().address());
-      if (!first_error && handle.promise().error) {
-        first_error = handle.promise().error;
-      }
-      handle.destroy();
-      it = roots_.erase(it);
-    } else {
-      ++it;
+  for (void* addr : finished_roots_) {
+    RootHandle handle = root_handle(addr);
+    if (!first_error && handle.promise().error) {
+      first_error = handle.promise().error;
     }
+    // Swap-erase from the root table, fixing up the moved frame's index.
+    const std::size_t i = handle.promise().root_index;
+    assert(i < roots_.size() && roots_[i] == addr);
+    roots_[i] = roots_.back();
+    root_handle(roots_[i]).promise().root_index = i;
+    roots_.pop_back();
+    handle.destroy();
   }
+  finished_roots_.clear();
   if (first_error) std::rethrow_exception(first_error);
 }
 

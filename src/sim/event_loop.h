@@ -4,14 +4,22 @@
 // are broken FIFO so runs are bit-for-bit reproducible. Root coroutines
 // (sim::Task<void>) may be attached with spawn(); their lifetime is owned by
 // the loop and exceptions escaping a root task are rethrown from run().
+//
+// Hot-path machinery (DESIGN.md §13): events are arena-allocated nodes
+// (sim::NodePool) ordered by a bucketed timer wheel (sim::ReadyQueue), and
+// callbacks are small-buffer-optimized sim::Callback — no malloc and no
+// std::function copy per scheduled event. The (time, seq) discipline, and
+// therefore every event trace and golden number, is unchanged from the
+// priority-queue implementation this replaced.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/arena.h"
+#include "sim/callback.h"
+#include "sim/ready_queue.h"
 #include "sim/time.h"
 
 namespace sim {
@@ -21,7 +29,7 @@ class Task;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   EventLoop();
   EventLoop(const EventLoop&) = delete;
@@ -41,12 +49,34 @@ class EventLoop {
   // Runs all events with timestamp <= deadline, then sets now() = deadline.
   void run_until(Time deadline);
 
+  // Runs all events with timestamp strictly < end, then sets now() = end.
+  // The partition engine's window primitive: events at exactly `end` belong
+  // to the next window (or to a barrier), so cross-partition deliveries at
+  // `end` scheduled after this returns still land in the future.
+  void run_before(Time end);
+
+  // Timestamp of the next pending event, or ReadyQueue::kMaxTime if none.
+  Time next_event_time() { return queue_.next_time(); }
+
   // Attaches a root coroutine. It starts running at the current time (the
   // first resume is scheduled as an event, not executed inline).
   void spawn(Task<void> task);
 
+  // Called by the final awaiter of a root task (see detail::PromiseBase):
+  // records the frame for the next reap cycle so reaping is O(#finished),
+  // not a scan of every live root.
+  void note_root_finished(std::coroutine_handle<> h) {
+    finished_roots_.push_back(h.address());
+  }
+
   // Number of events executed so far (useful for tests / budget checks).
   std::uint64_t events_executed() const { return executed_; }
+
+  // Timestamp of the last event actually executed. Unlike now(), this is
+  // not advanced by run_until()/run_before() deadlines, so a partitioned
+  // run can report when the simulation *ended* rather than where the last
+  // window boundary happened to fall.
+  Time last_event_time() const { return last_event_time_; }
 
   bool empty() const { return queue_.empty(); }
 
@@ -78,18 +108,6 @@ class EventLoop {
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-
   // Pops and runs the next event. Precondition: !queue_.empty().
   void step();
   void reap_finished_tasks();
@@ -99,8 +117,10 @@ class EventLoop {
     trace_hash_ = (trace_hash_ ^ v) * 0x100000001b3ull;
   }
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  ReadyQueue queue_;
+  NodePool<EventNode> pool_;
   Time now_ = 0;
+  Time last_event_time_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
 
@@ -110,8 +130,11 @@ class EventLoop {
   bool trace_enabled_ = false;
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis
 
-  struct RootTask;
-  std::vector<std::unique_ptr<RootTask>> roots_;
+  // Live root-coroutine frames, as raw handle addresses (the promise type
+  // is only nameable in the .cc, which includes task.h). Each frame's
+  // promise stores its index here; reap swap-erases and fixes indices up.
+  std::vector<void*> roots_;
+  std::vector<void*> finished_roots_;
 };
 
 }  // namespace sim

@@ -1,0 +1,80 @@
+// Partition-parallel execution of deterministic event loops (DESIGN.md §13).
+//
+// A PartitionGroup owns N independent sim::EventLoops ("partitions") and
+// advances them in lockstep windows: run_window_before(end) executes, in
+// every partition, all events with timestamp strictly < end — possibly on
+// different worker threads — then returns once all partitions have reached
+// the barrier. Between windows the single-threaded caller (the
+// "coordinator") may inspect partitions and schedule cross-partition
+// deliveries at times >= end.
+//
+// Determinism contract: a partition's event schedule is a pure function of
+// what was scheduled into it, executed in (time, seq) order by its own
+// loop. Worker threads only decide *which CPU* runs a partition's window,
+// never the order of events inside it, so every per-partition trace hash —
+// and therefore combined_trace_hash(), which folds them in partition
+// order — is byte-identical at 1, 2, or N worker threads.
+//
+// Threading: partitions share no mutable state. Coroutine frames use
+// thread-local free lists over a process-wide slab registry (sim/arena.h),
+// so a frame allocated while partition P ran on thread A is safely freed
+// when P later runs on thread B.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace sim {
+
+class PartitionGroup {
+ public:
+  // `threads` caps worker parallelism; clamped to [1, partitions].
+  PartitionGroup(std::size_t partitions, std::size_t threads);
+  ~PartitionGroup();
+  PartitionGroup(const PartitionGroup&) = delete;
+  PartitionGroup& operator=(const PartitionGroup&) = delete;
+
+  std::size_t size() const { return loops_.size(); }
+  std::size_t threads() const { return threads_; }
+  EventLoop& loop(std::size_t i) { return *loops_[i]; }
+  const EventLoop& loop(std::size_t i) const { return *loops_[i]; }
+
+  // Runs every partition's events with timestamp < end (see
+  // EventLoop::run_before), in parallel across the worker pool, and blocks
+  // until all partitions reach the barrier. If any partition's window
+  // throws (e.g. a root task error), the first exception — first by
+  // partition index, for determinism — is rethrown here after the barrier.
+  void run_window_before(Time end);
+
+  // Earliest pending event across all partitions, or ReadyQueue::kMaxTime
+  // if every partition is drained. Coordinator uses this to pick the next
+  // window and to detect completion. (Non-const: peeking may lazily settle
+  // a loop's ready queue.)
+  Time min_next_event_time();
+
+  bool all_empty() const;
+
+  void enable_trace();
+
+  // ---- merged observability ----
+  std::uint64_t total_events() const;
+  // Latest executed-event timestamp across partitions (the simulation's
+  // true end time; window barriers advance now() past it).
+  Time last_event_time() const;
+  // FNV-1a fold of the per-partition trace hashes, in partition order.
+  std::uint64_t combined_trace_hash() const;
+
+ private:
+  struct Pool;  // worker threads; defined in partition.cc
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::size_t threads_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace sim

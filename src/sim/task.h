@@ -38,6 +38,23 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
 
+  // Set only on root tasks (EventLoop::spawn). The loop used to discover
+  // finished roots by scanning every live root each reap cycle — O(live)
+  // per reap, quadratic over a storm that spawns one root per connection.
+  // Instead the final awaiter notifies the owner, so reaping touches only
+  // tasks that actually completed. root_index is the task's slot in the
+  // loop's root table (kept current under swap-erase).
+  EventLoop* root_owner = nullptr;
+  std::size_t root_index = 0;
+
+  // Coroutine frames come from the size-classed pool in sim/arena.h: the
+  // simulator allocates a frame per in-flight operation (connect, query,
+  // flush) and the pool turns that from a malloc/free pair into a
+  // thread-local free-list pop/push. Sized delete is guaranteed here
+  // because the compiler always calls these operators with the frame size.
+  static void* operator new(std::size_t n) { return frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) { frame_free(p, n); }
+
   std::suspend_always initial_suspend() noexcept { return {}; }
 
   struct FinalAwaiter {
@@ -45,7 +62,9 @@ struct PromiseBase {
     template <typename P>
     std::coroutine_handle<> await_suspend(
         std::coroutine_handle<P> h) noexcept {
-      auto cont = h.promise().continuation;
+      PromiseBase& p = h.promise();
+      if (p.root_owner != nullptr) p.root_owner->note_root_finished(h);
+      auto cont = p.continuation;
       return cont ? cont : std::noop_coroutine();
     }
     void await_resume() noexcept {}

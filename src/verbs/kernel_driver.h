@@ -12,12 +12,12 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 
 #include "mem/address_space.h"
 #include "rnic/device.h"
 #include "verbs/api.h"
 #include "verbs/driver_costs.h"
+#include "sim/flat_map.h"
 
 namespace verbs {
 
@@ -72,7 +72,7 @@ class KernelDriver {
   DriverCosts costs_;
   LayerProfile* profile_ = nullptr;
   Layer layer_ = Layer::kRdmaDriver;
-  std::unordered_map<rnic::Key, MrRecord> mrs_;  // for unpinning on dereg
+  sim::FlatMap<rnic::Key, MrRecord> mrs_;  // for unpinning on dereg
 };
 
 }  // namespace verbs

@@ -1,0 +1,110 @@
+// sim::PartitionGroup tests (DESIGN.md §13): the partition-parallel window
+// primitive must (a) run every partition's events strictly before the
+// barrier, (b) keep each partition's event order — and therefore its trace
+// hash — independent of the worker-thread count, and (c) surface a
+// partition's root-task exception at the barrier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/partition.h"
+#include "sim/ready_queue.h"
+#include "sim/task.h"
+
+namespace {
+
+// Drives a little cross-partition ping-pong through the coordinator
+// pattern the scale engine uses: run a window, then (single-threaded)
+// schedule deliveries into other partitions at or after the barrier.
+std::uint64_t run_ping_pong(std::size_t threads) {
+  constexpr std::size_t kParts = 4;
+  constexpr sim::Time kLookahead = 100;
+  sim::PartitionGroup group(kParts, threads);
+  group.enable_trace();
+  // Each partition gets local work at t = 10 and t = 25.
+  std::vector<int> counters(kParts, 0);
+  for (std::size_t p = 0; p < kParts; ++p) {
+    group.loop(p).schedule_at(10, [&counters, p] { ++counters[p]; });
+    group.loop(p).schedule_at(25, [&counters, p] { counters[p] += 10; });
+  }
+  int rounds = 0;
+  while (true) {
+    const sim::Time next = group.min_next_event_time();
+    if (next == sim::ReadyQueue::kMaxTime) break;
+    group.run_window_before(next + kLookahead);
+    // Cross-partition delivery: each round, partition p sends one message
+    // to partition (p+1) % kParts, landing one lookahead later — until
+    // three rounds have run.
+    if (++rounds <= 3) {
+      for (std::size_t p = 0; p < kParts; ++p) {
+        const std::size_t to = (p + 1) % kParts;
+        group.loop(to).schedule_at(group.loop(to).now() + kLookahead,
+                                   [&counters, to] { counters[to] += 100; });
+      }
+    }
+  }
+  for (std::size_t p = 0; p < kParts; ++p) {
+    EXPECT_EQ(counters[p], 311) << "partition " << p;
+  }
+  return group.combined_trace_hash();
+}
+
+TEST(PartitionGroupTest, TraceHashInvariantAcrossThreadCounts) {
+  const std::uint64_t h1 = run_ping_pong(1);
+  const std::uint64_t h2 = run_ping_pong(2);
+  const std::uint64_t h4 = run_ping_pong(4);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h4);
+}
+
+TEST(PartitionGroupTest, RunWindowStopsStrictlyBeforeBarrier) {
+  sim::PartitionGroup group(2, 1);
+  std::vector<sim::Time> fired;
+  group.loop(0).schedule_at(10, [&] { fired.push_back(10); });
+  group.loop(0).schedule_at(50, [&] { fired.push_back(50); });
+  group.run_window_before(50);
+  // The t=50 event belongs to the next window.
+  EXPECT_EQ(fired, (std::vector<sim::Time>{10}));
+  EXPECT_EQ(group.loop(0).now(), 50);
+  group.run_window_before(51);
+  EXPECT_EQ(fired, (std::vector<sim::Time>{10, 50}));
+  EXPECT_EQ(group.last_event_time(), 50);
+}
+
+TEST(PartitionGroupTest, ThreadCountClampsToPartitions) {
+  sim::PartitionGroup group(2, 16);
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_EQ(group.threads(), 2u);
+  group.loop(0).schedule_at(1, [] {});
+  group.loop(1).schedule_at(2, [] {});
+  group.run_window_before(10);
+  EXPECT_TRUE(group.all_empty());
+  EXPECT_EQ(group.total_events(), 2u);
+}
+
+TEST(PartitionGroupTest, RootTaskErrorSurfacesAtBarrier) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    sim::PartitionGroup group(3, threads);
+    auto boom = [](sim::EventLoop& loop) -> sim::Task<void> {
+      co_await sim::delay(loop, 5);
+      throw std::runtime_error("partition blew up");
+    };
+    group.loop(1).spawn(boom(group.loop(1)));
+    EXPECT_THROW(group.run_window_before(100), std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PartitionGroupTest, MinNextEventTimeSpansPartitions) {
+  sim::PartitionGroup group(3, 1);
+  EXPECT_EQ(group.min_next_event_time(), sim::ReadyQueue::kMaxTime);
+  group.loop(2).schedule_at(70, [] {});
+  group.loop(0).schedule_at(30, [] {});
+  EXPECT_EQ(group.min_next_event_time(), 30);
+  group.run_window_before(31);
+  EXPECT_EQ(group.min_next_event_time(), 70);
+}
+
+}  // namespace

@@ -6,7 +6,12 @@
 //     in-flight batch per (host, shard) invariant),
 //   * a single-shard outage degrades only its partition: other shards see
 //     zero degraded serves and zero unreachable queries, and every
-//     connection attempt still reaches a terminal outcome.
+//     connection attempt still reaches a terminal outcome,
+//   * the partition-parallel engine (DESIGN.md §13) is byte-identical to
+//     itself at every worker-thread count (1/2/4 — same report, same event
+//     trace hash, same event count), and equivalent to the single-loop
+//     engine on every counter, with setup-latency percentiles matching to
+//     within the documented same-nanosecond tie-sequencing slack.
 #include <gtest/gtest.h>
 
 #include "fabric/scale.h"
@@ -92,6 +97,166 @@ TEST(ScaleStormTest, ShardOutageDegradesOnlyItsPartition) {
       EXPECT_GT(r.per_shard[s].queries, 0u) << "shard " << s;
     }
   }
+}
+
+// The smoke preset from `masq_scaletest --smoke`: 4 hosts x 25 VMs with the
+// default timing knobs — big enough to exercise batching, churn, and every
+// shard; small enough to run many times in one test.
+fabric::ScaleConfig storm_smoke() {
+  fabric::ScaleConfig cfg;
+  cfg.tenants = 5;
+  cfg.hosts = 4;
+  cfg.vms_per_host = 25;
+  cfg.waves = 2;
+  cfg.shards = 4;
+  cfg.ip_changes = 20;
+  cfg.rule_resets = 1;
+  return cfg;
+}
+
+// Every counter and every derived rate must agree between the single-loop
+// and the partition-parallel engine. The ONLY tolerated difference is the
+// setup-latency p50/p99: when several batch submissions to one shard land
+// on the same simulated nanosecond, the legacy engine FIFO-orders them by
+// global event sequence while the coordinator merge orders them by
+// (time, partition) — a documented tie-sequencing difference (DESIGN.md
+// §13) that shifts a handful of per-connection latencies by sub-ns queue
+// slots without touching any count.
+void expect_equivalent(const fabric::ScaleReport& legacy,
+                       const fabric::ScaleReport& par) {
+  EXPECT_EQ(legacy.tenants, par.tenants);
+  EXPECT_EQ(legacy.hosts, par.hosts);
+  EXPECT_EQ(legacy.vms, par.vms);
+  EXPECT_EQ(legacy.shards, par.shards);
+  EXPECT_EQ(legacy.seed, par.seed);
+  EXPECT_EQ(legacy.attempted, par.attempted);
+  EXPECT_EQ(legacy.ok, par.ok);
+  EXPECT_EQ(legacy.degraded, par.degraded);
+  EXPECT_EQ(legacy.unavailable, par.unavailable);
+  EXPECT_EQ(legacy.not_found, par.not_found);
+  EXPECT_EQ(legacy.cache_hits, par.cache_hits);
+  EXPECT_EQ(legacy.cache_misses, par.cache_misses);
+  EXPECT_EQ(legacy.coalesced, par.coalesced);
+  EXPECT_EQ(legacy.agent_batches, par.agent_batches);
+  EXPECT_EQ(legacy.agent_batched_keys, par.agent_batched_keys);
+  EXPECT_DOUBLE_EQ(legacy.hit_rate, par.hit_rate);
+  EXPECT_DOUBLE_EQ(legacy.elapsed_ms, par.elapsed_ms);
+  EXPECT_DOUBLE_EQ(legacy.kconn_per_s, par.kconn_per_s);
+  EXPECT_DOUBLE_EQ(legacy.max_us, par.max_us);
+  EXPECT_NEAR(legacy.p50_us, par.p50_us, 0.5);
+  EXPECT_NEAR(legacy.p99_us, par.p99_us, 0.5);
+  ASSERT_EQ(legacy.per_shard.size(), par.per_shard.size());
+  for (std::size_t s = 0; s < legacy.per_shard.size(); ++s) {
+    EXPECT_EQ(legacy.per_shard[s].queries, par.per_shard[s].queries)
+        << "shard " << s;
+    EXPECT_EQ(legacy.per_shard[s].batched_queries,
+              par.per_shard[s].batched_queries)
+        << "shard " << s;
+    EXPECT_EQ(legacy.per_shard[s].unreachable, par.per_shard[s].unreachable)
+        << "shard " << s;
+    EXPECT_EQ(legacy.per_shard[s].max_queue_depth,
+              par.per_shard[s].max_queue_depth)
+        << "shard " << s;
+    EXPECT_EQ(legacy.per_shard[s].degraded_serves,
+              par.per_shard[s].degraded_serves)
+        << "shard " << s;
+    EXPECT_EQ(legacy.per_shard[s].table_size, par.per_shard[s].table_size)
+        << "shard " << s;
+  }
+}
+
+TEST(ScalePartitionTest, ReportInvariantAcrossThreadCounts) {
+  fabric::ScaleConfig cfg = storm_smoke();
+  cfg.trace = true;  // mix every executed event into the FNV-1a hash
+  const fabric::ScaleReport t1 = fabric::run_scale_storm_parallel(cfg, 1);
+  const fabric::ScaleReport t2 = fabric::run_scale_storm_parallel(cfg, 2);
+  const fabric::ScaleReport t4 = fabric::run_scale_storm_parallel(cfg, 4);
+  // Byte-identical reports: not merely the same aggregates, the same JSON.
+  EXPECT_EQ(t1.json(), t2.json());
+  EXPECT_EQ(t1.json(), t4.json());
+  // Same events, in the same per-partition order, at every thread count.
+  EXPECT_EQ(t1.sim_events, t2.sim_events);
+  EXPECT_EQ(t1.sim_events, t4.sim_events);
+  EXPECT_NE(t1.trace_hash, 0u);
+  EXPECT_EQ(t1.trace_hash, t2.trace_hash);
+  EXPECT_EQ(t1.trace_hash, t4.trace_hash);
+  EXPECT_EQ(t1.engine_threads, 1u);
+  EXPECT_EQ(t2.engine_threads, 2u);
+  EXPECT_EQ(t4.engine_threads, 4u);
+}
+
+TEST(ScalePartitionTest, MatchesLegacyEngineOnSmokeStorm) {
+  const fabric::ScaleConfig cfg = storm_smoke();
+  const fabric::ScaleReport legacy = fabric::run_scale_storm(cfg);
+  const fabric::ScaleReport par = fabric::run_scale_storm_parallel(cfg, 2);
+  expect_equivalent(legacy, par);
+}
+
+TEST(ScalePartitionTest, OutageBlastRadiusMatchesLegacy) {
+  fabric::ScaleConfig cfg = storm_smoke();
+  cfg.down_shard = 1;
+  cfg.down_from = sim::milliseconds(45);
+  cfg.down_until = sim::milliseconds(150);
+  const fabric::ScaleReport legacy = fabric::run_scale_storm(cfg);
+  const fabric::ScaleReport par = fabric::run_scale_storm_parallel(cfg, 3);
+  expect_equivalent(legacy, par);
+  // The outage still bit, and still stopped at the partition boundary.
+  EXPECT_GT(par.degraded + par.unavailable, 0u);
+  for (std::size_t s = 0; s < par.per_shard.size(); ++s) {
+    if (s != 1) {
+      EXPECT_EQ(par.per_shard[s].degraded_serves, 0u) << "shard " << s;
+      EXPECT_EQ(par.per_shard[s].unreachable, 0u) << "shard " << s;
+    }
+  }
+}
+
+// 100-seed equivalence sweep on a tiny storm: the merge algorithm must
+// reproduce the legacy engine's counters for every workload draw, not just
+// the one the other tests pin.
+TEST(ScalePartitionTest, HundredSeedLegacyEquivalenceSweep) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    fabric::ScaleConfig cfg;
+    cfg.tenants = 3;
+    cfg.hosts = 4;
+    cfg.vms_per_host = 5;
+    cfg.conns_per_vm = 2;
+    cfg.waves = 2;
+    cfg.shards = 3;
+    cfg.ip_changes = 5;
+    cfg.rule_resets = 1;
+    cfg.seed = seed;
+    const fabric::ScaleReport legacy = fabric::run_scale_storm(cfg);
+    const fabric::ScaleReport par = fabric::run_scale_storm_parallel(cfg, 2);
+    ASSERT_EQ(legacy.attempted, par.attempted) << "seed " << seed;
+    ASSERT_EQ(legacy.ok, par.ok) << "seed " << seed;
+    ASSERT_EQ(legacy.not_found, par.not_found) << "seed " << seed;
+    ASSERT_EQ(legacy.cache_hits, par.cache_hits) << "seed " << seed;
+    ASSERT_EQ(legacy.cache_misses, par.cache_misses) << "seed " << seed;
+    ASSERT_EQ(legacy.agent_batches, par.agent_batches) << "seed " << seed;
+    ASSERT_EQ(legacy.agent_batched_keys, par.agent_batched_keys)
+        << "seed " << seed;
+    ASSERT_DOUBLE_EQ(legacy.elapsed_ms, par.elapsed_ms) << "seed " << seed;
+    for (std::size_t s = 0; s < cfg.shards; ++s) {
+      ASSERT_EQ(legacy.per_shard[s].queries, par.per_shard[s].queries)
+          << "seed " << seed << " shard " << s;
+      ASSERT_EQ(legacy.per_shard[s].max_queue_depth,
+                par.per_shard[s].max_queue_depth)
+          << "seed " << seed << " shard " << s;
+    }
+  }
+}
+
+// When the config cannot honor the conservative-lookahead contract (no
+// batch window means agents query inline, so there is no barrier the
+// coordinator can defer replies to), the parallel entry point falls back
+// to the single-loop engine rather than producing divergent results.
+TEST(ScalePartitionTest, FallsBackWithoutBatchWindow) {
+  fabric::ScaleConfig cfg = storm_smoke();
+  cfg.batch_window = 0;
+  const fabric::ScaleReport legacy = fabric::run_scale_storm(cfg);
+  const fabric::ScaleReport par = fabric::run_scale_storm_parallel(cfg, 4);
+  EXPECT_EQ(legacy.json(), par.json());
+  EXPECT_EQ(par.engine_threads, 0u);  // reports itself as single-loop
 }
 
 TEST(ScaleStormTest, ReportEchoesTopologyAndSeed) {

@@ -19,6 +19,17 @@ clang-tidy's generic checks cannot express:
                   Sites that sort before acting may annotate an allowance.
   naked-new       No naked `new` in src/ — ownership goes through
                   std::make_unique/std::make_shared or containers.
+  container       No std::map / std::unordered_map in src/sim, src/rnic,
+                  or src/sdn. The DESIGN.md §13 refactor moved every hot
+                  table to sim::FlatMap (open addressing, insertion-ordered
+                  iteration); node-based maps cost a cache miss per hop and
+                  unordered ones leak hash-table layout into event order.
+                  Cold-path exceptions annotate an allowance.
+  event-callback  No std::function in event-loop scheduling signatures in
+                  src/sim. Scheduling goes through sim::Callback (64-byte
+                  SBO, move-only); std::function re-introduces a heap
+                  allocation and a copy per scheduled event — the exact
+                  costs the arena/SBO refactor removed.
 
 Escape hatch (must carry a reason, same line or the line above):
 
@@ -35,7 +46,8 @@ import os
 import re
 import sys
 
-RULES = ("nodiscard", "wall-clock", "unordered-iter", "naked-new")
+RULES = ("nodiscard", "wall-clock", "unordered-iter", "naked-new",
+         "container", "event-callback")
 
 ALLOW_RE = re.compile(r"masq-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
 
@@ -288,7 +300,10 @@ def check_unordered_iter(files_by_dir: dict[str, list[SourceFile]],
 # Rule: naked-new
 # ---------------------------------------------------------------------------
 
-NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
+# `new T(...)` but not placement new (`new (ptr) T(...)` / `::new (ptr)`)
+# — placement new constructs into storage someone else already owns, which
+# is exactly the SBO/arena pattern, not an ownership escape.
+NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_]")
 
 
 def check_naked_new(src: SourceFile, violations: list[Violation]) -> None:
@@ -303,6 +318,74 @@ def check_naked_new(src: SourceFile, violations: list[Violation]) -> None:
                 src.path, lineno, "naked-new",
                 "naked new: route ownership through std::make_unique / "
                 "std::make_shared or a container",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule: container
+# ---------------------------------------------------------------------------
+
+# Directories the flat-map sweep converted; new node-based maps may not
+# creep back in. (std::set stays legal — ordered sets are deterministic and
+# have no flat replacement in-tree yet.)
+CONTAINER_DIRS = (
+    os.path.join("src", "sim"),
+    os.path.join("src", "rnic"),
+    os.path.join("src", "sdn"),
+)
+CONTAINER_RE = re.compile(r"\bstd::(unordered_map|map)\s*<")
+
+
+def check_container(src: SourceFile, violations: list[Violation]) -> None:
+    if not any(os.sep + d + os.sep in src.path for d in CONTAINER_DIRS):
+        return
+    for idx, line in enumerate(src.code):
+        m = CONTAINER_RE.search(line)
+        if not m:
+            continue
+        lineno = idx + 1
+        if src.is_allowed("container", lineno):
+            continue
+        violations.append(
+            Violation(
+                src.path, lineno, "container",
+                f"std::{m.group(1)} on a hot-path layer: use sim::FlatMap "
+                "(open addressing, insertion-ordered iteration) instead",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule: event-callback
+# ---------------------------------------------------------------------------
+
+# A scheduling signature is one that both names a scheduling verb and takes
+# a std::function — the shape the sim::Callback refactor eliminated from
+# the event loop. Hook registration (FaultPlane::arm etc.) is not
+# scheduling and stays free to use std::function.
+SCHEDULE_VERB_RE = re.compile(
+    r"\b(?:schedule\w*|defer|post|run_at|call_at|call_in)\s*\("
+)
+EVENT_CB_DIR = os.path.join("src", "sim")
+
+
+def check_event_callback(src: SourceFile,
+                         violations: list[Violation]) -> None:
+    if os.sep + EVENT_CB_DIR + os.sep not in src.path:
+        return
+    for idx, line in enumerate(src.code):
+        if "std::function" not in line or not SCHEDULE_VERB_RE.search(line):
+            continue
+        lineno = idx + 1
+        if src.is_allowed("event-callback", lineno):
+            continue
+        violations.append(
+            Violation(
+                src.path, lineno, "event-callback",
+                "std::function in an event-loop scheduling signature: "
+                "scheduling takes sim::Callback (SBO, move-only) — "
+                "std::function heap-allocates per event",
             )
         )
 
@@ -325,6 +408,8 @@ def lint(root: str) -> list[Violation]:
             check_nodiscard(src, violations)
             check_wall_clock(src, violations)
             check_naked_new(src, violations)
+            check_container(src, violations)
+            check_event_callback(src, violations)
     check_unordered_iter(files_by_dir, violations)
     violations.sort(key=lambda v: (v.path, v.lineno, v.rule))
     return violations
