@@ -31,6 +31,9 @@ struct BedOptions {
   std::uint64_t host_dram = 48ull << 30;
   std::uint64_t vm_mem = 8ull << 30;
   int num_hosts = 2;
+  // Warm-path connection pool (DESIGN.md §14); MasQ only, off by default
+  // so every other figure keeps the cold-path golden numbers bit-exact.
+  masq::WarmPoolConfig masq_warm;
 };
 
 inline std::unique_ptr<fabric::Testbed> make_bed(sim::EventLoop& loop,
@@ -43,6 +46,7 @@ inline std::unique_ptr<fabric::Testbed> make_bed(sim::EventLoop& loop,
   cfg.masq_disable_cache = opts.masq_disable_cache;
   cfg.cal.host_dram_bytes = opts.host_dram;
   cfg.cal.vm_mem_bytes = opts.vm_mem;
+  cfg.masq_warm = opts.masq_warm;
   auto bed = std::make_unique<fabric::Testbed>(loop, cfg);
   bed->add_instances(opts.instances);
   return bed;

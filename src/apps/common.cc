@@ -119,6 +119,186 @@ sim::Task<rnic::Status> connect_server(verbs::Context& ctx, Endpoint& ep,
   co_return co_await raise_to_rts(ctx, ep);
 }
 
+sim::Task<rnic::Status> raise_pooled_to_rts(verbs::Context& ctx,
+                                            rnic::Qpn qp,
+                                            const verbs::ConnInfo& peer) {
+  auto batch = ctx.make_batch();
+  rnic::QpAttr attr;
+  attr.state = rnic::QpState::kRtr;
+  attr.dest_gid = peer.gid;
+  attr.dest_qpn = peer.qpn;
+  attr.path_mtu = 1024;
+  batch->modify_qp(qp, attr,
+                   rnic::kAttrState | rnic::kAttrDestGid |
+                       rnic::kAttrDestQpn | rnic::kAttrPathMtu);
+  attr.state = rnic::QpState::kRts;
+  batch->modify_qp(qp, attr, rnic::kAttrState);
+  co_return co_await batch->commit();
+}
+
+namespace {
+
+// Local info for a pool-staged endpoint: the QP plus the pre-registered
+// slab MR. The GID still comes from query_gid (the pool keys on the
+// *peer's* vGID; its own is a context fact).
+sim::Task<verbs::ConnInfo> pooled_info(verbs::Context& ctx,
+                                       const verbs::WarmEndpoint& ep) {
+  verbs::ConnInfo info;
+  info.qpn = ep.qpn;
+  info.raddr = ep.mr.addr;
+  info.rkey = ep.mr.rkey;
+  auto gid = co_await ctx.query_gid();
+  if (gid.ok()) info.gid = gid.value;
+  co_return info;
+}
+
+}  // namespace
+
+sim::Task<rnic::Status> warm_connect_client(verbs::Context& ctx,
+                                            WarmConn& conn,
+                                            net::Ipv4Addr server_vip,
+                                            std::uint16_t port) {
+  // Speculative vGID resolution: a peer's virtual GID is a pure function
+  // of its tenant vIP, so the pool is consulted before any OOB traffic.
+  conn.peer_gid = net::Gid::from_ipv4(server_vip);
+  conn.warm = co_await ctx.acquire_warm(conn.peer_gid);
+  conn.kind = conn.warm.kind;
+
+  WarmHello hello;
+  if (conn.warm.kind == verbs::WarmKind::kReused) {
+    hello.want_reuse = 1;
+    hello.expect_qpn = conn.warm.peer_qpn;
+    hello.info.qpn = conn.warm.qpn;
+    hello.info.raddr = conn.warm.mr.addr;
+    hello.info.rkey = conn.warm.mr.rkey;
+  } else if (conn.warm.kind == verbs::WarmKind::kPooled) {
+    hello.info = co_await pooled_info(ctx, conn.warm);
+  } else {
+    conn.cold = co_await setup_endpoint(ctx);
+    hello.info.qpn = conn.cold.qp;
+    hello.info.gid = conn.cold.local_gid;
+    hello.info.raddr = conn.cold.mr.addr;
+    hello.info.rkey = conn.cold.mr.rkey;
+  }
+  overlay::Blob blob = overlay::pack(hello);
+  const rnic::Status sent = co_await ctx.oob().send(server_vip, port, blob);
+  if (sent != rnic::Status::kOk) co_return sent;
+  overlay::Blob raw = co_await ctx.oob().recv(port);
+  const auto reply = overlay::unpack<WarmReply>(raw);
+  conn.peer = reply.info;
+
+  if (hello.want_reuse != 0) {
+    if (reply.reused != 0) {
+      // Both parked QPs are still RTS and wired to each other: live again
+      // after one OOB round, no verbs issued.
+      conn.qpn = conn.warm.qpn;
+      co_return rnic::Status::kOk;
+    }
+    // The server's half of the pair is gone (reclaimed, churned, errored).
+    // Our parked QP is wired to a dead peer — discard it and downgrade to
+    // whatever the pool has left, announcing the replacement via hello2.
+    co_await ctx.discard_warm(conn.warm);
+    conn.warm = co_await ctx.acquire_warm(conn.peer_gid);
+    conn.kind = conn.warm.kind;
+    WarmHello hello2;
+    if (conn.warm.kind == verbs::WarmKind::kPooled) {
+      hello2.info = co_await pooled_info(ctx, conn.warm);
+    } else {
+      conn.cold = co_await setup_endpoint(ctx);
+      hello2.info.qpn = conn.cold.qp;
+      hello2.info.gid = conn.cold.local_gid;
+      hello2.info.raddr = conn.cold.mr.addr;
+      hello2.info.rkey = conn.cold.mr.rkey;
+    }
+    overlay::Blob blob2 = overlay::pack(hello2);
+    const rnic::Status sent2 =
+        co_await ctx.oob().send(server_vip, port, blob2);
+    if (sent2 != rnic::Status::kOk) co_return sent2;
+  }
+
+  if (conn.warm.kind == verbs::WarmKind::kPooled) {
+    conn.qpn = conn.warm.qpn;
+    co_return co_await raise_pooled_to_rts(ctx, conn.warm.qpn, conn.peer);
+  }
+  conn.qpn = conn.cold.qp;
+  conn.cold.peer = conn.peer;
+  co_return co_await raise_to_rts_batched(ctx, conn.cold.qp, conn.peer);
+}
+
+sim::Task<rnic::Status> warm_connect_server(verbs::Context& ctx,
+                                            WarmConn& conn,
+                                            net::Ipv4Addr client_vip,
+                                            std::uint16_t port) {
+  conn.peer_gid = net::Gid::from_ipv4(client_vip);
+  overlay::Blob raw = co_await ctx.oob().recv(port);
+  const auto hello = overlay::unpack<WarmHello>(raw);
+  conn.peer = hello.info;
+
+  conn.warm = co_await ctx.acquire_warm(conn.peer_gid);
+  bool can_reuse = false;
+  if (conn.warm.kind == verbs::WarmKind::kReused) {
+    // Accept only if the parked pair is exactly what the client holds:
+    // our QPN is the one it expects AND its QPN is the one we parked.
+    can_reuse = hello.want_reuse != 0 && conn.warm.qpn == hello.expect_qpn &&
+                conn.warm.peer_qpn == hello.info.qpn;
+    if (!can_reuse) {
+      // Stale half-pair (the client lost or replaced its side): a reused
+      // QP wired to a dead twin is useless — discard, take the next rung.
+      co_await ctx.discard_warm(conn.warm);
+      conn.warm = co_await ctx.acquire_warm(conn.peer_gid);
+    }
+  }
+  conn.kind = conn.warm.kind;
+
+  WarmReply reply;
+  if (can_reuse) {
+    reply.reused = 1;
+    reply.info.qpn = conn.warm.qpn;
+    reply.info.raddr = conn.warm.mr.addr;
+    reply.info.rkey = conn.warm.mr.rkey;
+    conn.qpn = conn.warm.qpn;
+    overlay::Blob blob = overlay::pack(reply);
+    co_return co_await ctx.oob().send(client_vip, port, blob);
+  }
+
+  if (conn.warm.kind == verbs::WarmKind::kPooled) {
+    reply.info = co_await pooled_info(ctx, conn.warm);
+    conn.qpn = conn.warm.qpn;
+  } else {
+    conn.cold = co_await setup_endpoint(ctx);
+    reply.info.qpn = conn.cold.qp;
+    reply.info.gid = conn.cold.local_gid;
+    reply.info.raddr = conn.cold.mr.addr;
+    reply.info.rkey = conn.cold.mr.rkey;
+    conn.qpn = conn.cold.qp;
+  }
+  overlay::Blob blob = overlay::pack(reply);
+  const rnic::Status sent = co_await ctx.oob().send(client_vip, port, blob);
+  if (sent != rnic::Status::kOk) co_return sent;
+
+  if (hello.want_reuse != 0) {
+    // We rejected the reuse offer, so the client is replacing its side;
+    // hello2 carries the resources our RTR must actually target.
+    overlay::Blob raw2 = co_await ctx.oob().recv(port);
+    const auto hello2 = overlay::unpack<WarmHello>(raw2);
+    conn.peer = hello2.info;
+  }
+
+  if (conn.warm.kind == verbs::WarmKind::kPooled) {
+    co_return co_await raise_pooled_to_rts(ctx, conn.warm.qpn, conn.peer);
+  }
+  conn.cold.peer = conn.peer;
+  co_return co_await raise_to_rts_batched(ctx, conn.cold.qp, conn.peer);
+}
+
+sim::Task<void> warm_disconnect(verbs::Context& ctx, WarmConn& conn) {
+  if (conn.warm.warm()) {
+    co_await ctx.release_warm(conn.warm, conn.peer_gid, conn.peer.qpn);
+  } else {
+    co_await destroy_endpoint(ctx, conn.cold);
+  }
+}
+
 sim::Task<rnic::WcStatus> send_and_wait(verbs::Context& ctx, Endpoint& ep,
                                         std::uint64_t offset,
                                         std::uint32_t len) {

@@ -69,6 +69,68 @@ sim::Task<rnic::Status> connect_server(verbs::Context& ctx, Endpoint& ep,
                                        net::Ipv4Addr client_vip,
                                        std::uint16_t port);
 
+// Warm-path connection setup (DESIGN.md §14) ----------------------------
+//
+// Swift-style elastic setup on top of verbs::Context's warm-pool API.
+// Three rungs, negotiated per connect:
+//   reused — both sides still hold the parked RTS pair: one OOB hello
+//            round and the connection is live again (no verbs at all);
+//   pooled — a pre-staged QP (already at INIT, MR pre-registered) pays
+//            only the RTR→RTS half-ladder;
+//   cold   — full setup_endpoint() + INIT→RTR→RTS, identical to
+//            connect_client/connect_server.
+// On candidates without a warm pool acquire_warm() always returns kCold,
+// so these helpers degrade to the classic flow unmodified.
+
+// hello1: client resources + its reuse offer. `expect_qpn` is the server
+// QPN the client's parked pair is wired to — the server only accepts the
+// reuse if its own parked QP matches (a reclaimed/churned pool on either
+// side downgrades the rung instead of mis-wiring).
+struct WarmHello {
+  verbs::ConnInfo info;
+  rnic::Qpn expect_qpn = 0;
+  std::uint8_t want_reuse = 0;
+};
+// reply: server resources + whether the reuse offer was accepted.
+struct WarmReply {
+  verbs::ConnInfo info;
+  std::uint8_t reused = 0;
+};
+
+// One warm connection, whichever rung it landed on. `warm` holds pool
+// resources (kind != kCold); `cold` holds classic resources otherwise.
+struct WarmConn {
+  verbs::WarmEndpoint warm;
+  Endpoint cold;
+  verbs::ConnInfo peer;
+  net::Gid peer_gid;
+  verbs::WarmKind kind = verbs::WarmKind::kCold;
+  rnic::Qpn qpn = 0;  // our QP, whichever path supplied it
+};
+
+// Client/server warm connection establishment. The peer's virtual GID is
+// computed from its vIP (speculative vGID resolution — the pool key needs
+// no OOB traffic). Protocol: hello1 → reply; a rejected reuse offer adds
+// one hello2 carrying the client's replacement resources.
+sim::Task<rnic::Status> warm_connect_client(verbs::Context& ctx,
+                                            WarmConn& conn,
+                                            net::Ipv4Addr server_vip,
+                                            std::uint16_t port);
+sim::Task<rnic::Status> warm_connect_server(verbs::Context& ctx,
+                                            WarmConn& conn,
+                                            net::Ipv4Addr client_vip,
+                                            std::uint16_t port);
+
+// Lazy teardown: parks pool-backed connections for reuse (the pool's idle
+// timer reclaims them later); cold connections are destroyed eagerly.
+sim::Task<void> warm_disconnect(verbs::Context& ctx, WarmConn& conn);
+
+// RTR(peer) -> RTS as one batch — the pooled half-ladder (the pool already
+// walked the QP to INIT at stage time).
+sim::Task<rnic::Status> raise_pooled_to_rts(verbs::Context& ctx,
+                                            rnic::Qpn qp,
+                                            const verbs::ConnInfo& peer);
+
 // Data-plane conveniences -----------------------------------------------
 
 // Posts a send of [ep.buf+offset, +len) and waits for the send CQE.

@@ -9,12 +9,17 @@
 #include "sdn/controller.h"
 #include "sdn/host_agent.h"
 #include "sim/event_loop.h"
+#include "sim/flat_map.h"
 #include "sim/stats.h"
 #include "sim/task.h"
 
 namespace fabric {
 
 namespace {
+
+using storm::ParkedConn;
+using storm::WarmTokens;
+using storm::take_warm_token;
 
 // The whole storm lives in one Driver so the coroutines below can take a
 // raw pointer (the codebase's detached-coroutine idiom); the Driver
@@ -33,6 +38,12 @@ struct Driver {
   std::uint64_t unavailable = 0;
   std::uint64_t not_found = 0;
   std::uint64_t attempted = 0;
+  // Warm-path state (cfg.warm only; empty otherwise).
+  std::vector<WarmTokens> warm_vm;
+  sim::FlatMap<std::uint64_t, ParkedConn> parked;  // key: src*vms + dst
+  std::uint64_t warm_pooled = 0;
+  std::uint64_t warm_reused = 0;
+  std::uint64_t warm_cold = 0;
 
   explicit Driver(const ScaleConfig& c)
       : cfg(c),
@@ -51,8 +62,10 @@ struct Driver {
               .cache_staleness_bound = c.staleness_bound,
               .batch_window = c.batch_window,
               .max_batch = c.max_batch,
+              .speculative_prefill = c.warm,
           }));
     }
+    if (c.warm) warm_vm.assign(total_vms(), WarmTokens{c.warm_pool, 0});
   }
 
   // Topology arithmetic is shared with the partition engine so the two
@@ -84,18 +97,58 @@ struct Driver {
     co_await sim::delay(d->loop, start);
     ++d->attempted;
     const sim::Time t0 = d->loop.now();
-    const net::Gid peer = d->gid_of(dst, d->gen[dst]);
+    const std::uint32_t dst_gen = d->gen[dst];
+    const std::uint64_t pair =
+        static_cast<std::uint64_t>(src) * d->total_vms() + dst;
+    if (d->cfg.warm) {
+      // Connection reuse: a parked RTS QP toward this peer (same vGID
+      // generation, inside its idle TTL) skips resolve AND ladder — one
+      // application-level hello and the pair is live again.
+      auto it = d->parked.find(pair);
+      if (it != d->parked.end()) {
+        const bool live = it->second.expires > t0 && it->second.gen == dst_gen;
+        d->parked.erase(pair);
+        if (live) {
+          co_await sim::delay(d->loop, d->cfg.warm_reuse_cost);
+          ++d->ok;
+          ++d->warm_reused;
+          d->setup_us.add(sim::to_us(d->loop.now() - t0));
+          d->parked.insert_or_assign(
+              pair, ParkedConn{dst_gen,
+                               d->loop.now() + d->cfg.warm_reuse_ttl});
+          co_return;
+        }
+        // Stale (peer churned or idle-reclaimed): fall through cold.
+      }
+    }
+    const net::Gid peer = d->gid_of(dst, dst_gen);
     const auto res = co_await d->agents[d->host_of(src)]->resolve_ex(
         d->vni_of(dst), peer);
     switch (res.status) {
       case sdn::MappingCache::ResolveStatus::kOk:
-      case sdn::MappingCache::ResolveStatus::kOkDegraded:
+      case sdn::MappingCache::ResolveStatus::kOkDegraded: {
         res.status == sdn::MappingCache::ResolveStatus::kOk ? ++d->ok
                                                             : ++d->degraded;
-        // The rest of the setup ladder (Fig. 15 minus the resolve).
-        co_await sim::delay(d->loop, d->cfg.ladder_cost);
+        // The rest of the setup ladder (Fig. 15 minus the resolve). A warm
+        // token (pre-staged QP at INIT) shrinks it to RTR→RTS.
+        sim::Time ladder = d->cfg.ladder_cost;
+        if (d->cfg.warm) {
+          if (take_warm_token(d->cfg, d->warm_vm[src], d->loop.now())) {
+            ladder = d->cfg.warm_ladder_cost;
+            ++d->warm_pooled;
+          } else {
+            ++d->warm_cold;
+          }
+        }
+        co_await sim::delay(d->loop, ladder);
         d->setup_us.add(sim::to_us(d->loop.now() - t0));
+        if (d->cfg.warm) {
+          d->parked.insert_or_assign(
+              pair, ParkedConn{dst_gen,
+                               d->loop.now() + d->cfg.warm_reuse_ttl});
+        }
         break;
+      }
       case sdn::MappingCache::ResolveStatus::kNotFound:
         ++d->not_found;
         break;
@@ -183,7 +236,12 @@ ScaleReport run_scale_storm(const ScaleConfig& cfg) {
     r.coalesced += c.single_flight_coalesced();
     r.agent_batches += agent->batches();
     r.agent_batched_keys += agent->batched_keys();
+    r.warm_prefills += agent->prefills();
   }
+  r.warm_enabled = cfg.warm;
+  r.warm_pooled = d.warm_pooled;
+  r.warm_reused = d.warm_reused;
+  r.warm_cold = d.warm_cold;
   const std::uint64_t lookups = r.cache_hits + r.cache_misses + r.coalesced;
   if (lookups > 0) {
     r.hit_rate = static_cast<double>(r.cache_hits) /
@@ -235,6 +293,14 @@ std::string ScaleReport::json() const {
        "\"agent_batched_keys\": %llu},\n",
        u64(cache_hits), u64(cache_misses), u64(coalesced), hit_rate,
        u64(agent_batches), u64(agent_batched_keys));
+  // Emitted only when the warm path ran, so warm-off reports byte-match
+  // the pre-warm-path schema (the determinism tests diff them raw).
+  if (warm_enabled) {
+    emit("  \"warm\": {\"pooled\": %llu, \"reused\": %llu, \"cold\": %llu, "
+         "\"prefills\": %llu},\n",
+         u64(warm_pooled), u64(warm_reused), u64(warm_cold),
+         u64(warm_prefills));
+  }
   emit("  \"per_shard\": [\n");
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     const ShardReport& sr = per_shard[s];

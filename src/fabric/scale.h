@@ -59,6 +59,25 @@ struct ScaleConfig {
   std::size_t ip_changes = 0;
   std::size_t rule_resets = 0;
 
+  // Warm connection-setup path (DESIGN.md §14), modeled analytically so
+  // the warm-off event stream stays bit-identical:
+  //   * every VM boots with `warm_pool` pre-staged QP/CQ ladders (tokens);
+  //     a pooled setup pays warm_ladder_cost instead of ladder_cost, and
+  //     tokens restock lazily one per warm_refill of elapsed virtual time
+  //     (the background refill, with no timer events of its own);
+  //   * a completed (src,dst) pair is parked for warm_reuse_ttl; a repeat
+  //     connect inside the TTL to the SAME peer generation reuses the RTS
+  //     QP for warm_reuse_cost — no resolve, no ladder. A churned peer
+  //     (generation bump) invalidates the parked pair lazily;
+  //   * host agents run with speculative_prefill, so controller pushes
+  //     land mappings in every cache ahead of the first miss.
+  bool warm = false;
+  std::size_t warm_pool = 4;
+  sim::Time warm_refill = sim::microseconds(50);
+  sim::Time warm_reuse_ttl = sim::milliseconds(5);
+  sim::Time warm_ladder_cost = sim::microseconds(10);  // RTR→RTS only
+  sim::Time warm_reuse_cost = sim::microseconds(2);    // hello round only
+
   // Partition outage: shard `down_shard` (when >= 0) is unreachable over
   // [down_from, down_until). Proves degradation stays scoped.
   int down_shard = -1;
@@ -112,6 +131,15 @@ struct ScaleReport {
   double hit_rate = 0;
   std::uint64_t agent_batches = 0;
   std::uint64_t agent_batched_keys = 0;
+
+  // Warm-path split of completed setups (cfg.warm only; the "warm" JSON
+  // block is emitted only when warm_enabled, so warm-off reports stay
+  // byte-identical to the pre-warm-path engine).
+  bool warm_enabled = false;
+  std::uint64_t warm_pooled = 0;    // paid warm_ladder_cost (token hit)
+  std::uint64_t warm_reused = 0;    // paid warm_reuse_cost (parked pair)
+  std::uint64_t warm_cold = 0;      // pool empty: full ladder_cost
+  std::uint64_t warm_prefills = 0;  // mappings pushed ahead of any miss
 
   std::vector<ShardReport> per_shard;
 

@@ -37,6 +37,7 @@
 #include "net/addr.h"
 #include "sdn/controller.h"
 #include "sdn/host_agent.h"
+#include "sim/flat_map.h"
 #include "sim/partition.h"
 #include "sim/ready_queue.h"
 #include "sim/stats.h"
@@ -83,6 +84,14 @@ struct PartDriver {
   std::vector<std::uint64_t> q_unreachable;
   // Batches sent this window; drained by the coordinator at the barrier.
   std::vector<BatchRequest> outbox;
+  // Warm-path state (cfg.warm only). Keyed/updated exactly like the
+  // single-loop engine; a pair's state is only ever touched by its src
+  // VM's partition, so no cross-partition traffic is added.
+  std::vector<storm::WarmTokens> warm_vm;
+  sim::FlatMap<std::uint64_t, storm::ParkedConn> parked;
+  std::uint64_t warm_pooled = 0;
+  std::uint64_t warm_reused = 0;
+  std::uint64_t warm_cold = 0;
 
   PartDriver(const ScaleConfig& c, std::size_t p, sim::EventLoop& l)
       : cfg(c),
@@ -108,6 +117,7 @@ struct PartDriver {
               .cache_staleness_bound = c.staleness_bound,
               .batch_window = c.batch_window,
               .max_batch = c.max_batch,
+              .speculative_prefill = c.warm,
           });
       agents[h]->set_batch_transport(
           [this](std::size_t shard, std::vector<VirtKey> keys) {
@@ -115,6 +125,9 @@ struct PartDriver {
           });
     }
     for (std::size_t vm = 0; vm < storm::total_vms(c); ++vm) register_vm(vm);
+    if (c.warm) {
+      warm_vm.assign(storm::total_vms(c), storm::WarmTokens{c.warm_pool, 0});
+    }
   }
 
   void register_vm(std::size_t vm) {
@@ -141,18 +154,55 @@ struct PartDriver {
     co_await sim::delay(d->loop, start);
     ++d->attempted;
     const sim::Time t0 = d->loop.now();
-    const net::Gid peer = storm::gid_of(dst, d->gen[dst]);
+    const std::uint32_t dst_gen = d->gen[dst];
+    const std::uint64_t pair =
+        static_cast<std::uint64_t>(src) * storm::total_vms(d->cfg) + dst;
+    if (d->cfg.warm) {
+      // Connection reuse — identical decision sequence to scale.cc.
+      auto it = d->parked.find(pair);
+      if (it != d->parked.end()) {
+        const bool live = it->second.expires > t0 && it->second.gen == dst_gen;
+        d->parked.erase(pair);
+        if (live) {
+          co_await sim::delay(d->loop, d->cfg.warm_reuse_cost);
+          ++d->ok;
+          ++d->warm_reused;
+          d->setup_us.add(sim::to_us(d->loop.now() - t0));
+          d->parked.insert_or_assign(
+              pair, storm::ParkedConn{
+                        dst_gen, d->loop.now() + d->cfg.warm_reuse_ttl});
+          co_return;
+        }
+      }
+    }
+    const net::Gid peer = storm::gid_of(dst, dst_gen);
     const auto res =
         co_await d->agents[storm::host_of(d->cfg, src)]->resolve_ex(
             storm::vni_of(d->cfg, dst), peer);
     switch (res.status) {
       case sdn::MappingCache::ResolveStatus::kOk:
-      case sdn::MappingCache::ResolveStatus::kOkDegraded:
+      case sdn::MappingCache::ResolveStatus::kOkDegraded: {
         res.status == sdn::MappingCache::ResolveStatus::kOk ? ++d->ok
                                                             : ++d->degraded;
-        co_await sim::delay(d->loop, d->cfg.ladder_cost);
+        sim::Time ladder = d->cfg.ladder_cost;
+        if (d->cfg.warm) {
+          if (storm::take_warm_token(d->cfg, d->warm_vm[src],
+                                     d->loop.now())) {
+            ladder = d->cfg.warm_ladder_cost;
+            ++d->warm_pooled;
+          } else {
+            ++d->warm_cold;
+          }
+        }
+        co_await sim::delay(d->loop, ladder);
         d->setup_us.add(sim::to_us(d->loop.now() - t0));
+        if (d->cfg.warm) {
+          d->parked.insert_or_assign(
+              pair, storm::ParkedConn{
+                        dst_gen, d->loop.now() + d->cfg.warm_reuse_ttl});
+        }
         break;
+      }
       case sdn::MappingCache::ResolveStatus::kNotFound:
         ++d->not_found;
         break;
@@ -319,8 +369,12 @@ ScaleReport run_scale_storm_parallel(const ScaleConfig& cfg,
     r.degraded += d->degraded;
     r.unavailable += d->unavailable;
     r.not_found += d->not_found;
+    r.warm_pooled += d->warm_pooled;
+    r.warm_reused += d->warm_reused;
+    r.warm_cold += d->warm_cold;
     for (double s : d->setup_us.samples()) setup_us.add(s);
   }
+  r.warm_enabled = cfg.warm;
   if (!setup_us.empty()) {
     r.p50_us = setup_us.percentile(50.0);
     r.p99_us = setup_us.percentile(99.0);
@@ -339,6 +393,7 @@ ScaleReport run_scale_storm_parallel(const ScaleConfig& cfg,
     r.coalesced += c.single_flight_coalesced();
     r.agent_batches += agent->batches();
     r.agent_batched_keys += agent->batched_keys();
+    r.warm_prefills += agent->prefills();
   }
   const std::uint64_t lookups = r.cache_hits + r.cache_misses + r.coalesced;
   if (lookups > 0) {

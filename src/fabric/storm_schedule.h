@@ -9,6 +9,7 @@
 // start.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,41 @@ inline net::Gid pgid_of_host(std::size_t h) {
 // VMs all live in one partition, so a VM's cache/agent state is local.
 inline std::size_t partition_of_host(const ScaleConfig& cfg, std::size_t h) {
   return h % cfg.shards;
+}
+
+// ---- warm-path model (DESIGN.md §14), shared by both engines ----
+// Analytic state only — no timer events — so the model is a pure function
+// of each connect's virtual start time and both engines stay byte-equal.
+// Token bucket: pre-staged QP/CQ ladders per VM. Parked pair: an RTS QP
+// kept warm toward one peer generation until its idle TTL.
+struct WarmTokens {
+  std::uint64_t tokens = 0;
+  sim::Time last = 0;  // restock clock (advanced by whole refill periods)
+};
+struct ParkedConn {
+  std::uint32_t gen = 0;  // peer vGID generation the QP is bound to
+  sim::Time expires = 0;  // lazy idle-timeout reclaim deadline
+};
+
+// Lazy restock + take: tokens refill one per warm_refill of elapsed
+// virtual time — the background refill with no events of its own, so
+// enabling warm changes latencies but never injects extra loop events.
+inline bool take_warm_token(const ScaleConfig& cfg, WarmTokens& w,
+                            sim::Time now) {
+  if (w.tokens >= cfg.warm_pool) {
+    w.last = now;  // full pool: the refill clock idles
+  } else if (cfg.warm_refill > 0) {
+    const std::uint64_t earned =
+        static_cast<std::uint64_t>((now - w.last) / cfg.warm_refill);
+    const std::uint64_t add =
+        std::min<std::uint64_t>(earned, cfg.warm_pool - w.tokens);
+    w.tokens += add;
+    w.last += cfg.warm_refill * static_cast<sim::Time>(add);
+    if (w.tokens >= cfg.warm_pool) w.last = now;
+  }
+  if (w.tokens == 0) return false;
+  --w.tokens;
+  return true;
 }
 
 // ---- the pre-drawn schedule ----

@@ -66,6 +66,7 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
       bc.retry = config_.retry;
       bc.cache_staleness_bound = config_.cache_staleness_bound;
       bc.resolve_batch_window = config_.sdn_resolve_batch_window;
+      bc.warm = config_.masq_warm;
       bc.faults = fault_plane_.get();
       backends_.push_back(std::make_unique<masq::Backend>(
           loop_, dev, controller_, vnet_, bc));

@@ -70,6 +70,9 @@ struct TestbedConfig {
   sim::Time sdn_query_service = 0;
   // Host-agent resolve batching window (0 = pass-through).
   sim::Time sdn_resolve_batch_window = 0;
+  // Warm-path connection pool (DESIGN.md §14). Disabled by default: no
+  // pool is constructed and the cold path stays bit-identical.
+  masq::WarmPoolConfig masq_warm;
   // Runtime invariant auditing (src/check). Defaults to the MASQ_CHECK
   // environment switch, so `MASQ_CHECK=1 ctest` audits every testbed-based
   // test without code changes. When on, the MasQ candidate registers the

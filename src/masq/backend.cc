@@ -350,16 +350,22 @@ sim::Task<Response> Backend::Session::on_reg_mr(const CmdRegMr& cmd) {
   // and building the MTT happens in the kernel driver (Appendix B.2).
   auto mr = co_await driver_.reg_mr(cmd.pd, vm_.gva(), cmd.gva, cmd.len,
                                     cmd.access);
+  if (mr.status == rnic::Status::kOk) ++live_mrs_;
   co_return Response{mr.status, mr.value.lkey, mr.value.rkey};
 }
 
 sim::Task<Response> Backend::Session::on_create_cq(const CmdCreateCq& cmd) {
   auto cq = co_await driver_.create_cq(cmd.cqe);
+  if (cq.status == rnic::Status::kOk) ++live_cqs_;
   co_return Response{cq.status, cq.value, 0};
 }
 
 sim::Task<Response> Backend::Session::on_create_qp(const CmdCreateQp& cmd) {
   auto qp = co_await driver_.create_qp(cmd.attr);
+  if (qp.status == rnic::Status::kOk) {
+    ++live_qps_;
+    ++qps_created_;
+  }
   co_return Response{qp.status, qp.value, 0};
 }
 
@@ -451,15 +457,24 @@ sim::Task<Response> Backend::Session::on_query_qp(const CmdQueryQp& cmd) {
 sim::Task<Response> Backend::Session::on_destroy_qp(const CmdDestroyQp& cmd) {
   tenant_view_.erase(cmd.qpn);
   co_await backend_.conntrack().untrack(cmd.qpn, vni());
-  co_return Response{co_await driver_.destroy_qp(cmd.qpn), 0, 0};
+  const rnic::Status st = co_await driver_.destroy_qp(cmd.qpn);
+  if (st == rnic::Status::kOk && live_qps_ > 0) {
+    --live_qps_;
+    ++qps_destroyed_;
+  }
+  co_return Response{st, 0, 0};
 }
 
 sim::Task<Response> Backend::Session::on_destroy_cq(const CmdDestroyCq& cmd) {
-  co_return Response{co_await driver_.destroy_cq(cmd.cq), 0, 0};
+  const rnic::Status st = co_await driver_.destroy_cq(cmd.cq);
+  if (st == rnic::Status::kOk && live_cqs_ > 0) --live_cqs_;
+  co_return Response{st, 0, 0};
 }
 
 sim::Task<Response> Backend::Session::on_dereg_mr(const CmdDeregMr& cmd) {
-  co_return Response{co_await driver_.dereg_mr(cmd.lkey), 0, 0};
+  const rnic::Status st = co_await driver_.dereg_mr(cmd.lkey);
+  if (st == rnic::Status::kOk && live_mrs_ > 0) --live_mrs_;
+  co_return Response{st, 0, 0};
 }
 
 sim::Task<Response> Backend::Session::on_ud_send(const CmdUdSend& cmd) {

@@ -34,6 +34,29 @@
 
 namespace masq {
 
+// Swift-style warm-path connection setup (DESIGN.md §14). Off by default:
+// with `enabled == false` no pool object is even constructed, so the cold
+// path's event stream — and every golden number — is bit-identical to a
+// build without the feature.
+struct WarmPoolConfig {
+  bool enabled = false;
+  // Background refill keeps this many INIT-state QPs (each with its own CQ
+  // pair) staged per tenant session.
+  std::size_t target_ready = 4;
+  // Parked (reusable RTS) connections kept per session before the oldest
+  // is torn down to make room.
+  std::size_t max_parked = 16;
+  // Lazy teardown: a parked connection idle this long is reclaimed.
+  sim::Time reclaim_after = sim::milliseconds(50);
+  // Pacing between background refill ladders, so refill traffic trickles
+  // instead of bursting into the virtqueue behind foreground verbs.
+  sim::Time refill_gap = sim::microseconds(50);
+  // Pre-staged MR slab registered once at pool start (Swift's pre-staged
+  // registration); handed out with every warm endpoint.
+  std::uint64_t slab_bytes = 64 * 1024;
+  int cqe = 256;  // CQ depth for pooled endpoints
+};
+
 struct BackendConfig {
   // Map tenants to the PF instead of VFs: trades QoS isolation for
   // bare-metal latency (Fig. 9's "MasQ (PF)" variant).
@@ -62,6 +85,8 @@ struct BackendConfig {
   // the backend. Wired through to the mapping cache's expiry probe and
   // the per-command failure site.
   sim::FaultPlane* faults = nullptr;
+  // Warm-path pool knobs; frontends consult this at construction.
+  WarmPoolConfig warm;
 };
 
 class Backend {
@@ -102,6 +127,16 @@ class Backend {
     sim::Task<Response> handle(Envelope env);
 
     std::uint64_t dedup_hits() const { return dedup_hits_; }
+
+    // Live-object accounting: RNIC objects this session currently holds,
+    // by kind. The warm pool's lazy teardown is proven against these —
+    // parked connections keep live_qps high until the idle reclaim fires,
+    // then the counts settle back to the application's working set.
+    std::uint64_t live_qps() const { return live_qps_; }
+    std::uint64_t live_cqs() const { return live_cqs_; }
+    std::uint64_t live_mrs() const { return live_mrs_; }
+    std::uint64_t qps_created() const { return qps_created_; }
+    std::uint64_t qps_destroyed() const { return qps_destroyed_; }
 
     Backend& backend() { return backend_; }
     hyp::Vm& vm() { return vm_; }
@@ -150,6 +185,11 @@ class Backend {
     // cmd_id -> future of the execution currently in flight.
     sim::FlatMap<std::uint64_t, sim::Future<Response>> inflight_cmds_;
     std::uint64_t dedup_hits_ = 0;
+    std::uint64_t live_qps_ = 0;
+    std::uint64_t live_cqs_ = 0;
+    std::uint64_t live_mrs_ = 0;
+    std::uint64_t qps_created_ = 0;
+    std::uint64_t qps_destroyed_ = 0;
   };
 
   // Registers a VM with this backend: assigns a device function by the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "masq/warm_pool.h"
 #include "sim/flat_map.h"
 
 namespace masq {
@@ -70,6 +71,47 @@ MasqContext::MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
   // address space so data-path doorbells bypass the hypervisor.
   doorbell_gva_ = session_.vm().map_mmio_into_guest(
       session_.backend().device().doorbell_bar(), 64 * 1024 * 8);
+  // A QP torn down via ERROR never reaches destroy_qp's kOk path, so its
+  // control-path routing entry is purged here; the warm pool drops any
+  // staged/parked endpoint riding on the dead QP. Hooks run synchronously
+  // inside the transition — both callees only mutate tables and schedule.
+  qp_error_hook_ = session_.backend().device().on_qp_error(
+      [this](rnic::Qpn qpn) {
+        qp_types_.erase(qpn);
+        if (warm_pool_) warm_pool_->on_qp_error(qpn);
+      });
+  const WarmPoolConfig& warm = session_.backend().config().warm;
+  if (warm.enabled) {
+    warm_pool_ = std::make_unique<WarmPool>(*this, warm);
+    warm_pool_->start();
+  }
+}
+
+MasqContext::~MasqContext() {
+  session_.backend().device().remove_qp_error_hook(qp_error_hook_);
+  warm_pool_.reset();
+}
+
+sim::Task<verbs::WarmEndpoint> MasqContext::acquire_warm(
+    const net::Gid& peer_gid) {
+  if (!warm_pool_) co_return verbs::WarmEndpoint{};
+  co_return co_await warm_pool_->acquire(peer_gid);
+}
+
+sim::Task<void> MasqContext::release_warm(const verbs::WarmEndpoint& ep,
+                                          const net::Gid& peer_gid,
+                                          rnic::Qpn peer_qpn) {
+  if (!warm_pool_) co_return;
+  co_await warm_pool_->release(ep, peer_gid, peer_qpn);
+}
+
+sim::Task<void> MasqContext::discard_warm(const verbs::WarmEndpoint& ep) {
+  if (!warm_pool_) co_return;
+  co_await warm_pool_->discard(ep);
+}
+
+void MasqContext::invalidate_warm(const net::Gid& peer_gid) {
+  if (warm_pool_) warm_pool_->invalidate(peer_gid);
 }
 
 sim::Task<void> MasqContext::lib_charge(const char* verb, sim::Time t) {
@@ -246,7 +288,11 @@ sim::Task<rnic::Status> MasqContext::destroy_qp(rnic::Qpn qpn) {
   const auto& costs = session_.backend().config().driver_costs;
   Response r = co_await call("destroy_qp", lib_share(costs.destroy_qp),
                              CmdDestroyQp{qpn});
-  qp_types_.erase(qpn);
+  // Only a confirmed destroy loses the routing entry: a failed destroy
+  // (e.g. kDeadlineExceeded) leaves the QP alive on the device, and a UD
+  // QP must keep routing post_send through the control path (§3.3.4).
+  // ERROR'd QPs are purged by the device hook instead.
+  if (r.status == rnic::Status::kOk) qp_types_.erase(qpn);
   co_return r.status;
 }
 
@@ -283,6 +329,7 @@ rnic::Status MasqContext::post_send(rnic::Qpn qpn, const rnic::SendWr& wr) {
         (void)co_await self->submit(CmdUdSend{q, w});
       }
     };
+    ++ud_control_sends_;
     loop().spawn(Fwd::run(this, qpn, wr));
     return rnic::Status::kOk;
   }
@@ -384,10 +431,13 @@ class MasqBatch final : public verbs::ControlBatch {
       b.links.reserve(n);
       sim::Time lib_total = 0;
       // The one virtqueue round trip is shared by the whole chunk; the
-      // profile attributes an equal share to each verb so Fig.-16-style
-      // breakdowns show the amortization directly.
-      const sim::Time rt_share =
-          ctx_.vq_.costs().round_trip() / static_cast<sim::Time>(n);
+      // profile attributes a near-equal share to each verb so Fig.-16-style
+      // breakdowns show the amortization directly. The division remainder
+      // goes to the chunk's first entries, one extra ns each, so the
+      // per-verb shares always sum to exactly the charged round trip.
+      const sim::Time rt = ctx_.vq_.costs().round_trip();
+      const sim::Time rt_base = rt / static_cast<sim::Time>(n);
+      const sim::Time rt_rem = rt % static_cast<sim::Time>(n);
       // Entries whose cross-chunk dependency already failed: they inherit
       // that status client-side (the backend only sees a poisoned index).
       // Ordered: iterated below to patch per-slot results.
@@ -399,6 +449,9 @@ class MasqBatch final : public verbs::ControlBatch {
         if (dep_status != rnic::Status::kOk) dep_failed[i] = dep_status;
         ctx_.profile_.add(metas_[i].verb, verbs::Layer::kVerbsLib,
                           metas_[i].lib);
+        const sim::Time rt_share =
+            rt_base +
+            (static_cast<sim::Time>(i - begin) < rt_rem ? 1 : 0);
         ctx_.profile_.add(metas_[i].verb, verbs::Layer::kVirtio, rt_share);
         lib_total += metas_[i].lib;
         b.cmds.push_back(std::move(cmd));
@@ -644,23 +697,29 @@ class MasqBatch final : public verbs::ControlBatch {
   void record(std::size_t i, const Response& r) {
     Result& res = results_[i];
     res.status = r.status;
+    // A failed entry carries no result: the backend echoes inputs in v0
+    // even on failure (modify_qp returns its QPN), and a retry round that
+    // fails must not leave the previous round's mr/value visible — zero
+    // everything on non-kOk so value()/mr() never report stale state.
     switch (metas_[i].kind) {
       case Meta::kRegMr:
-        if (r.status == rnic::Status::kOk) {
-          res.mr = verbs::MrHandle{static_cast<rnic::Key>(r.v0),
-                                   static_cast<rnic::Key>(r.v1),
-                                   metas_[i].addr, metas_[i].len};
-        }
+        res.mr = r.status == rnic::Status::kOk
+                     ? verbs::MrHandle{static_cast<rnic::Key>(r.v0),
+                                       static_cast<rnic::Key>(r.v1),
+                                       metas_[i].addr, metas_[i].len}
+                     : verbs::MrHandle{};
         break;
       case Meta::kCreateQp:
         if (r.status == rnic::Status::kOk) {
           const auto qpn = static_cast<rnic::Qpn>(r.v0);
           res.value = r.v0;
           ctx_.qp_types_[qpn] = metas_[i].qp_type;
+        } else {
+          res.value = 0;
         }
         break;
       case Meta::kPlain:
-        res.value = r.v0;
+        res.value = r.status == rnic::Status::kOk ? r.v0 : 0;
         break;
     }
   }

@@ -22,11 +22,15 @@
 namespace masq {
 
 class MasqBatch;
+class WarmPool;
 
 class MasqContext : public verbs::Context {
  public:
   MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
               virtio::ChannelCosts virtio_costs = {});
+  // Unhooks the QP-ERROR subscription and tears the warm pool's liveness
+  // down before the device/backend go away.
+  ~MasqContext() override;
 
   std::string name() const override { return "MasQ"; }
   sim::EventLoop& loop() override { return session_.backend().loop(); }
@@ -81,6 +85,18 @@ class MasqContext : public verbs::Context {
   // are chunked to ring size so descriptor backpressure still holds.
   std::unique_ptr<verbs::ControlBatch> make_batch() override;
 
+  // Warm-path connection setup (DESIGN.md §14): forwarded to the pool when
+  // BackendConfig.warm.enabled constructed one; cold answers otherwise.
+  sim::Task<verbs::WarmEndpoint> acquire_warm(
+      const net::Gid& peer_gid) override;
+  sim::Task<void> release_warm(const verbs::WarmEndpoint& ep,
+                               const net::Gid& peer_gid,
+                               rnic::Qpn peer_qpn) override;
+  sim::Task<void> discard_warm(const verbs::WarmEndpoint& ep) override;
+  void invalidate_warm(const net::Gid& peer_gid) override;
+  // Null unless the warm path is enabled.
+  WarmPool* warm_pool() { return warm_pool_.get(); }
+
   Backend::Session& session() { return session_; }
   virtio::Virtqueue<Envelope, Response>& virtqueue() { return vq_; }
 
@@ -89,6 +105,10 @@ class MasqContext : public verbs::Context {
   std::uint64_t control_retries() const { return control_retries_; }
   // Verbs that exhausted their retry budget and failed kDeadlineExceeded.
   std::uint64_t deadline_failures() const { return deadline_failures_; }
+  // UD post_sends routed through the control path (§3.3.4) — observable
+  // for the qp_types_ routing table: a UD QP whose entry was lost would
+  // stop incrementing this and fall through to the data path.
+  std::uint64_t ud_control_sends() const { return ud_control_sends_; }
 
  private:
   friend class MasqBatch;
@@ -126,6 +146,9 @@ class MasqContext : public verbs::Context {
   sim::Rng jitter_rng_;
   std::uint64_t control_retries_ = 0;
   std::uint64_t deadline_failures_ = 0;
+  std::uint64_t ud_control_sends_ = 0;
+  rnic::RnicDevice::QpErrorHookId qp_error_hook_ = 0;
+  std::unique_ptr<WarmPool> warm_pool_;
 };
 
 }  // namespace masq

@@ -1,0 +1,243 @@
+#include "masq/warm_pool.h"
+
+namespace masq {
+
+namespace {
+constexpr std::uint32_t kSlabAccess =
+    rnic::kLocalWrite | rnic::kRemoteWrite | rnic::kRemoteRead;
+}  // namespace
+
+WarmPool::WarmPool(verbs::Context& ctx, WarmPoolConfig cfg)
+    : ctx_(ctx), cfg_(cfg) {}
+
+WarmPool::~WarmPool() {
+  // Detached stage/refill/teardown tasks and pending reclaim timers hold a
+  // weak token; dropping the strong reference stands them all down.
+  liveness_.reset();
+}
+
+void WarmPool::start() { kick_refill(); }
+
+void WarmPool::kick_refill() {
+  if (!staged_) {
+    if (staging_) return;
+    staging_ = true;
+    ctx_.loop().spawn(stage_task(this, liveness_));
+    return;
+  }
+  if (refilling_ || ready_.size() >= cfg_.target_ready) return;
+  refilling_ = true;
+  ctx_.loop().spawn(refill_task(this, liveness_));
+}
+
+sim::Task<void> WarmPool::stage_task(WarmPool* self,
+                                     std::weak_ptr<const char> alive) {
+  auto pd = co_await self->ctx_.alloc_pd();
+  if (alive.expired()) co_return;
+  if (!pd.ok()) {
+    // Stay cold; the next acquire() kicks staging again.
+    self->staging_ = false;
+    co_return;
+  }
+  self->pd_ = pd.value;
+  self->slab_ = self->ctx_.alloc_buffer(self->cfg_.slab_bytes);
+  auto mr = co_await self->ctx_.reg_mr(self->pd_, self->slab_,
+                                       self->cfg_.slab_bytes, kSlabAccess);
+  if (alive.expired()) co_return;
+  self->staging_ = false;
+  if (!mr.ok()) co_return;
+  self->slab_mr_ = mr.value;
+  self->staged_ = true;
+  self->refilling_ = true;
+  co_await refill_task(self, std::move(alive));
+}
+
+sim::Task<void> WarmPool::refill_task(WarmPool* self,
+                                      std::weak_ptr<const char> alive) {
+  while (self->ready_.size() < self->cfg_.target_ready) {
+    // One staged endpoint per ladder: CQ pair + QP + INIT, pipelined as a
+    // single batch so refill costs one virtqueue transit under MasQ.
+    auto batch = self->ctx_.make_batch();
+    const int scq_slot = batch->create_cq(self->cfg_.cqe);
+    const int rcq_slot = batch->create_cq(self->cfg_.cqe);
+    rnic::QpInitAttr attr;
+    attr.type = rnic::QpType::kRc;
+    attr.pd = self->pd_;
+    attr.caps.max_send_wr = 512;
+    attr.caps.max_recv_wr = 512;
+    const int qp_slot = batch->create_qp(attr, scq_slot, rcq_slot);
+    rnic::QpAttr init;
+    init.state = rnic::QpState::kInit;
+    const int init_slot = batch->modify_qp_slot(qp_slot, init,
+                                                rnic::kAttrState);
+    const rnic::Status st = co_await batch->commit();
+    if (alive.expired()) co_return;
+    if (st != rnic::Status::kOk ||
+        batch->status(init_slot) != rnic::Status::kOk) {
+      // Degrade: unwind whatever half-built state the batch left behind
+      // and let a later acquire() try again.
+      ++self->refill_failures_;
+      Slot partial;
+      if (batch->status(scq_slot) == rnic::Status::kOk) {
+        partial.scq = static_cast<rnic::Cqn>(batch->value(scq_slot));
+      }
+      if (batch->status(rcq_slot) == rnic::Status::kOk) {
+        partial.rcq = static_cast<rnic::Cqn>(batch->value(rcq_slot));
+      }
+      if (batch->status(qp_slot) == rnic::Status::kOk) {
+        partial.qpn = static_cast<rnic::Qpn>(batch->value(qp_slot));
+      }
+      self->teardown_in_background(partial);
+      break;
+    }
+    Slot s;
+    s.scq = static_cast<rnic::Cqn>(batch->value(scq_slot));
+    s.rcq = static_cast<rnic::Cqn>(batch->value(rcq_slot));
+    s.qpn = static_cast<rnic::Qpn>(batch->value(qp_slot));
+    self->ready_.push_back(s);
+    ++self->refills_;
+    if (self->ready_.size() >= self->cfg_.target_ready) break;
+    co_await sim::delay(self->ctx_.loop(), self->cfg_.refill_gap);
+    if (alive.expired()) co_return;
+  }
+  self->refilling_ = false;
+}
+
+sim::Task<void> WarmPool::teardown_task(WarmPool* self, Slot s,
+                                        std::weak_ptr<const char> alive) {
+  // Cold-path teardown of a pool-owned endpoint. The slab MR and PD stay
+  // with the pool. Statuses are advisory: an already-destroyed or ERROR'd
+  // object just reports a failure we can't act on.
+  verbs::Context& ctx = self->ctx_;
+  if (s.qpn != 0) {
+    (void)co_await ctx.destroy_qp(s.qpn);
+    if (alive.expired()) co_return;
+  }
+  if (s.scq != 0) {
+    (void)co_await ctx.destroy_cq(s.scq);
+    if (alive.expired()) co_return;
+  }
+  if (s.rcq != 0) (void)co_await ctx.destroy_cq(s.rcq);
+}
+
+void WarmPool::teardown_in_background(const Slot& s) {
+  if (s.qpn == 0 && s.scq == 0 && s.rcq == 0) return;
+  ctx_.loop().spawn(teardown_task(this, s, liveness_));
+}
+
+sim::Task<verbs::WarmEndpoint> WarmPool::acquire(const net::Gid& peer_gid) {
+  if (auto it = parked_.find(peer_gid); it != parked_.end()) {
+    const Parked p = it->second;
+    parked_.erase(peer_gid);
+    ++reuse_hits_;
+    verbs::WarmEndpoint ep;
+    ep.kind = verbs::WarmKind::kReused;
+    ep.pd = pd_;
+    ep.send_cq = p.slot.scq;
+    ep.recv_cq = p.slot.rcq;
+    ep.qpn = p.slot.qpn;
+    ep.peer_qpn = p.peer_qpn;
+    ep.mr = slab_mr_;
+    co_return ep;
+  }
+  if (!ready_.empty()) {
+    const Slot s = ready_.front();
+    ready_.erase(ready_.begin());
+    kick_refill();
+    ++pool_hits_;
+    verbs::WarmEndpoint ep;
+    ep.kind = verbs::WarmKind::kPooled;
+    ep.pd = pd_;
+    ep.send_cq = s.scq;
+    ep.recv_cq = s.rcq;
+    ep.qpn = s.qpn;
+    ep.mr = slab_mr_;
+    co_return ep;
+  }
+  ++pool_misses_;
+  kick_refill();
+  co_return verbs::WarmEndpoint{};
+}
+
+sim::Task<void> WarmPool::release(verbs::WarmEndpoint ep,
+                                  const net::Gid& peer_gid,
+                                  rnic::Qpn peer_qpn) {
+  if (!ep.warm()) co_return;
+  if (auto it = parked_.find(peer_gid); it != parked_.end()) {
+    // A fresher connection to the same peer supersedes the parked one.
+    teardown_in_background(it->second.slot);
+    parked_.erase(peer_gid);
+  } else if (parked_.size() >= cfg_.max_parked) {
+    // Evict the longest-parked entry (smallest stamp) to make room.
+    auto oldest = parked_.end();
+    for (auto jt = parked_.begin(); jt != parked_.end(); ++jt) {
+      if (oldest == parked_.end() ||
+          jt->second.stamp < oldest->second.stamp) {
+        oldest = jt;
+      }
+    }
+    if (oldest != parked_.end()) {
+      teardown_in_background(oldest->second.slot);
+      const net::Gid evict = oldest->first;
+      parked_.erase(evict);
+    }
+  }
+  Parked p;
+  p.slot = Slot{ep.send_cq, ep.recv_cq, ep.qpn};
+  p.peer_qpn = peer_qpn;
+  p.stamp = ++stamp_seq_;
+  parked_[peer_gid] = p;
+  schedule_reclaim(peer_gid, p.stamp);
+  co_return;
+}
+
+void WarmPool::schedule_reclaim(net::Gid gid, std::uint64_t stamp) {
+  std::weak_ptr<const char> alive = liveness_;
+  ctx_.loop().schedule_after(cfg_.reclaim_after, [this, gid, stamp, alive] {
+    if (alive.expired()) return;
+    auto it = parked_.find(gid);
+    if (it == parked_.end() || it->second.stamp != stamp) return;
+    // Idle past the bound: lazy teardown fires now.
+    teardown_in_background(it->second.slot);
+    parked_.erase(gid);
+    ++reclaimed_;
+  });
+}
+
+sim::Task<void> WarmPool::discard(verbs::WarmEndpoint ep) {
+  if (!ep.warm()) co_return;
+  teardown_in_background(Slot{ep.send_cq, ep.recv_cq, ep.qpn});
+  co_return;
+}
+
+void WarmPool::invalidate(const net::Gid& peer_gid) {
+  auto it = parked_.find(peer_gid);
+  if (it == parked_.end()) return;
+  teardown_in_background(it->second.slot);
+  parked_.erase(peer_gid);
+}
+
+void WarmPool::on_qp_error(rnic::Qpn qpn) {
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->qpn == qpn) {
+      const Slot s = *it;
+      ready_.erase(it);
+      ++purged_;
+      teardown_in_background(s);
+      kick_refill();
+      return;
+    }
+  }
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->second.slot.qpn == qpn) {
+      const Slot s = it->second.slot;
+      const net::Gid gid = it->first;
+      parked_.erase(gid);
+      ++purged_;
+      teardown_in_background(s);
+      return;
+    }
+  }
+}
+
+}  // namespace masq

@@ -24,11 +24,24 @@ HostAgent::HostAgent(sim::EventLoop& loop, Controller& controller,
       return batched_query(vni, vgid);
     });
   }
+  if (config_.speculative_prefill) {
+    // Warm path (DESIGN.md §14): every register_vgid broadcast is planted
+    // straight into the cache — VM boot resolves the peer before the first
+    // connect asks. The push callback is synchronous (insert only), so the
+    // controller's broadcast timing is unchanged.
+    prefill_sub_ = controller_.subscribe(
+        [this](std::uint32_t vni, net::Gid vgid, net::Gid pgid) {
+          cache_.insert(vni, vgid, pgid);
+          ++prefills_;
+        });
+    prefill_subscribed_ = true;
+  }
 }
 
 HostAgent::~HostAgent() {
   // Unhook the cache first (it outlives this dtor body as a member) and
   // kill the liveness token so scheduled flushes stand down.
+  if (prefill_subscribed_) controller_.unsubscribe(prefill_sub_);
   cache_.set_query_fn(nullptr);
   liveness_.reset();
 }

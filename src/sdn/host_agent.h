@@ -42,6 +42,11 @@ struct HostAgentConfig {
   // Largest number of keys flushed in one query_batch; a lane holding more
   // drains in successive batches (still one in flight at a time).
   std::size_t max_batch = 64;
+  // Speculative resolution (DESIGN.md §14): subscribe this agent's cache to
+  // the controller's push channel, so a VM-boot register_vgid lands in the
+  // cache before the first connection ever asks for it. Off by default —
+  // the miss path then stays bit-identical to the pre-warm-path engine.
+  bool speculative_prefill = false;
 };
 
 class HostAgent {
@@ -83,6 +88,9 @@ class HostAgent {
   // the amortization factor the agent buys.
   std::uint64_t batches() const { return batches_; }
   std::uint64_t batched_keys() const { return batched_keys_; }
+  // Mappings the push channel planted in the cache ahead of any miss
+  // (speculative_prefill only).
+  std::uint64_t prefills() const { return prefills_; }
   std::uint64_t shard_batches(std::size_t shard) const {
     return lanes_.at(shard)->batches;
   }
@@ -118,8 +126,11 @@ class HostAgent {
   BatchTransport transport_;
   MappingCache cache_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  Controller::SubId prefill_sub_ = 0;
+  bool prefill_subscribed_ = false;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_keys_ = 0;
+  std::uint64_t prefills_ = 0;
   // Scheduled flush callbacks outlive the agent if the loop drains after
   // teardown; they stand down once this token dies.
   std::shared_ptr<const char> liveness_ = std::make_shared<const char>(0);

@@ -189,6 +189,10 @@ FaultDecision FaultPlane::on_vq_transit(std::uint64_t cmd_id) {
 }
 
 bool FaultPlane::fail_command(std::uint64_t detail) {
+  if (force_cmd_failures_) {
+    record(FaultSite::kCmdExec, FaultAction::kFail, detail);
+    return true;
+  }
   if (cfg_.cmd_fail_p > 0 && rng_.next_bool(cfg_.cmd_fail_p)) {
     record(FaultSite::kCmdExec, FaultAction::kFail, detail);
     return true;

@@ -118,6 +118,11 @@ class FaultPlane {
   FaultDecision on_vq_transit(std::uint64_t cmd_id);
   // Backend command execution: true = fail with a transient error.
   bool fail_command(std::uint64_t detail);
+  // Deterministic switch: while set, every command fails transiently. No
+  // rng draw is consumed, so toggling it mid-run leaves the probabilistic
+  // streams bit-identical — regression tests use it to target one verb.
+  void set_force_cmd_failures(bool on) { force_cmd_failures_ = on; }
+  bool force_cmd_failures() const { return force_cmd_failures_; }
   // Mapping cache: true = evict this entry instead of serving it.
   bool expire_cache_entry(std::uint64_t key_hash);
 
@@ -143,6 +148,7 @@ class FaultPlane {
   Rng rng_;
   std::vector<FaultRecord> log_;
   bool armed_ = false;
+  bool force_cmd_failures_ = false;
 };
 
 }  // namespace sim

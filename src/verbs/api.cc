@@ -210,8 +210,10 @@ class SequentialBatch final : public ControlBatch {
           }
           qpn = static_cast<rnic::Qpn>(v);
         }
-        res.value = qpn;
-        co_return co_await ctx_.modify_qp(qpn, op.attr, op.mask);
+        const rnic::Status st = co_await ctx_.modify_qp(qpn, op.attr, op.mask);
+        // Mirror MasqBatch: failed entries carry no result value.
+        if (st == rnic::Status::kOk) res.value = qpn;
+        co_return st;
       }
     }
     co_return rnic::Status::kInvalidArgument;
@@ -228,6 +230,30 @@ class SequentialBatch final : public ControlBatch {
 std::unique_ptr<ControlBatch> Context::make_batch() {
   return std::make_unique<SequentialBatch>(*this);
 }
+
+// Warm-path defaults: a context without a pool always answers cold, and
+// release/discard/invalidate are no-ops on endpoints it never handed out —
+// callers fall through to the ordinary ladder on every candidate.
+sim::Task<WarmEndpoint> Context::acquire_warm(const net::Gid& peer_gid) {
+  (void)peer_gid;
+  co_return WarmEndpoint{};
+}
+
+sim::Task<void> Context::release_warm(const WarmEndpoint& ep,
+                                      const net::Gid& peer_gid,
+                                      rnic::Qpn peer_qpn) {
+  (void)ep;
+  (void)peer_gid;
+  (void)peer_qpn;
+  co_return;
+}
+
+sim::Task<void> Context::discard_warm(const WarmEndpoint& ep) {
+  (void)ep;
+  co_return;
+}
+
+void Context::invalidate_warm(const net::Gid& peer_gid) { (void)peer_gid; }
 
 sim::Task<rnic::Completion> Context::wait_completion(rnic::Cqn cq) {
   while (true) {

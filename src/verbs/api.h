@@ -75,6 +75,33 @@ struct ConnInfo {
 enum class DataVerb : std::uint8_t { kPostSend, kPostRecv, kPollCq };
 
 // ---------------------------------------------------------------------------
+// Warm-path connection setup (Swift-style; DESIGN.md §14).
+//
+// A WarmEndpoint is a pre-staged connection skeleton handed out by the
+// context's warm pool:
+//   * kPooled — PD + CQs + an INIT-state QP plus a pre-registered slab MR,
+//     created by a background refill task, so connect only pays RTR→RTS;
+//   * kReused — a parked RTS QP to a returning peer (`peer_qpn` records
+//     whom it is wired to), so connect skips the ladder entirely once the
+//     peer confirms its half is still parked too;
+//   * kCold — the pool had nothing (disabled, drained, or degraded): the
+//     caller falls back to the ordinary cold-path ladder.
+// ---------------------------------------------------------------------------
+enum class WarmKind : std::uint8_t { kCold, kPooled, kReused };
+
+struct WarmEndpoint {
+  WarmKind kind = WarmKind::kCold;
+  rnic::PdId pd = 0;
+  rnic::Cqn send_cq = 0;
+  rnic::Cqn recv_cq = 0;
+  rnic::Qpn qpn = 0;
+  rnic::Qpn peer_qpn = 0;  // kReused: the remembered remote QPN
+  MrHandle mr;             // pre-staged slab registration (pool-owned)
+
+  bool warm() const { return kind != WarmKind::kCold; }
+};
+
+// ---------------------------------------------------------------------------
 // Pipelined control-path submission.
 //
 // A ControlBatch queues control verbs (begin_batch), lets later entries
@@ -185,6 +212,25 @@ class Context {
   // executes sequentially at commit(); MasQ overrides it to coalesce the
   // batch into one virtqueue round trip.
   virtual std::unique_ptr<ControlBatch> make_batch();
+
+  // --- warm-path connection setup (see WarmEndpoint above) -----------------
+  // Acquire a pre-staged endpoint for a connection toward `peer_gid`. The
+  // default (and any context without a warm pool) returns a kCold endpoint,
+  // which callers treat as "run the ordinary ladder". Never fails: pool
+  // exhaustion and pool faults degrade to kCold.
+  virtual sim::Task<WarmEndpoint> acquire_warm(const net::Gid& peer_gid);
+  // Park a still-RTS endpoint for reuse by a returning connection to
+  // (peer_gid, peer_qpn) — lazy teardown: the pool reclaims it after an
+  // idle timeout instead of destroying it inline.
+  virtual sim::Task<void> release_warm(const WarmEndpoint& ep,
+                                       const net::Gid& peer_gid,
+                                       rnic::Qpn peer_qpn);
+  // Tear the endpoint down now (reuse negotiation failed, QP errored, or
+  // the pool is full). Safe on kCold endpoints (no-op).
+  virtual sim::Task<void> discard_warm(const WarmEndpoint& ep);
+  // Drop any parked connection toward `peer_gid` (peer rebooted / IP
+  // changed); the parked resources are torn down in the background.
+  virtual void invalidate_warm(const net::Gid& peer_gid);
 
   // --- environment ---------------------------------------------------------
   // The instance's out-of-band channel (virtual TCP) for exchanging

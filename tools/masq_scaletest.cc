@@ -22,6 +22,12 @@
 //     --trace             mix every event into the FNV-1a trace hash
 //     -o, --out <file>    report path (default: BENCH_scale.json)
 //     --smoke             small CI preset (4 hosts x 25 VMs)
+//     --churn             churn-storm preset: enables the warm path
+//                         (DESIGN.md §14) and rescales churn to ~2 vBond
+//                         IP changes per VM packed into sub-second VM
+//                         lifetimes (6 waves, 10 ms apart). Applied after
+//                         all other flags, so it composes with --smoke;
+//                         the report gains a "warm" JSON block.
 //     -h, --help
 //
 // The default configuration is the 10k-VM storm (16 hosts x 625 VMs):
@@ -36,6 +42,7 @@
 // as the CI perf-smoke job does.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +60,8 @@ void usage(const char* argv0) {
       "          [--shards n] [--rtt us] [--service us] [--window us]\n"
       "          [--ip-changes n] [--rule-resets n]\n"
       "          [--down-shard i] [--down-from ms] [--down-until ms]\n"
-      "          [--seed n] [--threads n] [--trace] [-o file] [--smoke]\n",
+      "          [--seed n] [--threads n] [--trace] [-o file] [--smoke]\n"
+      "          [--churn]\n",
       argv0);
 }
 
@@ -71,6 +79,7 @@ int main(int argc, char** argv) {
   cfg.rule_resets = 3;
   std::string out_path = "BENCH_scale.json";
   std::size_t threads = 0;  // 0 = single-loop engine
+  bool churn = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -133,6 +142,8 @@ int main(int argc, char** argv) {
       cfg.shards = 4;
       cfg.ip_changes = 20;
       cfg.rule_resets = 1;
+    } else if (a == "--churn") {
+      churn = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage(argv[0]);
@@ -142,6 +153,18 @@ int main(int argc, char** argv) {
   if (cfg.down_shard >= 0 && cfg.down_until <= cfg.down_from) {
     cfg.down_from = sim::milliseconds(60);
     cfg.down_until = sim::milliseconds(110);
+  }
+  if (churn) {
+    // Churn-storm preset (applied post-parse so it rides on top of
+    // whatever topology --smoke or explicit flags chose): warm path on,
+    // waves packed 10 ms apart, and ~2 IP changes per VM — thousands of
+    // sub-second VM lifetimes at the default 10k-VM scale.
+    cfg.warm = true;
+    cfg.waves = std::max<std::size_t>(cfg.waves, 6);
+    cfg.wave_gap = sim::milliseconds(10);
+    cfg.spread = sim::milliseconds(5);
+    cfg.ip_changes = 2 * cfg.hosts * cfg.vms_per_host;
+    cfg.rule_resets = std::max<std::size_t>(cfg.rule_resets, 2);
   }
 
   std::printf("# scale storm: %zu tenants x %zu hosts x %zu VMs/host "
