@@ -102,7 +102,7 @@ sim::Task<rnic::Status> SriovContext::dealloc_pd(rnic::PdId pd) {
 rnic::Status SriovContext::post_send(rnic::Qpn qpn, const rnic::SendWr& wr) {
   const rnic::Status st = device_.post_send(qpn, wr, /*ring_doorbell=*/false);
   if (st == rnic::Status::kOk) {
-    vm_.gva().write_u64(doorbell_gva_ + qpn * 8, 1);
+    vm_.gva().write_u64(doorbell_gva_ + device_.doorbell_offset(qpn), 1);
   }
   return st;
 }

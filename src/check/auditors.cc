@@ -263,6 +263,15 @@ std::uint64_t traced_run(
 
 }  // namespace
 
+std::function<void(std::string_view, std::string_view, std::string)>
+make_migration_reporter(InvariantRegistry& registry) {
+  return [&registry](std::string_view invariant, std::string_view point,
+                     std::string diagnostic) {
+    registry.report_violation(std::string(invariant), point,
+                              std::move(diagnostic));
+  };
+}
+
 DeterminismResult run_twice(
     const std::function<void(sim::EventLoop&)>& scenario) {
   DeterminismResult result;

@@ -85,6 +85,16 @@ void register_cache_auditor(InvariantRegistry& registry,
 void register_conntrack_auditor(InvariantRegistry& registry,
                                 masq::Backend& backend);
 
+// (6) Migration no-WQE-lost. masq::Migrator digests every QP's queued
+// WQEs and every CQ's undelivered CQEs on the source, re-digests after the
+// destination restore, and reports any mismatch — but it lives below
+// src/check in the layering and cannot link the registry directly. This
+// builds the callback it reports through: violations land under the
+// "migration-wqe" invariant with the Migrator's diagnostic (QP/CQ id,
+// both digests, queue depths) verbatim.
+std::function<void(std::string_view, std::string_view, std::string)>
+make_migration_reporter(InvariantRegistry& registry);
+
 // (5) Determinism. Runs `scenario` twice, each on a fresh trace-enabled
 // event loop, and compares the trace hashes. The callback owns the whole
 // run: build the world, schedule work, and drive loop.run() to completion

@@ -50,6 +50,9 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
     dc.link_gbps = config_.cal.link_gbps;
     dc.link_prop_oneway = config_.cal.link_prop_oneway;
     dc.iommu = config_.candidate == Candidate::kSriov;  // VT-d passthrough
+    // Disjoint per-host resource-ID spaces: a live-migrated QP keeps its
+    // QPN on the destination host with no possibility of collision.
+    dc.id_space = static_cast<std::uint32_t>(h);
     dc.costs = config_.cal.data_costs;
     rnic::RnicDevice& dev = host->add_rnic(dc);
     dev.attach(this);
@@ -316,6 +319,58 @@ rnic::Status Testbed::migrate_instance(std::size_t i,
             static_cast<masq::MasqContext&>(*inst.ctx).virtqueue()));
   }
   return rnic::Status::kOk;
+}
+
+sim::Task<rnic::Status> Testbed::migrate_vm(std::size_t i,
+                                            std::size_t target_host,
+                                            masq::MigrationCosts costs,
+                                            MigrationCorruption corrupt) {
+  last_migration_report_ = {};
+  if (config_.candidate != Candidate::kMasq) {
+    co_return rnic::Status::kInvalidArgument;
+  }
+  if (i >= instances_.size() || target_host >= hosts_.size()) {
+    co_return rnic::Status::kNotFound;
+  }
+  Instance& inst = *instances_[i];
+  if (inst.host_idx == target_host) co_return rnic::Status::kOk;
+  if (inst.vm == nullptr || inst.ctx == nullptr) {
+    co_return rnic::Status::kInvalidState;
+  }
+
+  masq::Migrator::Env env;
+  env.loop = &loop_;
+  env.ctx = &static_cast<masq::MasqContext&>(*inst.ctx);
+  env.source = backends_[inst.host_idx].get();
+  env.destination = backends_[target_host].get();
+  env.dest_host = hosts_[target_host].get();
+  env.vm_slot = &inst.vm;
+  // Physical GIDs are derived from host underlay IPs; invert by scan (the
+  // host count is small and this only runs during a migration).
+  env.device_by_pgid = [this](net::Gid pgid) -> rnic::RnicDevice* {
+    for (auto& host : hosts_) {
+      if (host->rnic(0).gid(rnic::kPf) == pgid) return &host->rnic(0);
+    }
+    return nullptr;
+  };
+  if (checks_ != nullptr) {
+    env.report_violation = check::make_migration_reporter(*checks_);
+  }
+  env.costs = costs;
+
+  masq::Migrator migrator(std::move(env));
+  if (corrupt == MigrationCorruption::kDropWqe) {
+    migrator.snapshot_drop_wqe_for_test();
+  } else if (corrupt == MigrationCorruption::kDuplicateWqe) {
+    migrator.snapshot_duplicate_wqe_for_test();
+  }
+  const rnic::Status st = co_await migrator.run();
+  last_migration_report_ = migrator.report();
+  // A drain timeout rolls back before anything moves; every other outcome
+  // (including a restore error carried in the report) left the VM booted
+  // on the destination host.
+  if (st != rnic::Status::kDeadlineExceeded) inst.host_idx = target_host;
+  co_return st;
 }
 
 void Testbed::add_instances(int n) {

@@ -24,6 +24,7 @@
 #include "hyp/instance.h"
 #include "masq/backend.h"
 #include "masq/frontend.h"
+#include "masq/migrate.h"
 #include "net/fluid.h"
 #include "overlay/oob.h"
 #include "rnic/device.h"
@@ -147,6 +148,23 @@ class Testbed : public rnic::FabricRouter {
   [[nodiscard]] rnic::Status migrate_instance(std::size_t i,
                                               std::size_t target_host);
 
+  // Transparent live migration (DESIGN.md §15, MasQ only): moves instance
+  // `i` — guest RAM, RNIC objects, RConntrack rows, virtio session — to
+  // `target_host` while established connections survive under their
+  // original QPNs. The application keeps its verbs::Context& and observes
+  // only added latency; peers observe the same. `corrupt` is the
+  // auditor-test backdoor: it mutates the QP snapshots in flight so the
+  // no-WQE-lost digest compare must fire.
+  enum class MigrationCorruption { kNone, kDropWqe, kDuplicateWqe };
+  sim::Task<rnic::Status> migrate_vm(
+      std::size_t i, std::size_t target_host,
+      masq::MigrationCosts costs = {},
+      MigrationCorruption corrupt = MigrationCorruption::kNone);
+  // Report of the most recent migrate_vm run (value-initialized if none).
+  const masq::MigrationReport& last_migration_report() const {
+    return last_migration_report_;
+  }
+
   // rnic::FabricRouter: route underlay IPs to devices.
   rnic::RnicDevice* device_by_ip(net::Ipv4Addr underlay_ip) override;
 
@@ -184,6 +202,7 @@ class Testbed : public rnic::FabricRouter {
   sim::FlatMap<net::Ipv4Addr, rnic::RnicDevice*> by_underlay_ip_;
   sim::FlatMap<std::uint32_t, std::uint32_t> vip_counter_;  // per vni
   std::vector<int> vf_in_use_;  // per host (SR-IOV assignment)
+  masq::MigrationReport last_migration_report_;
 };
 
 }  // namespace fabric

@@ -36,8 +36,18 @@ Vm::Vm(Host& host, Config config)
 Vm::~Vm() {
   const mem::Addr ram = mem::page_ceil(config_.mem_bytes);
   const mem::Addr overhead = mem::page_ceil(config_.qemu_overhead_bytes);
-  // Note: page-table entries for allocated buffers are torn down by the
-  // address spaces' destruction; here we return the reservation.
+  // The gva_/gpa_ levels die with the Vm, but host_.hva() outlives it:
+  // tear down the HVA entries for every live guest buffer and BAR window,
+  // or the next VM booted into the reused window maps on top of them.
+  for (const auto& [gva_addr, len] : buffers_) {
+    const mem::Addr gpa_addr = gva_.translate_or_throw(gva_addr);
+    const mem::Addr hva_addr = gpa_.translate_or_throw(gpa_addr);
+    host_.hva().force_unmap(hva_addr, len);
+  }
+  for (const auto& [hva_addr, len] : mmio_maps_) {
+    host_.hva().force_unmap(hva_addr, len);
+    host_.hva_alloc().free(hva_addr, len);
+  }
   host_.phys().free_pages(hpa_base_, (ram + overhead) / mem::kPageSize);
   host_.hva_alloc().free(hva_base_, ram);
 }
@@ -53,7 +63,23 @@ mem::Addr Vm::alloc_guest_buffer(std::uint64_t len) {
   host_.hva().map(hva_addr, hpa_addr, len);
   gpa_.map(gpa_addr, hva_addr, len);
   gva_.map(gva_addr, gpa_addr, len);
+  buffers_[gva_addr] = len;
   return gva_addr;
+}
+
+void Vm::alloc_guest_buffer_at(mem::Addr gva_addr, std::uint64_t len) {
+  len = mem::page_ceil(len);
+  // Same chain as alloc_guest_buffer, except the GVA is dictated by the
+  // caller: only the guest-virtual level must match the source VM; the
+  // levels below are fresh on this host.
+  const mem::Addr gpa_addr = gpa_alloc_.alloc(len);
+  gva_alloc_.reserve(gva_addr, len);
+  const mem::Addr hva_addr = hva_base_ + gpa_addr;
+  const mem::Addr hpa_addr = hpa_base_ + gpa_addr;
+  host_.hva().map(hva_addr, hpa_addr, len);
+  gpa_.map(gpa_addr, hva_addr, len);
+  gva_.map(gva_addr, gpa_addr, len);
+  buffers_[gva_addr] = len;
 }
 
 void Vm::free_guest_buffer(mem::Addr gva_addr, std::uint64_t len) {
@@ -65,6 +91,7 @@ void Vm::free_guest_buffer(mem::Addr gva_addr, std::uint64_t len) {
   host_.hva().unmap(hva_addr, len);
   gva_alloc_.free(gva_addr, len);
   gpa_alloc_.free(gpa_addr, len);
+  buffers_.erase(gva_addr);
 }
 
 mem::Addr Vm::map_mmio_into_guest(mem::Addr bar_hpa, std::uint64_t len) {
@@ -74,6 +101,7 @@ mem::Addr Vm::map_mmio_into_guest(mem::Addr bar_hpa, std::uint64_t len) {
   }
   const mem::Addr hva_addr = host_.hva_alloc().alloc(len);
   host_.hva().map(hva_addr, bar_hpa, len);
+  mmio_maps_.emplace_back(hva_addr, len);
   const mem::Addr gpa_addr = gpa_mmio_alloc_.alloc(len);
   gpa_.map(gpa_addr, hva_addr, len);
   const mem::Addr gva_addr = gva_alloc_.alloc(len);

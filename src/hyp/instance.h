@@ -13,9 +13,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hyp/host.h"
 #include "net/addr.h"
+#include "sim/flat_map.h"
 #include "sim/time.h"
 
 namespace hyp {
@@ -57,6 +60,19 @@ class Vm {
   mem::Addr alloc_guest_buffer(std::uint64_t len);
   void free_guest_buffer(mem::Addr gva_addr, std::uint64_t len);
 
+  // Live-migration restore: allocates a guest buffer at the exact GVA it
+  // held on the source host, so registered MRs and application pointers
+  // survive the move unchanged. The GPA/HVA/HPA levels are fresh — MRs are
+  // re-pinned and their MTTs re-resolved after the restore. Throws
+  // std::bad_alloc if the GVA range is already taken.
+  void alloc_guest_buffer_at(mem::Addr gva_addr, std::uint64_t len);
+
+  // Live buffers (GVA -> length), in allocation order. A migration walks
+  // this to copy guest RAM content to the destination VM.
+  const sim::FlatMap<mem::Addr, std::uint64_t>& guest_buffers() const {
+    return buffers_;
+  }
+
   void write_guest(mem::Addr gva_addr, std::span<const std::uint8_t> in) {
     gva_.write(gva_addr, in);
   }
@@ -88,6 +104,10 @@ class Vm {
   mem::RegionAllocator gpa_alloc_;
   mem::RegionAllocator gva_alloc_;
   mem::RegionAllocator gpa_mmio_alloc_;
+  sim::FlatMap<mem::Addr, std::uint64_t> buffers_;  // live GVA buffers
+  // BAR windows mapped into this VM's HVA slice (hva, len): unmapped and
+  // returned to the host allocator on teardown.
+  std::vector<std::pair<mem::Addr, std::uint64_t>> mmio_maps_;
 };
 
 class Container {

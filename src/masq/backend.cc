@@ -104,6 +104,31 @@ Backend::Session& Backend::register_vm(hyp::Vm& vm) {
   return *sessions_.back();
 }
 
+void Backend::remove_session(Session& session) {
+  std::erase_if(sessions_, [&session](const std::unique_ptr<Session>& s) {
+    return s.get() == &session;
+  });
+}
+
+void Backend::Session::adopt_qp(rnic::Qpn qpn,
+                                const rnic::QpAttr* tenant_attr) {
+  owned_qps_.insert(qpn);
+  ++live_qps_;
+  if (tenant_attr != nullptr) tenant_view_[qpn] = *tenant_attr;
+}
+
+void Backend::Session::adopt_cq(rnic::Cqn cq) {
+  owned_cqs_.insert(cq);
+  ++live_cqs_;
+}
+
+void Backend::Session::adopt_mr(rnic::Key lkey) {
+  owned_mrs_.insert(lkey);
+  ++live_mrs_;
+}
+
+void Backend::Session::adopt_pd(rnic::PdId pd) { owned_pds_.insert(pd); }
+
 Backend::Session::Session(Backend& backend, hyp::Vm& vm, rnic::FnId fn)
     : backend_(backend),
       vm_(vm),
@@ -338,11 +363,14 @@ sim::Task<Response> Backend::Session::handle_one(BatchableCommand cmd) {
 
 sim::Task<Response> Backend::Session::alloc_pd_local() {
   auto pd = co_await driver_.alloc_pd();
+  if (pd.status == rnic::Status::kOk) owned_pds_.insert(pd.value);
   co_return Response{pd.status, pd.value, 0};
 }
 
 sim::Task<Response> Backend::Session::dealloc_pd_local(rnic::PdId pd) {
-  co_return Response{co_await driver_.dealloc_pd(pd), 0, 0};
+  const rnic::Status st = co_await driver_.dealloc_pd(pd);
+  if (st == rnic::Status::kOk) owned_pds_.erase(pd);
+  co_return Response{st, 0, 0};
 }
 
 sim::Task<Response> Backend::Session::on_reg_mr(const CmdRegMr& cmd) {
@@ -350,13 +378,19 @@ sim::Task<Response> Backend::Session::on_reg_mr(const CmdRegMr& cmd) {
   // and building the MTT happens in the kernel driver (Appendix B.2).
   auto mr = co_await driver_.reg_mr(cmd.pd, vm_.gva(), cmd.gva, cmd.len,
                                     cmd.access);
-  if (mr.status == rnic::Status::kOk) ++live_mrs_;
+  if (mr.status == rnic::Status::kOk) {
+    ++live_mrs_;
+    owned_mrs_.insert(mr.value.lkey);
+  }
   co_return Response{mr.status, mr.value.lkey, mr.value.rkey};
 }
 
 sim::Task<Response> Backend::Session::on_create_cq(const CmdCreateCq& cmd) {
   auto cq = co_await driver_.create_cq(cmd.cqe);
-  if (cq.status == rnic::Status::kOk) ++live_cqs_;
+  if (cq.status == rnic::Status::kOk) {
+    ++live_cqs_;
+    owned_cqs_.insert(cq.value);
+  }
   co_return Response{cq.status, cq.value, 0};
 }
 
@@ -365,6 +399,7 @@ sim::Task<Response> Backend::Session::on_create_qp(const CmdCreateQp& cmd) {
   if (qp.status == rnic::Status::kOk) {
     ++live_qps_;
     ++qps_created_;
+    owned_qps_.insert(qp.value);
   }
   co_return Response{qp.status, qp.value, 0};
 }
@@ -461,19 +496,26 @@ sim::Task<Response> Backend::Session::on_destroy_qp(const CmdDestroyQp& cmd) {
   if (st == rnic::Status::kOk && live_qps_ > 0) {
     --live_qps_;
     ++qps_destroyed_;
+    owned_qps_.erase(cmd.qpn);
   }
   co_return Response{st, 0, 0};
 }
 
 sim::Task<Response> Backend::Session::on_destroy_cq(const CmdDestroyCq& cmd) {
   const rnic::Status st = co_await driver_.destroy_cq(cmd.cq);
-  if (st == rnic::Status::kOk && live_cqs_ > 0) --live_cqs_;
+  if (st == rnic::Status::kOk && live_cqs_ > 0) {
+    --live_cqs_;
+    owned_cqs_.erase(cmd.cq);
+  }
   co_return Response{st, 0, 0};
 }
 
 sim::Task<Response> Backend::Session::on_dereg_mr(const CmdDeregMr& cmd) {
   const rnic::Status st = co_await driver_.dereg_mr(cmd.lkey);
-  if (st == rnic::Status::kOk && live_mrs_ > 0) --live_mrs_;
+  if (st == rnic::Status::kOk && live_mrs_ > 0) {
+    --live_mrs_;
+    owned_mrs_.erase(cmd.lkey);
+  }
   co_return Response{st, 0, 0};
 }
 

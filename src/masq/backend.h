@@ -145,6 +145,26 @@ class Backend {
     VBond& vbond() { return vbond_; }
     std::uint32_t vni() const { return vm_.config().vni; }
 
+    // Object inventory: the RNIC object IDs this tenant currently owns, in
+    // creation order. Live migration enumerates these to know exactly what
+    // must move with the VM (the live_* counters alone only say how many).
+    const sim::FlatSet<rnic::Qpn>& owned_qps() const { return owned_qps_; }
+    const sim::FlatSet<rnic::Cqn>& owned_cqs() const { return owned_cqs_; }
+    const sim::FlatSet<rnic::Key>& owned_mrs() const { return owned_mrs_; }
+    const sim::FlatSet<rnic::PdId>& owned_pds() const { return owned_pds_; }
+    const sim::FlatMap<rnic::Qpn, rnic::QpAttr>& tenant_view() const {
+      return tenant_view_;
+    }
+
+    // Live-migration adoption: accounts a restored object to this session
+    // (the device-level restore already happened). adopt_qp re-installs
+    // the tenant's virtual-address view of the QPC when the source session
+    // had one — the hardware view moved with the device snapshot.
+    void adopt_qp(rnic::Qpn qpn, const rnic::QpAttr* tenant_attr);
+    void adopt_cq(rnic::Cqn cq);
+    void adopt_mr(rnic::Key lkey);
+    void adopt_pd(rnic::PdId pd);
+
     // Lets the frontend's LayerProfile observe backend-side charges.
     void set_profile(verbs::LayerProfile* profile);
 
@@ -190,11 +210,21 @@ class Backend {
     std::uint64_t live_mrs_ = 0;
     std::uint64_t qps_created_ = 0;
     std::uint64_t qps_destroyed_ = 0;
+    sim::FlatSet<rnic::Qpn> owned_qps_;
+    sim::FlatSet<rnic::Cqn> owned_cqs_;
+    sim::FlatSet<rnic::Key> owned_mrs_;
+    sim::FlatSet<rnic::PdId> owned_pds_;
   };
 
   // Registers a VM with this backend: assigns a device function by the
   // QoS grouping policy and boots the session's vBond.
   Session& register_vm(hyp::Vm& vm);
+
+  // Live-migration handover: detaches and destroys `session`. The caller
+  // must have released the session's vBond first if the (VNI, vGID)
+  // registration is to survive the teardown, and must not hold references
+  // into the session afterwards.
+  void remove_session(Session& session);
 
   // QoS (§3.3.3): programs the hardware rate limiter of a tenant's VF.
   void set_tenant_rate_limit(std::uint32_t vni, double gbps);

@@ -50,7 +50,7 @@ VerbLib modify_verb_lib(const rnic::QpAttr& attr, std::uint32_t mask,
 
 MasqContext::MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
                          virtio::ChannelCosts virtio_costs)
-    : session_(session),
+    : session_(&session),
       oob_(oob),
       vq_(session.backend().loop(), virtio_costs),
       // Deterministic per-tenant jitter stream: same testbed, same seeds,
@@ -58,38 +58,97 @@ MasqContext::MasqContext(Backend::Session& session, overlay::OobEndpoint& oob,
       jitter_rng_(0x6a17c0de ^
                   (static_cast<std::uint64_t>(session.vni()) *
                    0x9e3779b97f4a7c15ULL)) {
-  session_.set_profile(&profile_);
+  session_->set_profile(&profile_);
   vq_.set_backend(
       [this](Envelope env) -> sim::Task<Response> {
-        return session_.handle(std::move(env));
+        return session_->handle(std::move(env));
       });
-  if (sim::FaultPlane* faults = session_.backend().faults()) {
+  if (sim::FaultPlane* faults = session_->backend().faults()) {
     vq_.set_transit_faults(
         [faults](std::uint64_t cmd_id) { return faults->on_vq_transit(cmd_id); });
   }
   // Appendix B.1: map the device's doorbell BAR into the application's
   // address space so data-path doorbells bypass the hypervisor.
-  doorbell_gva_ = session_.vm().map_mmio_into_guest(
-      session_.backend().device().doorbell_bar(), 64 * 1024 * 8);
+  doorbell_gva_ = session_->vm().map_mmio_into_guest(
+      session_->backend().device().doorbell_bar(), 64 * 1024 * 8);
   // A QP torn down via ERROR never reaches destroy_qp's kOk path, so its
   // control-path routing entry is purged here; the warm pool drops any
   // staged/parked endpoint riding on the dead QP. Hooks run synchronously
   // inside the transition — both callees only mutate tables and schedule.
-  qp_error_hook_ = session_.backend().device().on_qp_error(
+  qp_error_hook_ = session_->backend().device().on_qp_error(
       [this](rnic::Qpn qpn) {
         qp_types_.erase(qpn);
         if (warm_pool_) warm_pool_->on_qp_error(qpn);
       });
-  const WarmPoolConfig& warm = session_.backend().config().warm;
+  const WarmPoolConfig& warm = session_->backend().config().warm;
   if (warm.enabled) {
     warm_pool_ = std::make_unique<WarmPool>(*this, warm);
     warm_pool_->start();
+    // A peer that migrates keeps its vGID but re-registers it against a
+    // new physical GID; a parked pair toward that peer is wired to the old
+    // host and must be downgraded to cold. Purge on both the re-push and
+    // the explicit-invalidate channels. Subscribed only when a pool
+    // exists, so warm-disabled runs keep a bit-identical event stream.
+    // `vni` is captured by value: the controller broadcasts synchronously
+    // inside register_vgid, which fires mid-migration while session_ is
+    // detached (null).
+    sdn::Controller& ctrl = session_->backend().controller();
+    const std::uint32_t vni = session_->vni();
+    warm_push_sub_ = ctrl.subscribe(
+        [this, vni](std::uint32_t v, net::Gid vgid, net::Gid) {
+          if (v == vni && warm_pool_) warm_pool_->invalidate(vgid);
+        });
+    warm_inval_sub_ = ctrl.subscribe_invalidate(
+        [this, vni](std::uint32_t v, net::Gid vgid) {
+          if (v == vni && warm_pool_) warm_pool_->invalidate(vgid);
+        });
   }
 }
 
 MasqContext::~MasqContext() {
-  session_.backend().device().remove_qp_error_hook(qp_error_hook_);
+  if (session_ != nullptr) {
+    if (warm_push_sub_ != 0) {
+      session_->backend().controller().unsubscribe(warm_push_sub_);
+      session_->backend().controller().unsubscribe_invalidate(warm_inval_sub_);
+    }
+    session_->backend().device().remove_qp_error_hook(qp_error_hook_);
+  }
   warm_pool_.reset();
+}
+
+void MasqContext::end_migration() {
+  migration_gate_ = false;
+  // Move the list out first: a released caller that re-parks (gate
+  // re-closed by a back-to-back migration) pushes into a fresh vector
+  // instead of the one being iterated.
+  std::vector<sim::Promise<bool>> waiters = std::move(gate_waiters_);
+  gate_waiters_.clear();
+  for (sim::Promise<bool>& w : waiters) w.set_value(true);
+}
+
+void MasqContext::unbind() {
+  // Order matters: the hook lives on the *source* device, which is only
+  // reachable through the old session. After this the context must not be
+  // used until rebind() — the gate (closed by the Migrator) guarantees no
+  // verb is in flight.
+  session_->backend().device().remove_qp_error_hook(qp_error_hook_);
+  qp_error_hook_ = 0;
+  session_ = nullptr;
+}
+
+void MasqContext::rebind(Backend::Session& session) {
+  session_ = &session;
+  session_->set_profile(&profile_);
+  // The doorbell BAR must be remapped into the *destination* guest's
+  // address space (new Vm, new translation chain), and QP-ERROR purging
+  // re-hooked on the destination device.
+  doorbell_gva_ = session_->vm().map_mmio_into_guest(
+      session_->backend().device().doorbell_bar(), 64 * 1024 * 8);
+  qp_error_hook_ = session_->backend().device().on_qp_error(
+      [this](rnic::Qpn qpn) {
+        qp_types_.erase(qpn);
+        if (warm_pool_) warm_pool_->on_qp_error(qpn);
+      });
 }
 
 sim::Task<verbs::WarmEndpoint> MasqContext::acquire_warm(
@@ -128,7 +187,7 @@ sim::Task<Response> MasqContext::call(const char* verb, sim::Time lib_time,
 
 sim::Task<MasqContext::CallOutcome> MasqContext::attempt(
     Envelope env, int weight, sim::Time attempt_deadline) {
-  if (session_.backend().faults() != nullptr) {
+  if (session_->backend().faults() != nullptr) {
     const std::uint64_t id = env.cmd_id;
     co_return co_await vq_.call_deadline(std::move(env), weight,
                                          attempt_deadline, id);
@@ -141,7 +200,7 @@ sim::Task<MasqContext::CallOutcome> MasqContext::attempt(
 }
 
 sim::Time MasqContext::backoff_delay(int attempt) {
-  const RetryPolicy& rp = session_.backend().config().retry;
+  const RetryPolicy& rp = session_->backend().config().retry;
   double backoff = static_cast<double>(rp.base_backoff);
   for (int i = 1; i < attempt; ++i) backoff *= rp.backoff_multiplier;
   backoff *= 1.0 + rp.jitter_frac * jitter_rng_.next_double();
@@ -149,7 +208,17 @@ sim::Time MasqContext::backoff_delay(int attempt) {
 }
 
 sim::Task<Response> MasqContext::submit(Command cmd, int weight) {
-  const RetryPolicy& rp = session_.backend().config().retry;
+  // Migration gate: park before touching session_ or the virtqueue — the
+  // atomic section runs with session_ detached and the queue must stay
+  // drained. Loop, not if: a back-to-back migration may re-close the gate
+  // between release and resumption.
+  while (migration_gate_) {
+    sim::Promise<bool> gate(loop());
+    sim::Future<bool> released = gate.get_future();
+    gate_waiters_.push_back(std::move(gate));
+    (void)co_await released;
+  }
+  const RetryPolicy& rp = session_->backend().config().retry;
   const sim::Time deadline = loop().now() + rp.verb_deadline;
   // One cmd_id for all attempts: a retry racing its own original is
   // deduplicated by the backend instead of executing twice.
@@ -180,7 +249,13 @@ sim::Task<Response> MasqContext::submit(Command cmd, int weight) {
 }
 
 sim::Task<Response> MasqContext::submit_chunk(CmdBatch chunk, int weight) {
-  const RetryPolicy& rp = session_.backend().config().retry;
+  while (migration_gate_) {
+    sim::Promise<bool> gate(loop());
+    sim::Future<bool> released = gate.get_future();
+    gate_waiters_.push_back(std::move(gate));
+    (void)co_await released;
+  }
+  const RetryPolicy& rp = session_->backend().config().retry;
   const sim::Time deadline = loop().now() + rp.verb_deadline;
   const std::uint64_t id = next_cmd_id_++;
   bool counted_retry = false;
@@ -209,9 +284,9 @@ sim::Task<Response> MasqContext::submit_chunk(CmdBatch chunk, int weight) {
 
 sim::Task<rnic::Expected<rnic::PdId>> MasqContext::alloc_pd() {
   // Table 1: not forwarded to the RNIC — handled without a virtqueue trip.
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   co_await lib_charge("alloc_pd", lib_share(costs.alloc_pd));
-  Response r = co_await session_.alloc_pd_local();
+  Response r = co_await session_->alloc_pd_local();
   if (r.status != rnic::Status::kOk) {
     co_return rnic::Expected<rnic::PdId>::error(r.status);
   }
@@ -221,7 +296,7 @@ sim::Task<rnic::Expected<rnic::PdId>> MasqContext::alloc_pd() {
 
 sim::Task<rnic::Expected<verbs::MrHandle>> MasqContext::reg_mr(
     rnic::PdId pd, mem::Addr addr, std::uint64_t len, std::uint32_t access) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   Response r = co_await call("reg_mr", lib_share(costs.reg_mr_base),
                              CmdRegMr{pd, addr, len, access});
   if (r.status != rnic::Status::kOk) {
@@ -233,7 +308,7 @@ sim::Task<rnic::Expected<verbs::MrHandle>> MasqContext::reg_mr(
 }
 
 sim::Task<rnic::Expected<rnic::Cqn>> MasqContext::create_cq(int cqe) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   Response r = co_await call("create_cq", lib_share(costs.create_cq_base),
                              CmdCreateCq{cqe});
   if (r.status != rnic::Status::kOk) {
@@ -244,7 +319,7 @@ sim::Task<rnic::Expected<rnic::Cqn>> MasqContext::create_cq(int cqe) {
 
 sim::Task<rnic::Expected<rnic::Qpn>> MasqContext::create_qp(
     const rnic::QpInitAttr& attr) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   Response r = co_await call("create_qp", lib_share(costs.create_qp),
                              CmdCreateQp{attr});
   if (r.status != rnic::Status::kOk) {
@@ -258,7 +333,7 @@ sim::Task<rnic::Expected<rnic::Qpn>> MasqContext::create_qp(
 sim::Task<rnic::Status> MasqContext::modify_qp(rnic::Qpn qpn,
                                                const rnic::QpAttr& attr,
                                                std::uint32_t mask) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   const VerbLib vl = modify_verb_lib(attr, mask, costs);
   Response r = co_await call(vl.verb, vl.lib, CmdModifyQp{qpn, attr, mask});
   co_return r.status;
@@ -270,7 +345,7 @@ sim::Task<rnic::Expected<net::Gid>> MasqContext::query_gid() {
   co_await lib_charge("query_gid", sim::microseconds(2));
   profile_.add("query_gid", verbs::Layer::kMasqDriver, sim::microseconds(2));
   co_await sim::delay(loop(), sim::microseconds(2));
-  co_return rnic::Expected<net::Gid>::of(session_.vbond().vgid());
+  co_return rnic::Expected<net::Gid>::of(session_->vbond().vgid());
 }
 
 sim::Task<rnic::Expected<rnic::QpAttr>> MasqContext::query_qp(
@@ -285,7 +360,7 @@ sim::Task<rnic::Expected<rnic::QpAttr>> MasqContext::query_qp(
 }
 
 sim::Task<rnic::Status> MasqContext::destroy_qp(rnic::Qpn qpn) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   Response r = co_await call("destroy_qp", lib_share(costs.destroy_qp),
                              CmdDestroyQp{qpn});
   // Only a confirmed destroy loses the routing entry: a failed destroy
@@ -297,23 +372,23 @@ sim::Task<rnic::Status> MasqContext::destroy_qp(rnic::Qpn qpn) {
 }
 
 sim::Task<rnic::Status> MasqContext::destroy_cq(rnic::Cqn cq) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   Response r = co_await call("destroy_cq", lib_share(costs.destroy_cq),
                              CmdDestroyCq{cq});
   co_return r.status;
 }
 
 sim::Task<rnic::Status> MasqContext::dereg_mr(const verbs::MrHandle& mr) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   Response r = co_await call("dereg_mr", lib_share(costs.dereg_mr),
                              CmdDeregMr{mr.lkey});
   co_return r.status;
 }
 
 sim::Task<rnic::Status> MasqContext::dealloc_pd(rnic::PdId pd) {
-  const auto& costs = session_.backend().config().driver_costs;
+  const auto& costs = session_->backend().config().driver_costs;
   co_await lib_charge("dealloc_pd", lib_share(costs.dealloc_pd));
-  Response r = co_await session_.dealloc_pd_local(pd);
+  Response r = co_await session_->dealloc_pd_local(pd);
   co_return r.status;
 }
 
@@ -337,24 +412,25 @@ rnic::Status MasqContext::post_send(rnic::Qpn qpn, const rnic::SendWr& wr) {
   // guest-mapped BAR — the MMIO write traverses GVA -> GPA -> HVA -> HPA
   // and lands on the device with no hypervisor involvement.
   const rnic::Status st =
-      session_.backend().device().post_send(qpn, wr, /*ring_doorbell=*/false);
+      session_->backend().device().post_send(qpn, wr, /*ring_doorbell=*/false);
   if (st == rnic::Status::kOk) {
-    session_.vm().gva().write_u64(doorbell_gva_ + qpn * 8, 1);
+    session_->vm().gva().write_u64(
+        doorbell_gva_ + session_->backend().device().doorbell_offset(qpn), 1);
   }
   return st;
 }
 
 rnic::Status MasqContext::post_recv(rnic::Qpn qpn, const rnic::RecvWr& wr) {
-  return session_.backend().device().post_recv(qpn, wr);
+  return session_->backend().device().post_recv(qpn, wr);
 }
 
 int MasqContext::poll_cq(rnic::Cqn cq, int max_entries,
                          rnic::Completion* out) {
-  return session_.backend().device().poll_cq(cq, max_entries, out);
+  return session_->backend().device().poll_cq(cq, max_entries, out);
 }
 
 sim::Future<bool> MasqContext::cq_nonempty(rnic::Cqn cq) {
-  return session_.backend().device().cq_nonempty(cq);
+  return session_->backend().device().cq_nonempty(cq);
 }
 
 // ---------------------------------------------------------------------------
@@ -512,7 +588,7 @@ class MasqBatch final : public verbs::ControlBatch {
   };
 
   const verbs::DriverCosts& costs() const {
-    return ctx_.session_.backend().config().driver_costs;
+    return ctx_.session_->backend().config().driver_costs;
   }
 
   int push(BatchableCommand cmd, BatchLink link, const Meta& m) {
@@ -583,7 +659,7 @@ class MasqBatch final : public verbs::ControlBatch {
   // when nothing retryable remains or the budget runs out, at which point
   // still-transient entries fail kDeadlineExceeded like a solo verb would.
   sim::Task<void> retry_failed_entries() {
-    const RetryPolicy& rp = ctx_.session_.backend().config().retry;
+    const RetryPolicy& rp = ctx_.session_->backend().config().retry;
     const sim::Time deadline = ctx_.loop().now() + rp.verb_deadline;
     const std::size_t ring = static_cast<std::size_t>(ctx_.vq_.ring_size());
     for (int round = 1; round < rp.max_attempts; ++round) {

@@ -33,17 +33,17 @@ class MasqContext : public verbs::Context {
   ~MasqContext() override;
 
   std::string name() const override { return "MasQ"; }
-  sim::EventLoop& loop() override { return session_.backend().loop(); }
+  sim::EventLoop& loop() override { return session_->backend().loop(); }
 
   mem::Addr alloc_buffer(std::uint64_t len) override {
-    return session_.vm().alloc_guest_buffer(len);
+    return session_->vm().alloc_guest_buffer(len);
   }
   void write_buffer(mem::Addr addr,
                     std::span<const std::uint8_t> in) override {
-    session_.vm().write_guest(addr, in);
+    session_->vm().write_guest(addr, in);
   }
   void read_buffer(mem::Addr addr, std::span<std::uint8_t> out) override {
-    session_.vm().read_guest(addr, out);
+    session_->vm().read_guest(addr, out);
   }
 
   sim::Task<rnic::Expected<rnic::PdId>> alloc_pd() override;
@@ -70,13 +70,13 @@ class MasqContext : public verbs::Context {
               rnic::Completion* out) override;
   sim::Future<bool> cq_nonempty(rnic::Cqn cq) override;
   sim::Future<bool> next_rx_event(rnic::Qpn qpn) override {
-    return session_.backend().device().next_rx_event(qpn);
+    return session_->backend().device().next_rx_event(qpn);
   }
   sim::Time data_verb_call_time(verbs::DataVerb v) const override;
 
   overlay::OobEndpoint& oob() override { return oob_; }
   sim::Time scale_compute(sim::Time host_time) const override {
-    return session_.vm().compute(host_time);
+    return session_->vm().compute(host_time);
   }
 
   // Pipelined control path: queued verbs ship as one CmdBatch in a single
@@ -97,8 +97,23 @@ class MasqContext : public verbs::Context {
   // Null unless the warm path is enabled.
   WarmPool* warm_pool() { return warm_pool_.get(); }
 
-  Backend::Session& session() { return session_; }
+  Backend::Session& session() { return *session_; }
   virtio::Virtqueue<Envelope, Response>& virtqueue() { return vq_; }
+
+  // --- Live migration (DESIGN.md §15) -----------------------------------
+  // The Migrator drives these four in order. begin_migration() closes the
+  // control-path gate: new verbs park on a promise instead of entering the
+  // virtqueue, so the queue can drain to empty and stay empty. unbind()
+  // detaches from the source session (QP-ERROR hook off the old device,
+  // session pointer nulled) just before the source Vm is destroyed;
+  // rebind() attaches to the freshly registered destination session and
+  // remaps the doorbell BAR into the new guest address space.
+  // end_migration() reopens the gate and releases every parked caller.
+  void begin_migration() { migration_gate_ = true; }
+  void end_migration();
+  void unbind();
+  void rebind(Backend::Session& session);
+  bool migration_in_progress() const { return migration_gate_; }
 
   // Control-path verbs that needed at least one retry (transient failure
   // or attempt timeout).
@@ -137,10 +152,25 @@ class MasqContext : public verbs::Context {
   // Backoff before retry `attempt` (1-based), jittered.
   sim::Time backoff_delay(int attempt);
 
-  Backend::Session& session_;
+  // Pointer, not reference: live migration detaches the context from the
+  // source session (unbind) and reattaches it to the destination session
+  // (rebind). Null only inside the migration atomic section.
+  Backend::Session* session_;
   overlay::OobEndpoint& oob_;
   virtio::Virtqueue<Envelope, Response> vq_;
   mem::Addr doorbell_gva_ = 0;  // device BAR mapped into the guest
+  // Control-path gate: while set, submit()/submit_chunk() park on a
+  // promise before touching the virtqueue. Closed by begin_migration(),
+  // reopened (waiters released) by end_migration().
+  bool migration_gate_ = false;
+  std::vector<sim::Promise<bool>> gate_waiters_;
+  // Warm-pool staleness subscriptions (satellite fix): a peer that
+  // migrates re-registers its unchanged vGID against a new physical GID;
+  // both the re-push and any explicit invalidation must purge parked
+  // pairs toward that peer, or the next acquire() would hand out a QP
+  // wired to the peer's old host. Zero when no warm pool exists.
+  sdn::Controller::SubId warm_push_sub_ = 0;
+  sdn::Controller::SubId warm_inval_sub_ = 0;
   sim::FlatMap<rnic::Qpn, rnic::QpType> qp_types_;
   std::uint64_t next_cmd_id_ = 1;
   sim::Rng jitter_rng_;

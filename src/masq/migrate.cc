@@ -1,0 +1,412 @@
+#include "masq/migrate.h"
+
+#include <span>
+#include <string>
+#include <utility>
+
+#include "mem/address_space.h"
+
+namespace masq {
+
+namespace {
+
+// One peer QP on some device (the far end of an RC connection).
+struct PeerRef {
+  rnic::RnicDevice* dev = nullptr;
+  rnic::Qpn qpn = 0;
+};
+
+bool contains(const std::vector<PeerRef>& v, const rnic::RnicDevice* dev,
+              rnic::Qpn qpn) {
+  for (const PeerRef& p : v) {
+    if (p.dev == dev && p.qpn == qpn) return true;
+  }
+  return false;
+}
+
+bool connected(rnic::QpState st) {
+  return st == rnic::QpState::kRtr || st == rnic::QpState::kRts ||
+         st == rnic::QpState::kSqd;
+}
+
+}  // namespace
+
+void Migrator::fail_invariant(std::string_view point, std::string diagnostic) {
+  if (env_.report_violation) {
+    env_.report_violation("migration-wqe", point, std::move(diagnostic));
+  }
+}
+
+sim::Task<rnic::Status> Migrator::run() {
+  sim::EventLoop& loop = *env_.loop;
+  MasqContext& ctx = *env_.ctx;
+  Backend& src = *env_.source;
+  Backend& dst = *env_.destination;
+  rnic::RnicDevice& src_dev = src.device();
+  rnic::RnicDevice& dst_dev = dst.device();
+  Backend::Session& old_session = ctx.session();
+  const sim::Time t0 = loop.now();
+
+  // --- 1. Gate: no new control verbs enter the virtqueue. ----------------
+  ctx.begin_migration();
+
+  // --- 2+3. Quiesce and drain. -------------------------------------------
+  // The pause sweep is idempotent and re-runs every poll: commands already
+  // inside the virtqueue when the gate closed may still create QPs or
+  // drive them to RTS mid-drain, and those must be paused too before the
+  // fabric can run dry.
+  std::vector<rnic::Qpn> own_paused;
+  std::vector<PeerRef> peer_paused;
+  auto pause_sweep = [&]() {
+    const rnic::QpAttr sqd{.state = rnic::QpState::kSqd};
+    for (rnic::Qpn q : old_session.owned_qps()) {
+      if (!src_dev.qp_exists(q)) continue;
+      if (src_dev.qp_state(q) == rnic::QpState::kRts &&
+          src_dev.modify_qp(q, sqd, rnic::kAttrState) == rnic::Status::kOk) {
+        own_paused.push_back(q);
+      }
+      // A connected QP names its peer in the hardware QPC; the peer must
+      // stop transmitting toward us before the QP can move hosts.
+      if (!connected(src_dev.qp_state(q))) continue;
+      const rnic::QpAttr& hw = src_dev.qp_hw_attr(q);
+      if (hw.dest_qpn == 0) continue;  // UD / not yet connected
+      if (old_session.owned_qps().contains(hw.dest_qpn)) continue;  // loopback
+      rnic::RnicDevice* pdev =
+          env_.device_by_pgid ? env_.device_by_pgid(hw.dest_gid) : nullptr;
+      if (pdev == nullptr || !pdev->qp_exists(hw.dest_qpn)) continue;
+      if (pdev->qp_state(hw.dest_qpn) == rnic::QpState::kRts &&
+          !contains(peer_paused, pdev, hw.dest_qpn) &&
+          pdev->modify_qp(hw.dest_qpn, sqd, rnic::kAttrState) ==
+              rnic::Status::kOk) {
+        peer_paused.push_back({pdev, hw.dest_qpn});
+      }
+    }
+  };
+  auto& vq = ctx.virtqueue();
+  auto drained = [&]() {
+    for (rnic::Qpn q : old_session.owned_qps()) {
+      if (src_dev.qp_exists(q) && !src_dev.qp_quiescent(q)) return false;
+    }
+    for (const PeerRef& p : peer_paused) {
+      if (p.dev->qp_exists(p.qpn) && !p.dev->qp_quiescent(p.qpn)) {
+        return false;
+      }
+    }
+    if (vq.in_flight() != 0 || vq.waiting_callers() != 0) return false;
+    return src.pending_qp_purges() == 0;
+  };
+
+  const sim::Time drain_deadline = loop.now() + env_.costs.drain_timeout;
+  for (pause_sweep(); !drained(); pause_sweep()) {
+    if (loop.now() >= drain_deadline) {
+      // Roll the pause back: the VM keeps running on the source host.
+      const rnic::QpAttr rts{.state = rnic::QpState::kRts};
+      for (rnic::Qpn q : own_paused) {
+        if (src_dev.qp_exists(q) &&
+            src_dev.qp_state(q) == rnic::QpState::kSqd) {
+          (void)src_dev.modify_qp(q, rts, rnic::kAttrState);
+        }
+      }
+      for (const PeerRef& p : peer_paused) {
+        if (p.dev->qp_exists(p.qpn) &&
+            p.dev->qp_state(p.qpn) == rnic::QpState::kSqd) {
+          (void)p.dev->modify_qp(p.qpn, rts, rnic::kAttrState);
+        }
+      }
+      ctx.end_migration();
+      report_.status = rnic::Status::kDeadlineExceeded;
+      report_.total_time = loop.now() - t0;
+      co_return rnic::Status::kDeadlineExceeded;
+    }
+    co_await sim::delay(loop, env_.costs.poll_interval);
+  }
+  report_.drain_time = loop.now() - t0;
+  report_.peer_qps_paused = peer_paused.size();
+
+  // --- 4. Atomic section: no co_await from here to the downtime charge. --
+  // Final inventory — stable now: the gate is closed and the queue empty.
+  std::vector<rnic::Qpn> qpns;
+  for (rnic::Qpn q : old_session.owned_qps()) qpns.push_back(q);
+  std::vector<rnic::Cqn> cqns;
+  for (rnic::Cqn c : old_session.owned_cqs()) cqns.push_back(c);
+  std::vector<rnic::Key> mr_keys;
+  for (rnic::Key k : old_session.owned_mrs()) mr_keys.push_back(k);
+  std::vector<rnic::PdId> pd_ids;
+  for (rnic::PdId p : old_session.owned_pds()) pd_ids.push_back(p);
+  const sim::FlatMap<rnic::Qpn, rnic::QpAttr> tenant_view =
+      old_session.tenant_view();
+
+  // Peer QPCs that must be re-aimed at the new physical GID. Loopback
+  // pairs (both ends owned) migrate together and are re-aimed on the
+  // destination device instead.
+  std::vector<PeerRef> peer_rewrites;
+  std::vector<rnic::Qpn> loopback_rewrites;
+  for (rnic::Qpn q : qpns) {
+    if (!src_dev.qp_exists(q) || !connected(src_dev.qp_state(q))) continue;
+    const rnic::QpAttr& hw = src_dev.qp_hw_attr(q);
+    if (hw.dest_qpn == 0) continue;
+    if (old_session.owned_qps().contains(hw.dest_qpn)) {
+      loopback_rewrites.push_back(q);
+      continue;
+    }
+    rnic::RnicDevice* pdev =
+        env_.device_by_pgid ? env_.device_by_pgid(hw.dest_gid) : nullptr;
+    if (pdev == nullptr || !pdev->qp_exists(hw.dest_qpn)) continue;
+    if (!contains(peer_rewrites, pdev, hw.dest_qpn)) {
+      peer_rewrites.push_back({pdev, hw.dest_qpn});
+    }
+  }
+
+  // Digests before the move: the no-WQE-lost proof's left-hand side.
+  sim::FlatMap<rnic::Qpn, std::uint64_t> qp_digest_before;
+  sim::FlatMap<rnic::Qpn, std::size_t> qp_send_depth_before;
+  sim::FlatMap<rnic::Cqn, std::uint64_t> cq_digest_before;
+  sim::FlatMap<rnic::Cqn, std::size_t> cq_depth_before;
+  for (rnic::Qpn q : qpns) {
+    if (!src_dev.qp_exists(q)) continue;
+    qp_digest_before[q] = src_dev.qp_wqe_digest(q);
+    qp_send_depth_before[q] = src_dev.qp_send_queue_depth(q);
+  }
+  for (rnic::Cqn c : cqns) {
+    cq_digest_before[c] = src_dev.cq_digest(c);
+    cq_depth_before[c] = src_dev.cq_depth(c);
+  }
+
+  // Extract everything from the source device.
+  rnic::Status first_error = rnic::Status::kOk;
+  auto note_error = [&](rnic::Status st) {
+    if (st != rnic::Status::kOk && first_error == rnic::Status::kOk) {
+      first_error = st;
+    }
+  };
+  std::vector<rnic::RnicDevice::QpSnapshot> qp_snaps;
+  for (rnic::Qpn q : qpns) {
+    if (!src_dev.qp_exists(q)) continue;
+    auto snap = src_dev.extract_qp(q);
+    if (!snap.ok()) {
+      note_error(snap.status);
+      continue;
+    }
+    qp_snaps.push_back(std::move(snap.value));
+  }
+  if (drop_wqe_for_test_) {
+    for (auto& s : qp_snaps) {
+      if (!s.send_queue.empty()) {
+        s.send_queue.pop_back();
+        break;
+      }
+    }
+  }
+  if (duplicate_wqe_for_test_) {
+    for (auto& s : qp_snaps) {
+      if (!s.send_queue.empty()) {
+        s.send_queue.push_back(s.send_queue.front());
+        break;
+      }
+    }
+  }
+  std::vector<rnic::RnicDevice::CqSnapshot> cq_snaps;
+  for (rnic::Cqn c : cqns) {
+    auto snap = src_dev.extract_cq(c);
+    if (!snap.ok()) {
+      note_error(snap.status);
+      continue;
+    }
+    cq_snaps.push_back(std::move(snap.value));
+  }
+  std::vector<rnic::RnicDevice::MrSnapshot> mr_snaps;
+  for (rnic::Key k : mr_keys) {
+    auto snap = src_dev.extract_mr(k);
+    if (!snap.ok()) {
+      note_error(snap.status);
+      continue;
+    }
+    // Release the source driver's pin on the old translation chain; the
+    // destination driver re-pins against the new VM in adopt_mr.
+    old_session.driver().forget_mr(k);
+    mr_snaps.push_back(snap.value);
+  }
+  for (rnic::PdId pd : pd_ids) (void)src_dev.dealloc_pd(pd);
+  std::vector<RConntrack::Entry> rows;
+  for (rnic::Qpn q : qpns) {
+    for (RConntrack::Entry& e : src.conntrack().extract_qp(q)) {
+      rows.push_back(std::move(e));
+    }
+  }
+
+  // Guest RAM: stop-and-copy of every live buffer.
+  hyp::Vm& old_vm = **env_.vm_slot;
+  const hyp::Vm::Config vm_cfg = old_vm.config();
+  struct GuestBuf {
+    mem::Addr addr = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<GuestBuf> bufs;
+  for (const auto& [addr, len] : old_vm.guest_buffers()) {
+    GuestBuf b;
+    b.addr = addr;
+    b.bytes.resize(len);
+    old_vm.read_guest(addr, b.bytes);
+    report_.guest_bytes_copied += len;
+    bufs.push_back(std::move(b));
+  }
+
+  // Hand over the tenant identity and tear the source half down. unbind()
+  // must run while the old session still exists (the QP-ERROR hook lives
+  // on the source device); vbond().release() must run before the session
+  // dies (its destructor would unregister the vGID we are keeping).
+  ctx.unbind();
+  old_session.vbond().release();
+  src.remove_session(old_session);
+  env_.vm_slot->reset();  // returns the DRAM reservation to the source
+
+  // Boot the destination half. register_vm binds a fresh vBond: the
+  // unchanged vGID is re-registered against this host's physical GID and
+  // the controller pushes the new mapping to every host cache (which also
+  // purges peers' parked warm-pool pairs toward the migrant).
+  *env_.vm_slot = std::make_unique<hyp::Vm>(*env_.dest_host, vm_cfg);
+  hyp::Vm& new_vm = **env_.vm_slot;
+  Backend::Session& new_session = dst.register_vm(new_vm);
+
+  // Guest buffers reappear at their original GVAs, so application
+  // pointers and MR base addresses survive verbatim.
+  for (const GuestBuf& b : bufs) {
+    new_vm.alloc_guest_buffer_at(b.addr, b.bytes.size());
+    new_vm.write_guest(b.addr, b.bytes);
+  }
+
+  // Restore the RNIC objects under their original IDs (disjoint per-host
+  // id_spaces make collision impossible).
+  for (rnic::PdId pd : pd_ids) {
+    const rnic::Status st = dst_dev.restore_pd(pd, new_session.fn());
+    if (st == rnic::Status::kOk) {
+      new_session.adopt_pd(pd);
+      ++report_.pds_moved;
+    } else {
+      note_error(st);
+    }
+  }
+  for (rnic::RnicDevice::CqSnapshot& snap : cq_snaps) {
+    const rnic::Cqn c = snap.cqn;
+    const rnic::Status st = dst_dev.restore_cq(std::move(snap));
+    if (st == rnic::Status::kOk) {
+      new_session.adopt_cq(c);
+      ++report_.cqs_moved;
+    } else {
+      note_error(st);
+    }
+  }
+  for (const rnic::RnicDevice::MrSnapshot& snap : mr_snaps) {
+    const rnic::Status st = new_session.driver().adopt_mr(snap, new_vm.gva());
+    if (st == rnic::Status::kOk) {
+      new_session.adopt_mr(snap.lkey);
+      ++report_.mrs_moved;
+    } else {
+      note_error(st);
+    }
+  }
+  for (rnic::RnicDevice::QpSnapshot& snap : qp_snaps) {
+    const rnic::Qpn q = snap.qpn;
+    snap.fn = new_session.fn();  // re-homed on the destination VF
+    const rnic::Status st = dst_dev.restore_qp(std::move(snap));
+    if (st == rnic::Status::kOk) {
+      auto it = tenant_view.find(q);
+      new_session.adopt_qp(q, it == tenant_view.end() ? nullptr
+                                                      : &it->second);
+      ++report_.qps_moved;
+    } else {
+      note_error(st);
+    }
+  }
+
+  // Digest compare: the no-WQE-lost proof's right-hand side. Any WQE or
+  // CQE lost or duplicated between extract and restore changes the FNV
+  // stream and fires the migration auditor with a precise diagnostic.
+  for (const auto& [q, before] : qp_digest_before) {
+    if (!dst_dev.qp_exists(q)) {
+      fail_invariant("restore", "qp " + std::to_string(q) +
+                                    " missing on destination after restore");
+      continue;
+    }
+    const std::uint64_t after = dst_dev.qp_wqe_digest(q);
+    if (after != before) {
+      fail_invariant(
+          "restore",
+          "qp " + std::to_string(q) + " wqe digest mismatch across migration" +
+              " (before=" + std::to_string(before) +
+              ", after=" + std::to_string(after) + ", send depth " +
+              std::to_string(qp_send_depth_before.at(q)) + " -> " +
+              std::to_string(dst_dev.qp_send_queue_depth(q)) +
+              "): a WQE was lost or duplicated");
+    }
+  }
+  for (const auto& [c, before] : cq_digest_before) {
+    const std::uint64_t after = dst_dev.cq_digest(c);
+    if (after != before) {
+      fail_invariant(
+          "restore",
+          "cq " + std::to_string(c) + " digest mismatch across migration" +
+              " (before=" + std::to_string(before) +
+              ", after=" + std::to_string(after) + ", depth " +
+              std::to_string(cq_depth_before.at(c)) + " -> " +
+              std::to_string(dst_dev.cq_depth(c)) +
+              "): a completion was lost or duplicated");
+    }
+  }
+
+  // RConntrack rows follow the VM; only the driver handle changes.
+  for (RConntrack::Entry& row : rows) {
+    row.driver = &new_session.driver();
+    dst.conntrack().adopt(std::move(row));
+    ++report_.conntrack_rows_moved;
+  }
+
+  // Re-aim every peer QPC at the migrant's new physical GID — the
+  // RConnrename-at-RTR rewrite, replayed for an endpoint that moved. The
+  // virtual GID in each tenant's view is untouched, which is what makes
+  // the move invisible to applications.
+  const net::Gid new_pgid = dst_dev.gid(rnic::kPf);
+  const rnic::QpAttr re{.dest_gid = new_pgid};
+  for (const PeerRef& p : peer_rewrites) {
+    note_error(p.dev->modify_qp(p.qpn, re, rnic::kAttrDestGid));
+  }
+  for (rnic::Qpn q : loopback_rewrites) {
+    if (dst_dev.qp_exists(q)) {
+      note_error(dst_dev.modify_qp(q, re, rnic::kAttrDestGid));
+    }
+  }
+
+  ctx.rebind(new_session);
+
+  // --- 5. Pay the modeled stop-and-copy blackout in one charge. ----------
+  const std::uint64_t pages =
+      (report_.guest_bytes_copied + mem::kPageSize - 1) / mem::kPageSize;
+  const sim::Time pause =
+      env_.costs.pause_base +
+      env_.costs.per_qp * static_cast<sim::Time>(qp_snaps.size()) +
+      env_.costs.per_page * static_cast<sim::Time>(pages);
+  report_.pause_time = pause;
+  co_await sim::delay(loop, pause);
+
+  // --- 6. Resume: paused QPs back to RTS, gate reopens. ------------------
+  const rnic::QpAttr rts{.state = rnic::QpState::kRts};
+  for (rnic::Qpn q : own_paused) {
+    if (dst_dev.qp_exists(q) && dst_dev.qp_state(q) == rnic::QpState::kSqd) {
+      note_error(dst_dev.modify_qp(q, rts, rnic::kAttrState));
+    }
+  }
+  for (const PeerRef& p : peer_paused) {
+    if (p.dev->qp_exists(p.qpn) &&
+        p.dev->qp_state(p.qpn) == rnic::QpState::kSqd) {
+      note_error(p.dev->modify_qp(p.qpn, rts, rnic::kAttrState));
+    }
+  }
+  ctx.end_migration();
+
+  report_.status = first_error;
+  report_.ok = first_error == rnic::Status::kOk;
+  report_.total_time = loop.now() - t0;
+  co_return first_error;
+}
+
+}  // namespace masq

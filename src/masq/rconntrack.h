@@ -111,6 +111,24 @@ class RConntrack {
     table_.push_back(std::move(entry));
   }
 
+  // --- Live migration (DESIGN.md §15) -----------------------------------
+  // Synchronous and uncharged: the Migrator's atomic section moves rows
+  // wholesale and bills the time as migration downtime, not per-row
+  // conntrack operations. extract_qp removes and returns every row for
+  // the QP; adopt re-inserts one (typically with `driver` re-pointed at
+  // the destination host's driver). The (vni, vip, qpn) tuple is
+  // unchanged — that is the point of transparent migration.
+  std::vector<Entry> extract_qp(rnic::Qpn qpn) {
+    std::vector<Entry> out;
+    std::erase_if(table_, [&](const Entry& e) {
+      if (e.qpn != qpn) return false;
+      out.push_back(e);
+      return true;
+    });
+    return out;
+  }
+  void adopt(Entry entry) { table_.push_back(std::move(entry)); }
+
  private:
   // Rescans the table after a rule change; resets now-forbidden
   // connections (Fig. 6 step 2 / §4.3.2).

@@ -215,6 +215,7 @@ void WarmPool::invalidate(const net::Gid& peer_gid) {
   if (it == parked_.end()) return;
   teardown_in_background(it->second.slot);
   parked_.erase(peer_gid);
+  ++purged_;
 }
 
 void WarmPool::on_qp_error(rnic::Qpn qpn) {

@@ -53,6 +53,16 @@ void AddressSpace::unmap(Addr va, Addr len) {
   }
 }
 
+void AddressSpace::force_unmap(Addr va, Addr len) {
+  if ((va & kPageMask) != 0 || (len & kPageMask) != 0) {
+    throw std::invalid_argument(name_ + ": force_unmap: unaligned arguments");
+  }
+  const Addr pages = len / kPageSize;
+  for (Addr i = 0; i < pages; ++i) {
+    table_.erase(page_number(va) + i);
+  }
+}
+
 const AddressSpace::Entry* AddressSpace::find(Addr va) const {
   auto it = table_.find(page_number(va));
   return it == table_.end() ? nullptr : &it->second;

@@ -48,6 +48,9 @@ class AddressSpace {
   void map(Addr va, Addr lower_addr, Addr len);
   // Unmaps; throws std::logic_error if any page is pinned.
   void unmap(Addr va, Addr len);
+  // Teardown unmap: clears entries even when pinned (an exiting guest
+  // takes its DMA pins with it). Missing pages are ignored.
+  void force_unmap(Addr va, Addr len);
   bool is_mapped(Addr va) const;
   std::size_t mapped_pages() const { return table_.size(); }
 

@@ -29,6 +29,29 @@ Addr RegionAllocator::alloc(Addr len) {
   throw std::bad_alloc();
 }
 
+void RegionAllocator::reserve(Addr addr, Addr len) {
+  if (len == 0) throw std::invalid_argument("RegionAllocator::reserve: len==0");
+  if ((addr & kPageMask) != 0) {
+    throw std::invalid_argument("RegionAllocator::reserve: unaligned address");
+  }
+  len = page_ceil(len);
+  if (addr < base_ || addr + len > base_ + size_) {
+    throw std::out_of_range("RegionAllocator::reserve: range outside region");
+  }
+  // Find the free block containing [addr, addr+len) and split it.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    const Addr start = it->first;
+    const Addr end = start + it->second;
+    if (addr < start || addr + len > end) continue;
+    free_list_.erase(it);
+    if (addr > start) free_list_[start] = addr - start;
+    if (addr + len < end) free_list_[addr + len] = end - (addr + len);
+    allocated_ += len;
+    return;
+  }
+  throw std::bad_alloc();
+}
+
 void RegionAllocator::free(Addr addr, Addr len) {
   if (len == 0) return;
   len = page_ceil(len);

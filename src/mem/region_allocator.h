@@ -20,6 +20,11 @@ class RegionAllocator {
   Addr alloc(Addr len);
   void free(Addr addr, Addr len);
 
+  // Claims the exact range [addr, addr+len) out of the free list (live
+  // migration restores guest buffers at their original virtual addresses).
+  // Throws std::bad_alloc if any page of the range is already allocated.
+  void reserve(Addr addr, Addr len);
+
   Addr base() const { return base_; }
   Addr size() const { return size_; }
   Addr bytes_allocated() const { return allocated_; }

@@ -47,6 +47,33 @@ class CompletionQueue {
     return n;
   }
 
+  // Live-migration support: the CQ's full consumer-visible state. Promises
+  // are shared-state handles, so moving the waiters keeps application
+  // coroutines blocked in nonempty() attached to the restored CQ.
+  struct State {
+    std::deque<Completion> ring;
+    std::vector<sim::Promise<bool>> waiters;
+    bool overflowed = false;
+  };
+  State extract_state() {
+    return State{std::move(ring_), std::move(waiters_), overflowed_};
+  }
+  void restore_state(State st) {
+    ring_ = std::move(st.ring);
+    waiters_ = std::move(st.waiters);
+    overflowed_ = st.overflowed;
+    // push() wakes on arrival, so a nonempty ring implies no waiters; a
+    // snapshot can only hold one of the two.
+    if (!ring_.empty()) wake();
+  }
+
+  // Walks undelivered CQEs front-to-back without consuming them (migration
+  // digests hash the ring contents, not just its depth).
+  template <typename F>
+  void for_each_cqe(F&& f) const {
+    for (const Completion& c : ring_) f(c);
+  }
+
   // Resolves when at least one CQE is available (immediately if nonempty).
   sim::Future<bool> nonempty() {
     sim::Promise<bool> p(loop_);

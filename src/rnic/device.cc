@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "sim/log.h"
 
@@ -9,10 +10,24 @@ namespace rnic {
 
 namespace {
 // RC transport retry budget: if no ack arrives this long after the last
-// byte left the wire, the requester reports transport-retry-exceeded.
+// byte left the wire, the requester retransmits; after kRcRetryCount
+// resends it reports transport-retry-exceeded. Retransmissions rebuild
+// the wire headers from the live QPC, so a peer whose address was renamed
+// mid-flight (transparent live migration) is reached on the next attempt.
 constexpr sim::Time kRetryTimeout = sim::milliseconds(4.0);
-// Doorbell BAR: one 8-byte register per QP, 64Ki QPs.
+constexpr int kRcRetryCount = 7;  // IB retry_cnt default
+// Doorbell BAR: one 8-byte register per live QP (slot-indexed), 64Ki slots.
 constexpr mem::Addr kDoorbellBarBytes = 64 * 1024 * 8;
+
+// FNV-1a, the migration-digest hash (deterministic, order-sensitive).
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+void fnv_mix(std::uint64_t* h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
 }  // namespace
 
 RnicDevice::RnicDevice(sim::EventLoop& loop, net::FluidNet& net,
@@ -22,6 +37,13 @@ RnicDevice::RnicDevice(sim::EventLoop& loop, net::FluidNet& net,
   tx_link_ = net_.add_link(config_.link_gbps, config_.link_prop_oneway / 2);
   rx_link_ = net_.add_link(config_.link_gbps, config_.link_prop_oneway / 2);
   doorbell_bar_ = phys_.register_mmio(kDoorbellBarBytes, this);
+  // Disjoint per-device ID ranges (migration keeps object IDs verbatim).
+  const std::uint64_t id_base =
+      (static_cast<std::uint64_t>(config_.id_space) << 20) + 1;
+  next_pd_ = static_cast<PdId>(id_base);
+  next_key_ = static_cast<Key>(id_base);
+  next_cq_ = static_cast<Cqn>(id_base);
+  next_qpn_ = static_cast<Qpn>(id_base);
 
   fns_.resize(1 + config_.num_vfs);
   fns_[kPf] = FunctionInfo{kPf, false, config_.mac, config_.ip, 0, false, 0};
@@ -184,6 +206,7 @@ Expected<Qpn> RnicDevice::create_qp(FnId fn, const QpInitAttr& attr) {
   qp->fn = fn;
   qp->init = attr;
   qps_[qpn] = std::move(qp);
+  assign_doorbell_slot(qpn);
   return Expected<Qpn>::of(qpn);
 }
 
@@ -192,6 +215,7 @@ Status RnicDevice::destroy_qp(Qpn qpn) {
   if (qp == nullptr) return Status::kNotFound;
   for (net::FlowId fl : qp->active_flows) net_.cancel_flow(fl);
   for (auto& w : qp->window_waiters) w.set_value(true);
+  release_doorbell_slot(qpn);
   qps_.erase(qpn);
   return Status::kOk;
 }
@@ -292,6 +316,178 @@ sim::Time RnicDevice::qp_error_processing_time(Qpn qpn) const {
 }
 
 // ---------------------------------------------------------------------------
+// Live migration: extraction, restore, digests.
+// ---------------------------------------------------------------------------
+
+bool RnicDevice::qp_quiescent(Qpn qpn) const {
+  const Qp* qp = find_qp(qpn);
+  if (qp == nullptr) throw std::out_of_range("qp_quiescent: no such QP");
+  // engine_running covers the window where a WQE has been popped off the
+  // send queue but not yet launched (it is in neither queue nor pending
+  // there — invisible to every other counter).
+  return !qp->engine_running && qp->outstanding == 0 && qp->pending.empty() &&
+         qp->active_flows.empty() && qp->reorder.empty();
+}
+
+Expected<RnicDevice::QpSnapshot> RnicDevice::extract_qp(Qpn qpn) {
+  Qp* qp = find_qp(qpn);
+  if (qp == nullptr) return Expected<QpSnapshot>::error(Status::kNotFound);
+  if (!qp_quiescent(qpn)) {
+    return Expected<QpSnapshot>::error(Status::kInvalidState);
+  }
+  QpSnapshot snap;
+  snap.qpn = qp->qpn;
+  snap.fn = qp->fn;
+  snap.init = qp->init;
+  snap.state = qp->state;
+  snap.state_transitions = qp->state_transitions;
+  snap.attr = qp->attr;
+  snap.send_queue = std::move(qp->send_queue);
+  snap.recv_queue = std::move(qp->recv_queue);
+  snap.next_tx_psn = qp->next_tx_psn;
+  snap.next_ack_psn = qp->next_ack_psn;
+  snap.next_rx_psn = qp->next_rx_psn;
+  snap.window_waiters = std::move(qp->window_waiters);
+  snap.rx_waiters = std::move(qp->rx_waiters);
+  release_doorbell_slot(qpn);
+  qps_.erase(qpn);
+  return Expected<QpSnapshot>::of(std::move(snap));
+}
+
+Expected<RnicDevice::CqSnapshot> RnicDevice::extract_cq(Cqn cqn) {
+  auto it = cqs_.find(cqn);
+  if (it == cqs_.end()) return Expected<CqSnapshot>::error(Status::kNotFound);
+  CqSnapshot snap;
+  snap.cqn = cqn;
+  snap.capacity = it->second->capacity();
+  snap.state = it->second->extract_state();
+  cqs_.erase(it);
+  return Expected<CqSnapshot>::of(std::move(snap));
+}
+
+Expected<RnicDevice::MrSnapshot> RnicDevice::extract_mr(Key lkey) {
+  auto it = mrs_.find(lkey);
+  if (it == mrs_.end()) return Expected<MrSnapshot>::error(Status::kNotFound);
+  const MemoryRegion& mr = *it->second;
+  MrSnapshot snap{mr.lkey(), mr.fn(), mr.pd(), mr.va(), mr.length(),
+                  mr.access()};
+  mrs_.erase(it);
+  return Expected<MrSnapshot>::of(snap);
+}
+
+Status RnicDevice::restore_qp(QpSnapshot snap) {
+  if (find_qp(snap.qpn) != nullptr) return Status::kInvalidArgument;
+  if (snap.fn >= fns_.size()) return Status::kInvalidArgument;
+  auto qp = std::make_unique<Qp>();
+  qp->qpn = snap.qpn;
+  qp->fn = snap.fn;
+  qp->init = snap.init;
+  qp->state = snap.state;
+  qp->state_transitions = snap.state_transitions;
+  qp->attr = snap.attr;
+  qp->send_queue = std::move(snap.send_queue);
+  qp->recv_queue = std::move(snap.recv_queue);
+  qp->next_tx_psn = snap.next_tx_psn;
+  qp->next_ack_psn = snap.next_ack_psn;
+  qp->next_rx_psn = snap.next_rx_psn;
+  qp->window_waiters = std::move(snap.window_waiters);
+  qp->rx_waiters = std::move(snap.rx_waiters);
+  const Qpn qpn = qp->qpn;
+  qps_[qpn] = std::move(qp);
+  assign_doorbell_slot(qpn);
+  // A QP restored directly into RTS with queued WQEs resumes on its own;
+  // the usual resume path restores into SQD and kicks via modify_qp(RTS).
+  if (can_transmit(qps_.at(qpn)->state)) kick_engine(qpn);
+  return Status::kOk;
+}
+
+Status RnicDevice::restore_cq(CqSnapshot snap) {
+  if (cqs_.count(snap.cqn) != 0) return Status::kInvalidArgument;
+  auto cq = std::make_unique<CompletionQueue>(loop_, snap.cqn, snap.capacity);
+  cq->restore_state(std::move(snap.state));
+  cqs_[snap.cqn] = std::move(cq);
+  return Status::kOk;
+}
+
+Status RnicDevice::restore_mr(const MrSnapshot& snap,
+                              std::vector<mem::Segment> hpa_segments) {
+  if (mrs_.count(snap.lkey) != 0) return Status::kInvalidArgument;
+  if (snap.fn >= fns_.size()) return Status::kInvalidArgument;
+  std::uint64_t covered = 0;
+  for (const auto& s : hpa_segments) covered += s.len;
+  if (covered < snap.len) return Status::kInvalidArgument;
+  mrs_[snap.lkey] = std::make_unique<MemoryRegion>(
+      snap.lkey, snap.fn, snap.pd, snap.va, snap.len, snap.access,
+      std::move(hpa_segments), &phys_);
+  return Status::kOk;
+}
+
+Status RnicDevice::restore_pd(PdId pd, FnId fn) {
+  if (fn >= fns_.size()) return Status::kInvalidArgument;
+  if (pds_.count(pd) != 0) return Status::kInvalidArgument;
+  pds_[pd] = fn;
+  return Status::kOk;
+}
+
+std::uint64_t RnicDevice::qp_wqe_digest(Qpn qpn) const {
+  const Qp* qp = find_qp(qpn);
+  if (qp == nullptr) throw std::out_of_range("qp_wqe_digest: no such QP");
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(&h, qp->qpn);
+  fnv_mix(&h, qp->send_queue.size());
+  for (const SendWr& wr : qp->send_queue) {
+    fnv_mix(&h, wr.wr_id);
+    fnv_mix(&h, static_cast<std::uint64_t>(wr.opcode));
+    fnv_mix(&h, wr.sge.length);
+    fnv_mix(&h, wr.signaled ? 1 : 0);
+  }
+  fnv_mix(&h, qp->recv_queue.size());
+  for (const RecvWr& wr : qp->recv_queue) fnv_mix(&h, wr.wr_id);
+  fnv_mix(&h, qp->next_tx_psn);
+  fnv_mix(&h, qp->next_ack_psn);
+  fnv_mix(&h, qp->next_rx_psn);
+  fnv_mix(&h, qp->pending.size());
+  return h;
+}
+
+std::uint64_t RnicDevice::cq_digest(Cqn cqn) const {
+  auto it = cqs_.find(cqn);
+  if (it == cqs_.end()) throw std::out_of_range("cq_digest: no such CQ");
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(&h, cqn);
+  fnv_mix(&h, it->second->depth());
+  // Undelivered CQEs are part of the WQE ledger: dropping one across the
+  // move loses a completion the application is still owed.
+  it->second->for_each_cqe([&h](const Completion& c) {
+    fnv_mix(&h, c.wr_id);
+    fnv_mix(&h, static_cast<std::uint64_t>(c.status));
+    fnv_mix(&h, static_cast<std::uint64_t>(c.opcode));
+    fnv_mix(&h, c.byte_len);
+    fnv_mix(&h, c.qpn);
+  });
+  fnv_mix(&h, it->second->overflowed() ? 1 : 0);
+  return h;
+}
+
+std::size_t RnicDevice::qp_send_queue_depth(Qpn qpn) const {
+  const Qp* qp = find_qp(qpn);
+  if (qp == nullptr) throw std::out_of_range("qp_send_queue_depth: no QP");
+  return qp->send_queue.size();
+}
+
+std::size_t RnicDevice::qp_recv_queue_depth(Qpn qpn) const {
+  const Qp* qp = find_qp(qpn);
+  if (qp == nullptr) throw std::out_of_range("qp_recv_queue_depth: no QP");
+  return qp->recv_queue.size();
+}
+
+std::size_t RnicDevice::cq_depth(Cqn cqn) const {
+  auto it = cqs_.find(cqn);
+  if (it == cqs_.end()) throw std::out_of_range("cq_depth: no such CQ");
+  return it->second->depth();
+}
+
+// ---------------------------------------------------------------------------
 // Data path: posting.
 // ---------------------------------------------------------------------------
 
@@ -350,8 +546,43 @@ bool RnicDevice::cq_overflowed(Cqn cq) const {
 }
 
 void RnicDevice::mmio_write(mem::Addr offset, std::uint64_t /*value*/) {
-  // Doorbell register file: offset = qpn * 8.
-  kick_engine(static_cast<Qpn>(offset / 8));
+  // Doorbell register file: offset = slot * 8; the slot table maps back to
+  // the owning QP (slot 0 of a freed register maps to QPN 0 -> no-op).
+  const auto slot = static_cast<std::size_t>(offset / 8);
+  if (slot < doorbell_owner_.size()) kick_engine(doorbell_owner_[slot]);
+}
+
+std::uint64_t RnicDevice::doorbell_offset(Qpn qpn) const {
+  auto it = doorbell_slots_.find(qpn);
+  if (it == doorbell_slots_.end()) {
+    throw std::out_of_range("doorbell_offset: no such QP");
+  }
+  return static_cast<std::uint64_t>(it->second) * 8;
+}
+
+std::uint32_t RnicDevice::assign_doorbell_slot(Qpn qpn) {
+  std::uint32_t slot;
+  if (!doorbell_free_.empty()) {
+    slot = doorbell_free_.back();
+    doorbell_free_.pop_back();
+    doorbell_owner_[slot] = qpn;
+  } else {
+    slot = static_cast<std::uint32_t>(doorbell_owner_.size());
+    if (static_cast<mem::Addr>(slot) * 8 >= kDoorbellBarBytes) {
+      throw std::length_error("doorbell register file exhausted");
+    }
+    doorbell_owner_.push_back(qpn);
+  }
+  doorbell_slots_[qpn] = slot;
+  return slot;
+}
+
+void RnicDevice::release_doorbell_slot(Qpn qpn) {
+  auto it = doorbell_slots_.find(qpn);
+  if (it == doorbell_slots_.end()) return;
+  doorbell_owner_[it->second] = 0;
+  doorbell_free_.push_back(it->second);
+  doorbell_slots_.erase(it);
 }
 
 std::uint64_t RnicDevice::mmio_read(mem::Addr /*offset*/) { return 0; }
@@ -478,7 +709,10 @@ void RnicDevice::launch_wqe(Qp& qp, SendWr wr) {
 
   const bool is_ud = qp.init.type == QpType::kUd;
   if (!is_ud) {
-    qp.pending.emplace(msg.psn, PendingSend{wr, false, WcStatus::kSuccess});
+    PendingSend pend{wr, false, WcStatus::kSuccess};
+    pend.msg = msg;  // retransmission copy
+    pend.retries_left = kRcRetryCount;
+    qp.pending.emplace(msg.psn, std::move(pend));
     ++qp.outstanding;
   }
 
@@ -605,9 +839,10 @@ void RnicDevice::transmit(Qp& qp, Message msg, bool expect_ack) {
         }
         remote->deliver(std::move(m));
         if (expect_ack) {
-          // If no ack (or nak) arrives, the requester's retries exhaust.
+          // If no ack (or nak) arrives, retransmit until the budget is
+          // spent; only then do the retries exhaust.
           loop_.schedule_after(kRetryTimeout, [this, qpn, psn] {
-            on_ack(qpn, psn, WcStatus::kTransportRetryExc);
+            maybe_retry(qpn, psn);
           });
         }
       });
@@ -707,7 +942,15 @@ void RnicDevice::process_incoming(Message msg) {
   if (msg.psn != qp->next_rx_psn) {
     const auto distance = static_cast<std::int64_t>(msg.psn) -
                           static_cast<std::int64_t>(qp->next_rx_psn);
-    if (distance > 0) qp->reorder.emplace(msg.psn, std::move(msg));
+    if (distance > 0) {
+      qp->reorder.emplace(msg.psn, std::move(msg));
+    } else if (msg.op == MsgOp::kSend || msg.op == MsgOp::kWrite ||
+               msg.op == MsgOp::kWriteImm) {
+      // A duplicate of an already-executed request: a retransmission
+      // whose original ack raced it. Re-ack so the requester completes
+      // (reads re-request the data instead, so they stay dropped).
+      send_ack(msg, WcStatus::kSuccess);
+    }
     return;
   }
   handle_in_order(*qp, msg);
@@ -857,6 +1100,36 @@ void RnicDevice::send_ack(const Message& msg, WcStatus status) {
   loop_.schedule_after(config_.link_prop_oneway, [sender, qpn, psn, status] {
     sender->on_ack(qpn, psn, status);
   });
+}
+
+void RnicDevice::maybe_retry(Qpn qpn, std::uint32_t psn) {
+  Qp* qp = find_qp(qpn);
+  if (qp == nullptr) return;
+  auto it = qp->pending.find(psn);
+  if (it == qp->pending.end() || it->second.done) return;
+  if (qp->state == QpState::kError) return;  // flush owns the pending set
+  if (it->second.retries_left <= 0) {
+    on_ack(qpn, psn, WcStatus::kTransportRetryExc);
+    return;
+  }
+  --it->second.retries_left;
+  ++counters_.retransmits;
+  Message m = it->second.msg;
+  // Rebuild the wire headers from the live QPC: the peer may have been
+  // renamed since the original attempt (transparent live migration
+  // rewrites dest_gid while the dropped packet's timeout is pending).
+  net::RoceFrame frame;
+  if (!build_frame(*qp, fns_.at(qp->fn), m.op,
+                   static_cast<std::uint32_t>(m.frame.payload_bytes),
+                   nullptr, &frame)) {
+    // Transient no-route: burn the attempt, keep the timer running.
+    loop_.schedule_after(kRetryTimeout,
+                         [this, qpn, psn] { maybe_retry(qpn, psn); });
+    return;
+  }
+  frame.bth.psn = m.psn;
+  m.frame = frame;
+  transmit(*qp, std::move(m), /*expect_ack=*/true);
 }
 
 void RnicDevice::on_ack(Qpn src_qpn, std::uint32_t psn, WcStatus status) {

@@ -108,6 +108,11 @@ struct DeviceConfig {
   sim::Time link_prop_oneway = sim::nanoseconds(200);
   bool iommu = false;  // SR-IOV passthrough pays VT-d per DMA
   int tunnel_cache_capacity = 128;
+  // Resource-ID space: PD/MR/CQ/QP numbers are handed out from
+  // (id_space << 20) + 1. Fabrics that live-migrate RNIC objects give every
+  // device a disjoint space so a QP keeps its QPN on the destination host
+  // with no chance of collision and no ID translation anywhere.
+  std::uint32_t id_space = 0;
   DataPathCosts costs;
 };
 
@@ -188,6 +193,76 @@ class RnicDevice : public mem::MmioDevice {
   // RNIC processing time to force this QP to ERROR right now (Fig. 18).
   sim::Time qp_error_processing_time(Qpn qpn) const;
 
+  // ------------------------------------------------------------------
+  // Live migration (masq::Migrator).
+  // ------------------------------------------------------------------
+  // True when nothing about this QP is in motion: the send engine is idle,
+  // no WQE is launched-but-unacked, no fluid flow is on the wire, and no
+  // out-of-order arrival is buffered. extract_qp() requires this — an
+  // in-flight message resolved its destination device at transmit time and
+  // cannot follow the QP to another host.
+  bool qp_quiescent(Qpn qpn) const;
+
+  // The complete serializable state of one quiescent QP. Waiter promises
+  // are shared-state handles: moving them keeps application coroutines
+  // (window backpressure, next_rx_event) attached across the move.
+  struct QpSnapshot {
+    Qpn qpn = 0;
+    FnId fn = kPf;
+    QpInitAttr init;
+    QpState state = QpState::kReset;
+    std::uint32_t state_transitions = 0;
+    QpAttr attr;
+    std::deque<SendWr> send_queue;
+    std::deque<RecvWr> recv_queue;
+    std::uint32_t next_tx_psn = 0;
+    std::uint32_t next_ack_psn = 0;
+    std::uint32_t next_rx_psn = 0;
+    std::vector<sim::Promise<bool>> window_waiters;
+    std::vector<sim::Promise<bool>> rx_waiters;
+  };
+  struct CqSnapshot {
+    Cqn cqn = 0;
+    int capacity = 0;
+    CompletionQueue::State state;
+  };
+  struct MrSnapshot {
+    Key lkey = 0;
+    FnId fn = kPf;
+    PdId pd = 0;
+    mem::Addr va = 0;
+    std::uint64_t len = 0;
+    std::uint32_t access = 0;
+  };
+
+  // Removes the object from this device and returns its state. extract_qp
+  // fails with kInvalidState unless qp_quiescent(); none of these settle
+  // waiters or flush WQEs — the state moves, it does not die.
+  [[nodiscard]] Expected<QpSnapshot> extract_qp(Qpn qpn);
+  [[nodiscard]] Expected<CqSnapshot> extract_cq(Cqn cqn);
+  [[nodiscard]] Expected<MrSnapshot> extract_mr(Key lkey);
+
+  // Re-instantiates an extracted object on this device under its original
+  // ID (disjoint id_space ranges guarantee no collision). restore_mr takes
+  // the MTT resolved against the *destination* VM's address chain — guest
+  // virtual addresses survive migration, physical ones do not. restore_pd
+  // re-homes a PD id onto a function of this device.
+  [[nodiscard]] Status restore_qp(QpSnapshot snap);
+  [[nodiscard]] Status restore_cq(CqSnapshot snap);
+  [[nodiscard]] Status restore_mr(const MrSnapshot& snap,
+                                  std::vector<mem::Segment> hpa_segments);
+  [[nodiscard]] Status restore_pd(PdId pd, FnId fn);
+
+  // Deterministic digests for the no-WQE-lost migration auditor: FNV-1a
+  // over the QP's queued WQEs and PSN cursors / the CQ's undelivered CQEs.
+  // Taken on the source before extraction and recomputed on the
+  // destination after restore; any lost or duplicated WQE changes them.
+  std::uint64_t qp_wqe_digest(Qpn qpn) const;
+  std::uint64_t cq_digest(Cqn cqn) const;
+  std::size_t qp_send_queue_depth(Qpn qpn) const;
+  std::size_t qp_recv_queue_depth(Qpn qpn) const;
+  std::size_t cq_depth(Cqn cqn) const;
+
   // Fires on every transition into ERROR — via modify_qp or a data-path
   // fault. RConntrack subscribes so its table never keeps an entry for a
   // dead QP. Hooks run synchronously inside the transition; subscribers
@@ -216,9 +291,15 @@ class RnicDevice : public mem::MmioDevice {
   sim::Future<bool> cq_nonempty(Cqn cq);
   bool cq_overflowed(Cqn cq) const;
 
-  // Doorbell MMIO: offset = qpn * 8.
+  // Doorbell MMIO: offset = doorbell slot * 8. Slots are dense per-QP
+  // registers assigned at create/restore and recycled LIFO at destroy, so
+  // the 64Ki-register BAR bounds *live* QPs regardless of QPN values
+  // (id_space-salted QPNs would overflow a QPN-indexed BAR).
   void mmio_write(mem::Addr offset, std::uint64_t value) override;
   std::uint64_t mmio_read(mem::Addr offset) override;
+  // BAR offset of this QP's doorbell register (guest drivers add it to
+  // their mapped BAR base).
+  std::uint64_t doorbell_offset(Qpn qpn) const;
 
   // Resolves when the next inbound message for `qpn` has been processed
   // (models an application spin-polling its buffer, as ib_write_lat does,
@@ -238,6 +319,7 @@ class RnicDevice : public mem::MmioDevice {
     std::uint64_t dropped_no_qp = 0;
     std::uint64_t rnr_drops = 0;
     std::uint64_t remote_access_naks = 0;
+    std::uint64_t retransmits = 0;  // RC timeout-driven resends
   };
   const Counters& counters() const { return counters_; }
 
@@ -246,6 +328,10 @@ class RnicDevice : public mem::MmioDevice {
     SendWr wr;
     bool done = false;
     WcStatus status = WcStatus::kSuccess;
+    // Retransmission state: a copy of the wire message plus the remaining
+    // retry budget. RC only (UD keeps no pending entry).
+    Message msg;
+    int retries_left = 0;
   };
 
   struct Qp {
@@ -273,6 +359,8 @@ class RnicDevice : public mem::MmioDevice {
 
   Qp* find_qp(Qpn qpn);
   const Qp* find_qp(Qpn qpn) const;
+  std::uint32_t assign_doorbell_slot(Qpn qpn);
+  void release_doorbell_slot(Qpn qpn);
   // The single legal mutation point for Qp::state (keeps the transition
   // count honest).
   void transition_qp(Qp& qp, QpState to);
@@ -293,6 +381,10 @@ class RnicDevice : public mem::MmioDevice {
                      std::uint32_t byte_len);
   // Marks psn done and posts CQEs for every consecutive finished psn.
   void drain_acks(Qp& qp);
+  // Ack-timeout handler: resends the pending message (with wire headers
+  // rebuilt from the live QPC) until the retry budget exhausts, then
+  // reports transport-retry-exceeded.
+  void maybe_retry(Qpn qpn, std::uint32_t psn);
   void flush_qp(Qp& qp);  // -> ERROR semantics: flush queues + kill flows
   void release_window_slot(Qp& qp);
 
@@ -330,6 +422,12 @@ class RnicDevice : public mem::MmioDevice {
   Key next_key_ = 1;
   Cqn next_cq_ = 1;
   Qpn next_qpn_ = 1;
+
+  // Doorbell register file: QP -> slot, slot -> QP, recycled slots (LIFO
+  // keeps the register file dense and the reuse order deterministic).
+  sim::FlatMap<Qpn, std::uint32_t> doorbell_slots_;
+  std::vector<Qpn> doorbell_owner_;  // slot index -> QPN (0 = free)
+  std::vector<std::uint32_t> doorbell_free_;
 
   sim::ServiceQueue engine_;  // shared WQE pipeline (tx and rx)
 

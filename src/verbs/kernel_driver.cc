@@ -45,6 +45,28 @@ sim::Task<rnic::Expected<MrHandle>> KernelDriver::reg_mr(
       MrHandle{mr.value.lkey, mr.value.rkey, addr, len});
 }
 
+rnic::Status KernelDriver::adopt_mr(const rnic::RnicDevice::MrSnapshot& snap,
+                                    mem::AddressSpace& space) {
+  std::vector<mem::Segment> mtt;
+  try {
+    space.pin_chain(snap.va, snap.len);
+    mtt = space.resolve_hpa_range(snap.va, snap.len);
+  } catch (const std::exception&) {
+    return rnic::Status::kInvalidArgument;
+  }
+  // The MR is re-homed on this driver's function: the destination VF need
+  // not have the same id the source VF had.
+  rnic::RnicDevice::MrSnapshot homed = snap;
+  homed.fn = fn_;
+  const rnic::Status st = device_.restore_mr(homed, std::move(mtt));
+  if (st != rnic::Status::kOk) {
+    space.unpin_chain(snap.va, snap.len);
+    return st;
+  }
+  mrs_[snap.lkey] = MrRecord{&space, snap.va, snap.len};
+  return rnic::Status::kOk;
+}
+
 sim::Task<rnic::Expected<rnic::Cqn>> KernelDriver::create_cq(int cqe) {
   co_await charge("create_cq",
                   costs_.create_cq_base +
@@ -113,6 +135,13 @@ sim::Task<rnic::Status> KernelDriver::destroy_qp(rnic::Qpn qpn) {
 sim::Task<rnic::Status> KernelDriver::destroy_cq(rnic::Cqn cq) {
   co_await charge("destroy_cq", costs_.destroy_cq);
   co_return device_.destroy_cq(cq);
+}
+
+void KernelDriver::forget_mr(rnic::Key lkey) {
+  auto it = mrs_.find(lkey);
+  if (it == mrs_.end()) return;
+  it->second.space->unpin_chain(it->second.addr, it->second.len);
+  mrs_.erase(it);
 }
 
 sim::Task<rnic::Status> KernelDriver::dereg_mr(rnic::Key lkey) {

@@ -51,6 +51,19 @@ class KernelDriver {
   sim::Task<rnic::Status> modify_qp(rnic::Qpn qpn, const rnic::QpAttr& attr,
                                     std::uint32_t mask);
   sim::Task<rnic::Expected<net::Gid>> query_gid();
+  // Live-migration restore: pins the snapshot's VA range down `space` (the
+  // *destination* VM's chain), resolves a fresh MTT and re-creates the MR
+  // on this driver's function under its original keys. Synchronous — the
+  // migration atomic section cannot suspend; its time is charged in bulk
+  // as migration downtime.
+  [[nodiscard]] rnic::Status adopt_mr(const rnic::RnicDevice::MrSnapshot& snap,
+                                      mem::AddressSpace& space);
+  // Live-migration extract: the device half of the MR has already been
+  // pulled off (extract_mr); drop this driver's pin on the *source*
+  // translation chain so the source VM can be torn down. The destination
+  // driver re-pins in adopt_mr. Synchronous, no verb cost.
+  void forget_mr(rnic::Key lkey);
+
   sim::Task<rnic::Status> destroy_qp(rnic::Qpn qpn);
   sim::Task<rnic::Status> destroy_cq(rnic::Cqn cq);
   sim::Task<rnic::Status> dereg_mr(rnic::Key lkey);
