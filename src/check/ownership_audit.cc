@@ -1,0 +1,140 @@
+#include "check/ownership_audit.h"
+
+#include <cassert>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace check {
+
+namespace {
+
+// Per-thread window context. One slot per thread is enough even with
+// multiple auditors alive (tests): the owner field scopes the claim, and
+// a thread runs at most one partition window at a time by construction.
+struct ThreadCtx {
+  const void* owner = nullptr;  // the auditor the claim belongs to
+  std::size_t partition = 0;
+  bool in_window = false;
+};
+
+thread_local ThreadCtx t_ctx;
+
+std::string thread_name() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+}  // namespace
+
+PartitionOwnershipAuditor::PartitionOwnershipAuditor(
+    sim::PartitionGroup& group, ViolationPolicy policy)
+    : group_(group), policy_(policy) {
+  loop_partition_.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    loop_partition_.emplace(&group.loop(i), i);
+    group.loop(i).set_access_probe(this);
+  }
+  group.set_window_observer(this);
+}
+
+PartitionOwnershipAuditor::~PartitionOwnershipAuditor() {
+  group_.set_window_observer(nullptr);
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    group_.loop(i).set_access_probe(nullptr);
+  }
+  if (t_ctx.owner == this) t_ctx = ThreadCtx{};
+}
+
+void PartitionOwnershipAuditor::tag_state(const void* object,
+                                          std::string name,
+                                          std::size_t partition) {
+  assert(open_windows_.load(std::memory_order_acquire) == 0 &&
+         "tag_state() must run during setup or at a barrier");
+  tagged_[object] = StateTag{std::move(name), partition};
+}
+
+void PartitionOwnershipAuditor::note_state_access(const void* object) {
+  auto it = tagged_.find(object);
+  if (it == tagged_.end()) return;
+  check_access(it->second.partition, it->second.name, "state-access", 0);
+}
+
+void PartitionOwnershipAuditor::on_loop_access(const sim::EventLoop& loop,
+                                               const char* op) {
+  auto it = loop_partition_.find(&loop);
+  if (it == loop_partition_.end()) return;  // not one of ours
+  std::ostringstream what;
+  what << "EventLoop[" << it->second << "]";
+  check_access(it->second, what.str(), op, loop.now());
+}
+
+void PartitionOwnershipAuditor::on_window_begin(std::size_t partition) {
+  open_windows_.fetch_add(1, std::memory_order_acq_rel);
+  t_ctx = ThreadCtx{this, partition, true};
+}
+
+void PartitionOwnershipAuditor::on_window_end(std::size_t partition) {
+  (void)partition;
+  t_ctx = ThreadCtx{this, partition, false};
+  open_windows_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::vector<Violation> PartitionOwnershipAuditor::violations() const {
+  std::lock_guard<std::mutex> lk(violations_mu_);
+  return violations_;
+}
+
+void PartitionOwnershipAuditor::set_thread_context_for_test(
+    std::size_t partition, bool in_window) {
+  t_ctx = ThreadCtx{this, partition, in_window};
+  if (in_window) open_windows_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void PartitionOwnershipAuditor::clear_thread_context_for_test() {
+  if (t_ctx.owner == this && t_ctx.in_window) {
+    open_windows_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  t_ctx = ThreadCtx{};
+}
+
+void PartitionOwnershipAuditor::check_access(std::size_t partition,
+                                             const std::string& what,
+                                             const char* op, sim::Time at) {
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  const ThreadCtx ctx = t_ctx;
+  const bool has_ctx = ctx.owner == this && ctx.in_window;
+  if (has_ctx && ctx.partition == partition) return;  // own window
+  if (!has_ctx &&
+      open_windows_.load(std::memory_order_acquire) == 0) {
+    return;  // barrier phase: single-threaded coordinator
+  }
+  std::ostringstream diag;
+  diag << what << " is owned by partition " << partition
+       << " but was accessed (op=" << op << ") from thread "
+       << thread_name();
+  if (has_ctx) {
+    diag << " while that thread runs partition " << ctx.partition
+         << "'s window";
+  } else {
+    diag << " which holds no window context while "
+         << open_windows_.load(std::memory_order_acquire)
+         << " window(s) are open";
+  }
+  diag << "; cross-partition effects must go through the coordinator at "
+          "the barrier";
+  fail(Violation{"partition-ownership", op, at, diag.str()});
+}
+
+void PartitionOwnershipAuditor::fail(Violation v) {
+  {
+    std::lock_guard<std::mutex> lk(violations_mu_);
+    violations_.push_back(v);
+  }
+  if (policy_ == ViolationPolicy::kThrow) {
+    throw InvariantViolationError(v);
+  }
+}
+
+}  // namespace check

@@ -1,0 +1,116 @@
+// (6) Partition-ownership auditor — the runtime half of the DESIGN.md §16
+// ownership contract.
+//
+// The static `shared-state` lint pass proves there is no *undeclared*
+// shared mutable state; this auditor proves the *declared* ownership is
+// respected at runtime. It installs a LoopAccessProbe on every EventLoop
+// of a PartitionGroup and registers as the group's WindowObserver, so it
+// sees (a) every loop mutation (schedule / event execution) and (b) every
+// window open/close, on the thread that performs it. Auxiliary
+// per-partition state — PartDrivers, hot tables, arenas — is tagged with
+// tag_state(); hot paths then call note_state_access() at their entry
+// points.
+//
+// Legality rule (one sentence): touching partition p's state is legal iff
+// the calling thread is currently inside p's window, or no window is open
+// anywhere (the barrier phase, where the single-threaded coordinator may
+// touch everything). Each access records a (partition, thread, in-window)
+// triple; an illegal one produces a diagnostic naming the object, its
+// owning partition, the accessing thread, that thread's window context,
+// and the operation — under ViolationPolicy::kThrow it throws
+// InvariantViolationError from the access site, so the stack names the
+// racing code path.
+//
+// The auditor only observes: it never schedules events or mutates any
+// loop, so an armed run is event-for-event and trace-hash identical to an
+// unarmed one (ScalePartitionTest.AuditorPreservesReport holds it to
+// that).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/invariant.h"
+#include "sim/ownership.h"
+#include "sim/partition.h"
+
+namespace check {
+
+class PartitionOwnershipAuditor : public sim::LoopAccessProbe,
+                                  public sim::WindowObserver {
+ public:
+  // Installs probes on every loop of `group` and becomes its window
+  // observer. `group` must outlive this auditor (the destructor
+  // uninstalls everything).
+  explicit PartitionOwnershipAuditor(
+      sim::PartitionGroup& group,
+      ViolationPolicy policy = ViolationPolicy::kThrow);
+  ~PartitionOwnershipAuditor() override;
+  PartitionOwnershipAuditor(const PartitionOwnershipAuditor&) = delete;
+  PartitionOwnershipAuditor& operator=(const PartitionOwnershipAuditor&) =
+      delete;
+
+  // Tags auxiliary state (a PartDriver, a hot table, an arena) as owned by
+  // `partition`; `name` appears in diagnostics. Must be called while no
+  // window is open (setup or barrier phase).
+  void tag_state(const void* object, std::string name,
+                 std::size_t partition);
+
+  // Hot-path entry points call this on tagged objects; untagged pointers
+  // are ignored (cheap no-op for state the caller never registered).
+  void note_state_access(const void* object);
+
+  // sim::LoopAccessProbe — every schedule/execute on an audited loop.
+  void on_loop_access(const sim::EventLoop& loop, const char* op) override;
+
+  // sim::WindowObserver — window bracketing, on the running thread.
+  void on_window_begin(std::size_t partition) override;
+  void on_window_end(std::size_t partition) override;
+
+  // Total accesses validated (loop + tagged state). Lets tests prove the
+  // auditor actually observed a run instead of silently watching nothing.
+  std::uint64_t accesses_recorded() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+
+  // Violations collected under ViolationPolicy::kRecord (copy: the vector
+  // may be appended to from worker threads).
+  std::vector<Violation> violations() const;
+
+  // Corruption hook: forges this thread's window context so tests can
+  // prove illegal access patterns fire without racing real threads. A
+  // forged in_window=true claim also opens a window (and clear_ closes
+  // it), so the legality check sees the same world a racing worker would.
+  void set_thread_context_for_test(std::size_t partition, bool in_window);
+  void clear_thread_context_for_test();
+
+ private:
+  void check_access(std::size_t partition, const std::string& what,
+                    const char* op, sim::Time at);
+  void fail(Violation v);
+
+  sim::PartitionGroup& group_;
+  ViolationPolicy policy_;
+
+  // Both maps are written only during setup / between windows and read
+  // concurrently during windows; tag_state() enforces that discipline.
+  std::unordered_map<const sim::EventLoop*, std::size_t> loop_partition_;
+  struct StateTag {
+    std::string name;
+    std::size_t partition;
+  };
+  std::unordered_map<const void*, StateTag> tagged_;
+
+  std::atomic<int> open_windows_{0};
+  std::atomic<std::uint64_t> accesses_{0};
+
+  mutable std::mutex violations_mu_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace check

@@ -90,6 +90,15 @@ struct ScaleConfig {
   // via ScaleReport::trace_hash). Costs a few percent of wall clock; the
   // determinism tests turn it on to prove thread-count invariance.
   bool trace = false;
+
+  // Arm the partition-ownership auditor (check::PartitionOwnershipAuditor)
+  // in the partitioned engine: every loop access and tagged hot-table
+  // access is validated against the DESIGN.md §16 ownership model, and a
+  // cross-partition access outside the barrier throws with partition +
+  // thread diagnostics. MASQ_CHECK=1 in the environment arms it too. The
+  // auditor observes only — reports and trace hashes are byte-identical
+  // armed or not (and `check` is deliberately NOT serialized by json()).
+  bool check = false;
 };
 
 struct ShardReport {

@@ -29,9 +29,12 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "check/invariant.h"
+#include "check/ownership_audit.h"
 #include "fabric/scale.h"
 #include "fabric/storm_schedule.h"
 #include "net/addr.h"
@@ -92,6 +95,10 @@ struct PartDriver {
   std::uint64_t warm_pooled = 0;
   std::uint64_t warm_reused = 0;
   std::uint64_t warm_cold = 0;
+  // Armed by cfg.check / MASQ_CHECK: hot paths report their driver access
+  // so the auditor can verify the calling thread owns this partition's
+  // window. Null when unarmed (one branch per entry point).
+  check::PartitionOwnershipAuditor* audit = nullptr;
 
   PartDriver(const ScaleConfig& c, std::size_t p, sim::EventLoop& l)
       : cfg(c),
@@ -140,6 +147,7 @@ struct PartDriver {
   // reply delivery fires in this partition at reply time.
   static sim::Task<std::vector<Controller::QueryReply>> batch_transport(
       PartDriver* d, std::size_t shard, std::vector<VirtKey> keys) {
+    if (d->audit) d->audit->note_state_access(d);
     sim::Promise<std::vector<Controller::QueryReply>> promise(d->loop);
     auto fut = promise.get_future();
     d->outbox.push_back(BatchRequest{d->loop.now(), shard, d->part,
@@ -152,6 +160,7 @@ struct PartDriver {
   static sim::Task<void> connect(PartDriver* d, std::size_t src,
                                  std::size_t dst, sim::Time start) {
     co_await sim::delay(d->loop, start);
+    if (d->audit) d->audit->note_state_access(d);
     ++d->attempted;
     const sim::Time t0 = d->loop.now();
     const std::uint32_t dst_gen = d->gen[dst];
@@ -217,6 +226,7 @@ struct PartDriver {
   static sim::Task<void> ip_change(PartDriver* d, std::size_t vm,
                                    sim::Time when) {
     co_await sim::delay(d->loop, when);
+    if (d->audit) d->audit->note_state_access(d);
     d->controller.unregister_vgid(storm::vni_of(d->cfg, vm),
                                   storm::gid_of(vm, d->gen[vm]));
     ++d->gen[vm];
@@ -226,6 +236,7 @@ struct PartDriver {
   static sim::Task<void> shard_down(PartDriver* d, std::size_t shard,
                                     sim::Time from, sim::Time until) {
     co_await sim::delay(d->loop, from);
+    if (d->audit) d->audit->note_state_access(d);
     d->controller.set_shard_reachable(shard, false);
     co_await sim::delay(d->loop, until - from);
     d->controller.set_shard_reachable(shard, true);
@@ -262,6 +273,22 @@ ScaleReport run_scale_storm_parallel(const ScaleConfig& cfg,
   parts.reserve(nparts);
   for (std::size_t p = 0; p < nparts; ++p) {
     parts.push_back(std::make_unique<PartDriver>(cfg, p, group.loop(p)));
+  }
+
+  // Partition-ownership auditor (DESIGN.md §16): installed before any
+  // event is scheduled so it sees the whole run. Observation-only, so the
+  // report and trace hash below are byte-identical armed or unarmed.
+  std::unique_ptr<check::PartitionOwnershipAuditor> auditor;
+  if (cfg.check || check::env_enabled()) {
+    auditor = std::make_unique<check::PartitionOwnershipAuditor>(group);
+    for (std::size_t p = 0; p < nparts; ++p) {
+      const std::string tag = "[" + std::to_string(p) + "]";
+      auditor->tag_state(parts[p].get(), "PartDriver" + tag, p);
+      auditor->tag_state(&parts[p]->controller, "Controller-replica" + tag,
+                         p);
+      auditor->tag_state(&parts[p]->parked, "parked-conn-table" + tag, p);
+      parts[p]->audit = auditor.get();
+    }
   }
 
   // Identical schedule (same seed, same draw order) as the single-loop
@@ -333,6 +360,9 @@ ScaleReport run_scale_storm_parallel(const ScaleConfig& cfg,
       d->loop.schedule_at(
           reply_time, [d, shard = r.shard, keys = std::move(r.keys),
                        reply = std::move(r.reply)]() mutable {
+            // Fires inside the requesting partition's window: the replica
+            // read below is exactly the access the auditor validates.
+            if (d->audit) d->audit->note_state_access(&d->controller);
             std::vector<Controller::QueryReply> out;
             out.reserve(keys.size());
             const bool up = d->controller.shard_reachable(shard);

@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/ownership.h"
+
 #if defined(__SANITIZE_ADDRESS__)
 #define MASQ_ARENA_PASSTHROUGH 1
 #elif defined(__has_feature)
@@ -160,6 +162,7 @@ struct FrameSlabRegistry {
 };
 
 inline FrameSlabRegistry& frame_slab_registry() {
+  MASQ_SHARED_STATE("process-wide slab keep-alive; every access takes its internal mutex, and freed frames only move through thread_local free lists")
   static FrameSlabRegistry registry;
   return registry;
 }

@@ -23,6 +23,7 @@ EventLoop::~EventLoop() {
 }
 
 void EventLoop::schedule_at(Time t, Callback cb) {
+  if (probe_) probe_->on_loop_access(*this, "schedule");
   if (t < now_) t = now_;
   EventNode* n = pool_.acquire();
   n->t = t;
@@ -37,6 +38,7 @@ void EventLoop::schedule_after(Time delay, Callback cb) {
 }
 
 void EventLoop::step() {
+  if (probe_) probe_->on_loop_access(*this, "execute");
   EventNode* n = queue_.pop();
   assert(n->t >= now_);
   now_ = n->t;

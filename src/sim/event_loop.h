@@ -19,6 +19,7 @@
 
 #include "sim/arena.h"
 #include "sim/callback.h"
+#include "sim/ownership.h"
 #include "sim/ready_queue.h"
 #include "sim/time.h"
 
@@ -100,6 +101,15 @@ class EventLoop {
   // iteration order) into the event stream. Cost when disabled: one
   // branch per call.
   // ------------------------------------------------------------------
+  // ------------------------------------------------------------------
+  // Ownership auditing (src/check). When a probe is installed it observes
+  // every loop mutation — each schedule_at() and each executed event — so
+  // the partition-ownership auditor can verify the calling thread owns
+  // this loop's partition window. Probes observe only; they never
+  // schedule. Cost when unset: one branch per mutation.
+  // ------------------------------------------------------------------
+  void set_access_probe(LoopAccessProbe* probe) { probe_ = probe; }
+
   void enable_trace() { trace_enabled_ = true; }
   bool trace_enabled() const { return trace_enabled_; }
   void trace(std::uint64_t v) {
@@ -126,6 +136,7 @@ class EventLoop {
 
   std::uint64_t audit_every_ = 0;
   Callback audit_hook_;
+  LoopAccessProbe* probe_ = nullptr;
 
   bool trace_enabled_ = false;
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis

@@ -1,8 +1,11 @@
 #include "sim/log.h"
 
+#include "sim/ownership.h"
+
 namespace sim {
 
 namespace {
+MASQ_SHARED_STATE("set once by tool main() before any worker thread exists; plain reads thereafter")
 LogLevel g_level = LogLevel::kWarn;
 const char* level_name(LogLevel l) {
   switch (l) {

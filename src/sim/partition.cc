@@ -20,8 +20,12 @@ namespace sim {
 // avoids per-round atomic work-claiming. Determinism does not depend on
 // the assignment at all — only on each partition's own event order.
 struct PartitionGroup::Pool {
-  Pool(std::vector<std::unique_ptr<EventLoop>>& loops, std::size_t workers)
-      : loops_(loops), nworkers_(workers), errors_(loops.size()) {
+  Pool(std::vector<std::unique_ptr<EventLoop>>& loops, std::size_t workers,
+       WindowObserver* const* observer)
+      : loops_(loops),
+        nworkers_(workers),
+        observer_(observer),
+        errors_(loops.size()) {
     threads_.reserve(workers - 1);
     for (std::size_t w = 1; w < workers; ++w) {
       threads_.emplace_back([this, w] { worker_main(w); });
@@ -84,17 +88,27 @@ struct PartitionGroup::Pool {
   }
 
   void drain(std::size_t w) {
+    // The observer pointer is published by the round-start handshake
+    // (written between windows, read after observing the new round), so a
+    // plain load here is race-free.
+    WindowObserver* obs = *observer_;
     for (std::size_t i = w; i < loops_.size(); i += nworkers_) {
+      if (obs) obs->on_window_begin(i);
       try {
         loops_[i]->run_before(end_);
       } catch (...) {
         errors_[i] = std::current_exception();
       }
+      // end fires even when the window threw: the partition's window is
+      // over either way, and a stuck-open window would poison the
+      // observer's open-window accounting.
+      if (obs) obs->on_window_end(i);
     }
   }
 
   std::vector<std::unique_ptr<EventLoop>>& loops_;
   std::size_t nworkers_;
+  WindowObserver* const* observer_;  // points at the group's member
   std::vector<std::exception_ptr> errors_;  // slot i owned by its worker
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -117,7 +131,7 @@ PartitionGroup::PartitionGroup(std::size_t partitions, std::size_t threads) {
   threads_ = threads;
   if (threads_ > 1) {
     // The coordinator thread doubles as worker 0; Pool spawns threads-1.
-    pool_ = std::make_unique<Pool>(loops_, threads_);
+    pool_ = std::make_unique<Pool>(loops_, threads_, &observer_);
   }
 }
 
@@ -129,14 +143,17 @@ void PartitionGroup::run_window_before(Time end) {
     return;
   }
   // Single-threaded: plain loop, no synchronization at all. Same event
-  // order as the pooled path by construction.
+  // order as the pooled path by construction, including the observer
+  // bracketing (window end fires even when the window threw).
   std::exception_ptr first;
-  for (auto& loop : loops_) {
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (observer_) observer_->on_window_begin(i);
     try {
-      loop->run_before(end);
+      loops_[i]->run_before(end);
     } catch (...) {
       if (!first) first = std::current_exception();
     }
+    if (observer_) observer_->on_window_end(i);
   }
   if (first) std::rethrow_exception(first);
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/event_loop.h"
+#include "sim/ownership.h"
 #include "sim/time.h"
 
 namespace sim {
@@ -61,6 +62,18 @@ class PartitionGroup {
 
   void enable_trace();
 
+  // Ownership-audit seam (src/check): when set, the observer is bracketed
+  // around every partition window — on_window_begin(p) / on_window_end(p)
+  // run on the thread that runs p's window (exception or not), so the
+  // observer can maintain per-thread window context and an open-window
+  // count. Set between windows, before the round that should see it; the
+  // round-start synchronization publishes it to workers. Pass nullptr to
+  // clear. Observers observe only — mutating any loop from a callback
+  // would break the determinism contract above.
+  void set_window_observer(WindowObserver* observer) {
+    observer_ = observer;
+  }
+
   // ---- merged observability ----
   std::uint64_t total_events() const;
   // Latest executed-event timestamp across partitions (the simulation's
@@ -74,6 +87,7 @@ class PartitionGroup {
 
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::size_t threads_;
+  WindowObserver* observer_ = nullptr;
   std::unique_ptr<Pool> pool_;
 };
 

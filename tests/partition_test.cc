@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "check/invariant.h"
+#include "check/ownership_audit.h"
 #include "sim/partition.h"
 #include "sim/ready_queue.h"
 #include "sim/task.h"
@@ -18,10 +22,17 @@ namespace {
 // Drives a little cross-partition ping-pong through the coordinator
 // pattern the scale engine uses: run a window, then (single-threaded)
 // schedule deliveries into other partitions at or after the barrier.
-std::uint64_t run_ping_pong(std::size_t threads) {
+// With `audited`, a partition-ownership auditor watches the whole run —
+// which must change nothing: same counters, same trace hash.
+std::uint64_t run_ping_pong(std::size_t threads, bool audited = false,
+                            std::uint64_t* accesses = nullptr) {
   constexpr std::size_t kParts = 4;
   constexpr sim::Time kLookahead = 100;
   sim::PartitionGroup group(kParts, threads);
+  std::unique_ptr<check::PartitionOwnershipAuditor> audit;
+  if (audited) {
+    audit = std::make_unique<check::PartitionOwnershipAuditor>(group);
+  }
   group.enable_trace();
   // Each partition gets local work at t = 10 and t = 25.
   std::vector<int> counters(kParts, 0);
@@ -47,6 +58,10 @@ std::uint64_t run_ping_pong(std::size_t threads) {
   }
   for (std::size_t p = 0; p < kParts; ++p) {
     EXPECT_EQ(counters[p], 311) << "partition " << p;
+  }
+  if (audit) {
+    EXPECT_TRUE(audit->violations().empty());
+    if (accesses != nullptr) *accesses = audit->accesses_recorded();
   }
   return group.combined_trace_hash();
 }
@@ -105,6 +120,205 @@ TEST(PartitionGroupTest, MinNextEventTimeSpansPartitions) {
   EXPECT_EQ(group.min_next_event_time(), 30);
   group.run_window_before(31);
   EXPECT_EQ(group.min_next_event_time(), 70);
+}
+
+// ---- Barrier edge cases ------------------------------------------------
+
+// One partition throwing must not swallow the others' windows: every other
+// partition's events still run to the barrier, and the group stays usable
+// for the next window. (In the pooled path the thrower's worker catches
+// and keeps draining its remaining slices; the single-threaded path keeps
+// iterating partitions the same way.)
+TEST(PartitionGroupTest, WindowErrorDoesNotStallOtherPartitions) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    sim::PartitionGroup group(3, threads);
+    std::vector<int> ran(3, 0);
+    group.loop(0).schedule_at(5, [&] { ++ran[0]; });
+    group.loop(0).schedule_at(8, [&] { ++ran[0]; });
+    group.loop(1).schedule_at(5, [] {
+      throw std::runtime_error("partition 1 blew up");
+    });
+    group.loop(2).schedule_at(5, [&] { ++ran[2]; });
+    group.loop(2).schedule_at(8, [&] { ++ran[2]; });
+    EXPECT_THROW(group.run_window_before(100), std::runtime_error)
+        << "threads=" << threads;
+    EXPECT_EQ(ran[0], 2) << "threads=" << threads;
+    EXPECT_EQ(ran[2], 2) << "threads=" << threads;
+    // The error is consumed at the barrier; the next window runs clean.
+    group.loop(1).schedule_at(200, [&] { ++ran[1]; });
+    group.run_window_before(300);
+    EXPECT_EQ(ran[1], 1) << "threads=" << threads;
+  }
+}
+
+// Two partitions throwing in the same window: the barrier rethrows the
+// lowest-index partition's error, at every thread count — so a red run
+// reports the same failure no matter how the partitions were sliced.
+TEST(PartitionGroupTest, DeterministicLowestIndexRethrow) {
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    sim::PartitionGroup group(3, threads);
+    group.loop(2).schedule_at(3, [] {
+      throw std::runtime_error("boom-2");
+    });
+    group.loop(1).schedule_at(7, [] {
+      throw std::runtime_error("boom-1");
+    });
+    std::string caught;
+    try {
+      group.run_window_before(100);
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "boom-1") << "threads=" << threads;
+  }
+}
+
+TEST(PartitionGroupTest, ZeroPartitionsClampToOne) {
+  sim::PartitionGroup group(0, 0);
+  EXPECT_EQ(group.size(), 1u);
+  EXPECT_EQ(group.threads(), 1u);
+  int ran = 0;
+  group.loop(0).schedule_at(1, [&] { ++ran; });
+  group.run_window_before(10);
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(group.all_empty());
+}
+
+TEST(PartitionGroupTest, SinglePartitionGroupDegeneratesCleanly) {
+  sim::PartitionGroup group(1, 4);  // threads clamp to the one partition
+  EXPECT_EQ(group.threads(), 1u);
+  std::vector<sim::Time> fired;
+  group.loop(0).schedule_at(10, [&] { fired.push_back(10); });
+  group.loop(0).schedule_at(20, [&] { fired.push_back(20); });
+  group.run_window_before(15);
+  group.run_window_before(25);
+  EXPECT_EQ(fired, (std::vector<sim::Time>{10, 20}));
+  EXPECT_EQ(group.total_events(), 2u);
+}
+
+// ---- Partition-ownership auditor ---------------------------------------
+
+// Arming the auditor on a legal run changes nothing: same trace hash as
+// the unarmed run at every thread count, zero violations — and it really
+// watched (every schedule and execute is an audited access).
+TEST(PartitionOwnershipTest, ArmedRunIsCleanAndTraceIdentical) {
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const std::uint64_t plain = run_ping_pong(threads);
+    std::uint64_t accesses = 0;
+    const std::uint64_t armed = run_ping_pong(threads, true, &accesses);
+    EXPECT_EQ(plain, armed) << "threads=" << threads;
+    EXPECT_GT(accesses, 0u) << "threads=" << threads;
+  }
+}
+
+// A root-task error crossing the barrier looks identical armed: the
+// auditor's window bracketing must not eat or reorder partition errors.
+TEST(PartitionOwnershipTest, ErrorPropagationUnaffectedByArmedAuditor) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    sim::PartitionGroup group(3, threads);
+    check::PartitionOwnershipAuditor audit(group);
+    auto boom = [](sim::EventLoop& loop) -> sim::Task<void> {
+      co_await sim::delay(loop, 5);
+      throw std::runtime_error("partition blew up");
+    };
+    group.loop(1).spawn(boom(group.loop(1)));
+    EXPECT_THROW(group.run_window_before(100), std::runtime_error)
+        << "threads=" << threads;
+    EXPECT_TRUE(audit.violations().empty()) << "threads=" << threads;
+  }
+}
+
+// The real race shape: an event running inside partition 0's window
+// schedules straight into partition 1's loop instead of going through the
+// coordinator at the barrier. The auditor throws from the access site and
+// the barrier surfaces it, naming both partitions.
+TEST(PartitionOwnershipTest, CrossPartitionScheduleFromWindowFires) {
+  sim::PartitionGroup group(2, 1);
+  check::PartitionOwnershipAuditor audit(group);
+  group.loop(0).schedule_at(10, [&group] {
+    group.loop(1).schedule_at(50, [] {});  // illegal: not my partition
+  });
+  std::string msg;
+  try {
+    group.run_window_before(100);
+  } catch (const check::InvariantViolationError& e) {
+    msg = e.what();
+  }
+  EXPECT_NE(msg.find("partition-ownership"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("EventLoop[1] is owned by partition 1"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("partition 0's window"), std::string::npos) << msg;
+  ASSERT_EQ(audit.violations().size(), 1u);
+  EXPECT_EQ(audit.violations()[0].invariant, "partition-ownership");
+}
+
+// Corruption hook: forge a thread context claiming partition 2's window,
+// then touch partition 0's loop. The diagnostic must name the owning
+// partition, the accessing thread's claimed partition, and the operation.
+TEST(PartitionOwnershipTest, CorruptionHookFiresWithDiagnostics) {
+  sim::PartitionGroup group(4, 1);
+  check::PartitionOwnershipAuditor audit(group);
+  audit.set_thread_context_for_test(2, true);
+  std::string msg;
+  try {
+    group.loop(0).schedule_at(5, [] {});
+  } catch (const check::InvariantViolationError& e) {
+    msg = e.what();
+  }
+  audit.clear_thread_context_for_test();
+  EXPECT_NE(msg.find("owned by partition 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("partition 2's window"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("op=schedule"), std::string::npos) << msg;
+  // Context cleared: the same access is legal again (barrier phase).
+  EXPECT_NO_THROW(group.loop(0).schedule_at(6, [] {}));
+  group.run_window_before(10);
+}
+
+// ViolationPolicy::kRecord collects instead of throwing — the storm can
+// finish and the harness can report every violation at once.
+TEST(PartitionOwnershipTest, RecordPolicyCollectsWithoutThrowing) {
+  sim::PartitionGroup group(2, 1);
+  check::PartitionOwnershipAuditor audit(group,
+                                         check::ViolationPolicy::kRecord);
+  audit.set_thread_context_for_test(1, true);
+  EXPECT_NO_THROW(group.loop(0).schedule_at(5, [] {}));
+  audit.clear_thread_context_for_test();
+  ASSERT_EQ(audit.violations().size(), 1u);
+  EXPECT_EQ(audit.violations()[0].invariant, "partition-ownership");
+  EXPECT_NE(audit.violations()[0].diagnostic.find("owned by partition 0"),
+            std::string::npos);
+  group.run_window_before(10);  // the recorded run still completes
+  EXPECT_EQ(group.total_events(), 1u);
+}
+
+// tag_state()/note_state_access(): auxiliary per-partition state (the
+// scale engine's PartDrivers and hot tables) is held to the same rule,
+// with the registered name in the diagnostic.
+TEST(PartitionOwnershipTest, TaggedStateHeldToOwnershipRule) {
+  sim::PartitionGroup group(2, 1);
+  check::PartitionOwnershipAuditor audit(group);
+  int hot_table = 0;
+  audit.tag_state(&hot_table, "conn-table[1]", 1);
+  // Barrier phase: the coordinator may touch anything.
+  EXPECT_NO_THROW(audit.note_state_access(&hot_table));
+  // Untagged pointers are ignored entirely.
+  int untagged = 0;
+  audit.set_thread_context_for_test(0, true);
+  EXPECT_NO_THROW(audit.note_state_access(&untagged));
+  // Partition 0's window touching partition 1's table: violation.
+  std::string msg;
+  try {
+    audit.note_state_access(&hot_table);
+  } catch (const check::InvariantViolationError& e) {
+    msg = e.what();
+  }
+  audit.clear_thread_context_for_test();
+  EXPECT_NE(msg.find("conn-table[1] is owned by partition 1"),
+            std::string::npos)
+      << msg;
 }
 
 }  // namespace

@@ -259,6 +259,28 @@ TEST(ScalePartitionTest, FallsBackWithoutBatchWindow) {
   EXPECT_EQ(par.engine_threads, 0u);  // reports itself as single-loop
 }
 
+// The partition-ownership auditor (DESIGN.md §16) observes only: arming
+// it on the smoke storm must leave the report JSON, the event count, and
+// the FNV-1a trace hash byte-identical at every thread count. A single
+// extra event or reordered callback would show up here.
+TEST(ScalePartitionTest, AuditorPreservesReport) {
+  fabric::ScaleConfig cfg = storm_smoke();
+  cfg.trace = true;
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    fabric::ScaleConfig armed = cfg;
+    armed.check = true;
+    const fabric::ScaleReport off = fabric::run_scale_storm_parallel(
+        cfg, threads);
+    const fabric::ScaleReport on = fabric::run_scale_storm_parallel(
+        armed, threads);
+    EXPECT_EQ(off.json(), on.json()) << "threads=" << threads;
+    EXPECT_EQ(off.sim_events, on.sim_events) << "threads=" << threads;
+    EXPECT_NE(off.trace_hash, 0u);
+    EXPECT_EQ(off.trace_hash, on.trace_hash) << "threads=" << threads;
+  }
+}
+
 TEST(ScaleStormTest, ReportEchoesTopologyAndSeed) {
   fabric::ScaleConfig cfg;
   cfg.tenants = 3;

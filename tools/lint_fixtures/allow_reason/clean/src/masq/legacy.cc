@@ -1,0 +1,6 @@
+namespace masq {
+
+// masq-lint: allow(naked-new) raw handle handed to the C ABI which frees it
+int* make_widget() { return new int(7); }
+
+}  // namespace masq

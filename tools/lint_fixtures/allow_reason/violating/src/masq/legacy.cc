@@ -1,0 +1,6 @@
+namespace masq {
+
+// masq-lint: allow(naked-new)
+int* make_widget() { return new int(7); }
+
+}  // namespace masq

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <map>
+
+namespace sim {
+
+struct Table {
+  // masq-lint: allow(container) cold-path config table, built once at startup
+  std::map<int, int> entries_;
+};
+
+}  // namespace sim

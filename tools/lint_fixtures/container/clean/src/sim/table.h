@@ -1,0 +1,11 @@
+#pragma once
+
+#include "sim/flat_map.h"
+
+namespace sim {
+
+struct Table {
+  sim::FlatMap<int, int> entries_;
+};
+
+}  // namespace sim

@@ -1,0 +1,11 @@
+#pragma once
+
+#include <map>
+
+namespace sim {
+
+struct Table {
+  std::map<int, int> entries_;
+};
+
+}  // namespace sim

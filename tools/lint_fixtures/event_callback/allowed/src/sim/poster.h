@@ -1,0 +1,13 @@
+#pragma once
+
+#include <functional>
+
+namespace sim {
+
+class Poster {
+ public:
+  // masq-lint: allow(event-callback) test-only shim, never on the hot path
+  void schedule_at(long long t, std::function<void()> fn);
+};
+
+}  // namespace sim

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "sim/callback.h"
+
+namespace sim {
+
+class Poster {
+ public:
+  void schedule_at(long long t, Callback fn);
+};
+
+}  // namespace sim

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <functional>
+
+namespace sim {
+
+class Poster {
+ public:
+  void schedule_at(long long t, std::function<void()> fn);
+};
+
+}  // namespace sim

@@ -1,0 +1,6 @@
+namespace masq {
+
+// masq-lint: allow(naked-new) raw handle handed to the C ABI which frees it
+int* make_counter() { return new int(0); }
+
+}  // namespace masq

@@ -1,0 +1,7 @@
+#include <memory>
+
+namespace masq {
+
+std::unique_ptr<int> make_counter() { return std::make_unique<int>(0); }
+
+}  // namespace masq

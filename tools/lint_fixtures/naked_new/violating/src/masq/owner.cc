@@ -1,0 +1,5 @@
+namespace masq {
+
+int* make_counter() { return new int(0); }
+
+}  // namespace masq

@@ -1,0 +1,6 @@
+#pragma once
+
+#include "rnic/status.h"
+
+// masq-lint: allow(nodiscard) probe result is advisory on this path
+rnic::Status probe_device(int id);

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "rnic/status.h"
+
+[[nodiscard]] rnic::Status open_device(int id);

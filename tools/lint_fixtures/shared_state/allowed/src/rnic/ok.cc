@@ -1,0 +1,6 @@
+namespace rnic {
+
+// masq-lint: allow(shared-state) fixture exercising the annotated escape hatch
+int g_probe_count = 0;
+
+}  // namespace rnic

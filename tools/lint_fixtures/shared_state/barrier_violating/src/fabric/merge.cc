@@ -1,0 +1,8 @@
+#include "sim/ownership.h"
+
+namespace fabric {
+
+MASQ_BARRIER_ONLY
+int g_rounds_merged = 0;
+
+}  // namespace fabric

@@ -1,0 +1,5 @@
+namespace rnic {
+
+int pump() { return ++g_rounds_merged; }
+
+}  // namespace rnic

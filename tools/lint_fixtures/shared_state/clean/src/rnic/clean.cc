@@ -1,0 +1,8 @@
+#include "sim/ownership.h"
+
+namespace rnic {
+
+MASQ_SHARED_STATE("guarded by the device registry mutex")
+int g_device_epoch = 0;
+
+}  // namespace rnic

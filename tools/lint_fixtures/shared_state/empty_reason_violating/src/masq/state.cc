@@ -1,0 +1,8 @@
+#include "sim/ownership.h"
+
+namespace masq {
+
+MASQ_SHARED_STATE("")
+int g_flows_seen = 0;
+
+}  // namespace masq

@@ -1,0 +1,7 @@
+namespace rnic {
+
+int g_doorbells_rung = 0;
+
+void ring_doorbell() { ++g_doorbells_rung; }
+
+}  // namespace rnic

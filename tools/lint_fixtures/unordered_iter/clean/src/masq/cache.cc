@@ -1,0 +1,15 @@
+#include <vector>
+
+namespace masq {
+
+struct Cache {
+  std::vector<int> values_;
+
+  int sum() const {
+    int total = 0;
+    for (int v : values_) total += v;
+    return total;
+  }
+};
+
+}  // namespace masq

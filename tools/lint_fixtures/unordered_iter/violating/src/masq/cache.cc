@@ -1,0 +1,15 @@
+#include <unordered_map>
+
+namespace masq {
+
+struct Cache {
+  std::unordered_map<int, int> table_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& kv : table_) total += kv.second;
+    return total;
+  }
+};
+
+}  // namespace masq

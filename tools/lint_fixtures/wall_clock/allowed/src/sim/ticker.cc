@@ -1,0 +1,11 @@
+#include <chrono>
+
+namespace sim {
+
+long long wall_now_ms() {
+  // masq-lint: allow(wall-clock) fixture demonstrates a justified escape
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace sim

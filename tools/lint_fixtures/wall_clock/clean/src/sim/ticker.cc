@@ -1,0 +1,5 @@
+namespace sim {
+
+long long sim_now_ms(long long now) { return now; }
+
+}  // namespace sim

@@ -1,0 +1,10 @@
+#include <chrono>
+
+namespace sim {
+
+long long wall_now_ms() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace sim

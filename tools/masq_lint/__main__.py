@@ -1,0 +1,5 @@
+import sys
+
+from masq_lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,341 @@
+"""The ``shared-state`` ownership pass (DESIGN.md §16).
+
+The partition-parallel engine (DESIGN.md §13) claims that partitions
+share no mutable state: a partition's objects are touched only by the
+thread running its window, and cross-partition effects flow only through
+the coordinator at the barrier. Object graphs rooted in a PartDriver or
+an EventLoop satisfy that by construction — what can silently break it is
+state that lives *outside* any per-partition graph: namespace-scope
+globals, function-local statics, and mutable static data members. One
+innocent-looking cache counter at file scope turns a proven-deterministic
+engine into a data race.
+
+This pass builds, per translation unit, the set of such escape points:
+
+  * mutable namespace-scope globals (the repo indents namespace contents
+    at column 0, so namespace-scope declarations are exactly the
+    column-0 declarations that are not functions/types/usings);
+  * ``static`` locals and static data members (one detector: any
+    indented mutable non-function ``static`` declaration);
+  * ``thread_local`` objects are exempt — they are per-thread by
+    construction, which is the strongest ownership claim available.
+
+Every surviving shared mutable object must carry one of the annotation
+macros from src/sim/ownership.h on its declaration line or the line
+above:
+
+  MASQ_PARTITION_LOCAL    per-partition/per-thread by construction
+  MASQ_BARRIER_ONLY       coordinator-only, touched between windows
+  MASQ_SHARED_STATE(why)  genuinely shared; `why` names the lock/atomic/
+                          immutability argument and must be non-empty
+
+Cross-check: files are classified window-side (sim/event_loop machinery,
+fabric/scale_partition, rnic/, the masq/ hot paths — code that runs
+inside a partition's window) or coordinator-side. A MASQ_BARRIER_ONLY
+symbol referenced from a window-side file is a violation: barrier-only
+state is exactly the state a worker thread must never see.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from masq_lint.source import SourceFile, Violation
+
+RULE = "shared-state"
+
+ANNOTATIONS = ("MASQ_PARTITION_LOCAL", "MASQ_BARRIER_ONLY",
+               "MASQ_SHARED_STATE")
+SHARED_STATE_RE = re.compile(r"MASQ_SHARED_STATE\s*\(\s*(.*?)\s*\)\s*$")
+SHARED_STATE_ANY_RE = re.compile(r"MASQ_SHARED_STATE\s*\(")
+
+# Files whose code executes inside a partition window: the event-loop
+# machinery itself (an event runs on whichever worker owns its partition
+# this round), the partition-parallel storm engine, the RNIC data path,
+# and the masq hot paths that the per-VM workloads drive from window
+# events. Everything else is coordinator/control-side.
+WINDOW_SIDE_PATTERNS = (
+    "src/sim/event_loop.",
+    "src/sim/ready_queue.h",
+    "src/sim/callback.h",
+    "src/sim/arena.h",
+    "src/sim/task.h",
+    "src/fabric/scale_partition.",
+    "src/rnic/",
+    "src/masq/frontend.",
+    "src/masq/backend.",
+    "src/masq/rconntrack.",
+    "src/masq/warm_pool.",
+)
+
+# Leading tokens that say nothing about mutability.
+STORAGE_TOKENS = {"inline", "static", "constinit", "virtual", "friend"}
+# Leading tokens that make the object immutable (runtime-const data needs
+# no ownership annotation: concurrent reads of never-written state are
+# race-free).
+IMMUTABLE_TOKENS = {"const", "constexpr", "consteval"}
+# Column-0 keywords that open constructs rather than declare objects.
+NON_DECL_KEYWORDS = {
+    "namespace", "using", "typedef", "template", "class", "struct", "enum",
+    "union", "extern", "return", "if", "else", "for", "while", "do",
+    "switch", "case", "default", "break", "continue", "goto", "public",
+    "private", "protected", "try", "catch", "throw", "co_return",
+    "co_await", "co_yield", "delete", "new", "operator", "sizeof",
+    "alignas", "alignof", "static_assert", "asm", "explicit", "typename",
+    "concept", "requires",
+}
+
+WORD_RE = re.compile(r"[A-Za-z_]\w*")
+STATIC_LINE_RE = re.compile(r"^\s*(?:inline\s+)?static\b")
+
+
+def is_window_side(relpath: str) -> bool:
+    rel = relpath.replace(os.sep, "/")
+    return any(p in rel for p in WINDOW_SIDE_PATTERNS)
+
+
+def _blank_angles(decl: str) -> str:
+    """Blanks template-argument lists so commas/keywords inside <> don't
+    confuse the declarator scan. Comparison operators never appear in the
+    declaration heads this pass accumulates (it stops at the first ';',
+    '=' or '{'), so every '<' here opens a template-argument list."""
+    out = []
+    depth = 0
+    for ch in decl:
+        if ch == "<":
+            depth += 1
+            out.append(" ")
+        elif ch == ">":
+            depth = max(0, depth - 1)
+            out.append(" ")
+        else:
+            out.append(ch if depth == 0 else " ")
+    return "".join(out)
+
+
+def _mutability(decl: str) -> str:
+    """'mutable' | 'immutable' | 'thread_local' | 'extern-decl',
+    judged from the declaration's leading tokens."""
+    for w in WORD_RE.findall(decl):
+        if w == "thread_local":
+            return "thread_local"
+        if w == "extern":
+            return "extern-decl"  # a reference, not the definition
+        if w in STORAGE_TOKENS:
+            continue
+        if w in IMMUTABLE_TOKENS:
+            return "immutable"
+        return "mutable"
+    return "immutable"
+
+
+def _declared_variable(decl: str) -> str | None:
+    """The declared object's name, or None if `decl` is not an object
+    declaration (function signature, macro invocation, expression...)."""
+    flat = _blank_angles(decl)
+    # NAME followed by an initializer or terminator — the declarator shape.
+    for m in re.finditer(r"([A-Za-z_]\w*)((?:\s*\[[^\]]*\])*)\s*(=|;|\{)",
+                         flat):
+        name = m.group(1)
+        if (name in NON_DECL_KEYWORDS or name in STORAGE_TOKENS
+                or name in IMMUTABLE_TOKENS
+                or name in ("noexcept", "override", "final", "mutable")):
+            continue
+        before = flat[: m.start(1)]
+        # Inside a parameter list / function-style initializer.
+        if before.count("(") > before.count(")"):
+            continue
+        # `Foo::bar = ...` is an assignment/out-of-line definition detail,
+        # and `x.y = ...` / `x->y = ...` are member assignments. A ')'
+        # right before the candidate means a function signature
+        # (`f(args) {`, `f(args) const`), not an object.
+        tail = before.rstrip()
+        if tail.endswith(("::", ".", "->", "=", "!", "<", ">", "+", "-",
+                          "*", "/", "%", "&", "|", "(", ",", ")",
+                          "return")):
+            continue
+        # A bare `name;` with nothing before it is an expression statement
+        # (or a macro), not a declaration: declarations carry a type.
+        if m.group(3) != "{" and not WORD_RE.search(before):
+            continue
+        return name
+    return None
+
+
+class SharedObject:
+    """One flagged shared mutable object."""
+
+    def __init__(self, path: str, lineno: int, name: str, kind: str,
+                 annotation: str | None):
+        self.path = path
+        self.lineno = lineno
+        self.name = name
+        self.kind = kind  # "global" | "static"
+        self.annotation = annotation  # macro name or None
+
+
+def _find_annotation(src: SourceFile, first_line_idx: int) -> str | None:
+    """Annotation macro on the declaration's first line or the line above."""
+    candidates = [src.raw[first_line_idx]]
+    if first_line_idx > 0:
+        candidates.append(src.raw[first_line_idx - 1])
+    for text in candidates:
+        for macro in ANNOTATIONS:
+            if re.search(rf"\b{macro}\b", text):
+                return macro
+    return None
+
+
+def _check_shared_state_reason(src: SourceFile,
+                               violations: list[Violation]) -> None:
+    """MASQ_SHARED_STATE must carry a non-empty reason."""
+    for idx, text in enumerate(src.raw):
+        for m in SHARED_STATE_ANY_RE.finditer(text):
+            # Mentions inside comments/strings are doc text, not
+            # annotations: the stripped variant blanks those.
+            code_line = src.code[idx] if idx < len(src.code) else ""
+            if m.start() >= len(code_line) or code_line[m.start()] != "M":
+                continue
+            open_i = text.index("(", m.start())
+            depth = 0
+            arg = text[open_i + 1:]  # unbalanced: whatever is there
+            for j in range(open_i, len(text)):
+                if text[j] == "(":
+                    depth += 1
+                elif text[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        arg = text[open_i + 1: j]
+                        break
+            if arg.strip().strip("\"'").strip() == "":
+                violations.append(
+                    Violation(
+                        src.path, idx + 1, RULE,
+                        "MASQ_SHARED_STATE with an empty reason: say what "
+                        "lock, atomic, or immutability argument makes the "
+                        "sharing safe",
+                    )
+                )
+
+
+def collect_shared_objects(src: SourceFile) -> list[SharedObject]:
+    """The file's model of mutable state reachable from window code."""
+    objects: list[SharedObject] = []
+    idx = 0
+    nlines = len(src.code)
+    while idx < nlines:
+        line = src.code[idx]
+        stripped = line.strip()
+        kind = None
+        if STATIC_LINE_RE.match(line):
+            kind = "static" if line[0].isspace() else "global"
+        elif stripped and not line[0].isspace() and line[0].isalpha():
+            first = WORD_RE.match(stripped)
+            if first and first.group(0) not in NON_DECL_KEYWORDS:
+                kind = "global"
+        if kind is None:
+            idx += 1
+            continue
+        # Accumulate the declaration head: up to the first ';', '=' or '{'
+        # at paren depth 0 (initializers and bodies carry no new facts).
+        decl = ""
+        start = idx
+        while idx < nlines:
+            decl += " " + src.code[idx].strip()
+            if any(t in src.code[idx] for t in ";={") or len(decl) > 400:
+                break
+            idx += 1
+        idx += 1
+        decl = decl.strip()
+        # Cut at the first terminator: initializer bodies and function
+        # bodies after '{' carry no declaration facts, and leaving them in
+        # lets body-local names masquerade as the declared object.
+        for i, ch in enumerate(decl):
+            if ch in ";={":
+                decl = decl[: i + 1]
+                break
+        if _mutability(decl) != "mutable":
+            continue
+        name = _declared_variable(decl)
+        if name is None:
+            continue
+        objects.append(
+            SharedObject(src.path, start + 1, name, kind,
+                         _find_annotation(src, start)))
+    return objects
+
+
+def check_shared_state(files_by_dir: dict[str, list[SourceFile]],
+                       violations: list[Violation],
+                       root: str) -> None:
+    all_files: list[SourceFile] = []
+    for files in files_by_dir.values():
+        all_files.extend(files)
+
+    barrier_only: list[SharedObject] = []
+    for src in all_files:
+        _check_shared_state_reason(src, violations)
+        for obj in collect_shared_objects(src):
+            lineno = obj.lineno
+            if obj.annotation is None:
+                if src.is_allowed(RULE, lineno):
+                    continue
+                what = ("mutable namespace-scope global"
+                        if obj.kind == "global"
+                        else "mutable static (function-local or member)")
+                violations.append(
+                    Violation(
+                        src.path, lineno, RULE,
+                        f"{what} '{obj.name}' without an ownership "
+                        "annotation: mark it MASQ_PARTITION_LOCAL, "
+                        "MASQ_BARRIER_ONLY, or MASQ_SHARED_STATE(reason) "
+                        "(src/sim/ownership.h)",
+                    )
+                )
+                continue
+            if obj.annotation == "MASQ_BARRIER_ONLY":
+                barrier_only.append(obj)
+            if obj.annotation == "MASQ_PARTITION_LOCAL" and \
+                    obj.kind == "global" and "thread_local" not in " ".join(
+                        src.code[obj.lineno - 1: obj.lineno]):
+                # A namespace-scope global cannot be partition-local unless
+                # it is thread_local (then it would be exempt anyway).
+                violations.append(
+                    Violation(
+                        src.path, obj.lineno, RULE,
+                        f"global '{obj.name}' claims MASQ_PARTITION_LOCAL "
+                        "but has namespace scope: one instance is visible "
+                        "to every partition — use MASQ_SHARED_STATE with "
+                        "a reason, or make it per-partition state",
+                    )
+                )
+
+    # Cross-check: barrier-only symbols must never be referenced from
+    # window-side code (the declaration site itself is exempt).
+    if not barrier_only:
+        return
+    for src in all_files:
+        rel = os.path.relpath(src.path, root)
+        if not is_window_side(rel):
+            continue
+        for obj in barrier_only:
+            name_re = re.compile(rf"\b{re.escape(obj.name)}\b")
+            for idx, line in enumerate(src.code):
+                if not name_re.search(line):
+                    continue
+                if src.path == obj.path and idx + 1 == obj.lineno:
+                    continue
+                lineno = idx + 1
+                if src.is_allowed(RULE, lineno):
+                    continue
+                decl_rel = os.path.relpath(obj.path, root)
+                violations.append(
+                    Violation(
+                        src.path, lineno, RULE,
+                        f"window-side file references '{obj.name}' "
+                        f"({decl_rel}:{obj.lineno}), which is "
+                        "MASQ_BARRIER_ONLY: barrier-only state may only "
+                        "be touched by the coordinator between windows",
+                    )
+                )

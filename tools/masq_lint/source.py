@@ -1,0 +1,106 @@
+"""Source model shared by every lint pass.
+
+A SourceFile holds, per line, the raw text plus a ``code`` variant with
+comments and string/char literals blanked out (lengths preserved) so rule
+regexes never match inside a comment or a log string.
+
+Escape hatch: ``// masq-lint: allow(<rule>) <reason>`` on the violating
+line or the line above. The reason is MANDATORY — an allowance without
+one does not shield anything and is itself reported under the
+``allow-reason`` rule, so every exception in the tree carries its
+justification (``--list-allows`` audits them).
+"""
+
+from __future__ import annotations
+
+import collections
+import re
+
+ALLOW_RE = re.compile(r"masq-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
+
+Violation = collections.namedtuple("Violation", "path lineno rule message")
+Allowance = collections.namedtuple("Allowance", "path lineno rule reason")
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            c = raw[i]
+            if in_block:
+                if raw.startswith("*/", i):
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif raw.startswith("//", i):
+                buf.append(" " * (n - i))
+                break
+            elif raw.startswith("/*", i):
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                buf.append(" ")
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        buf.append("  ")
+                        i += 2
+                    elif raw[i] == quote:
+                        buf.append(" ")
+                        i += 1
+                        break
+                    else:
+                        buf.append(" ")
+                        i += 1
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+class SourceFile:
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, encoding="utf-8") as f:
+            self.raw = f.read().splitlines()
+        self.code = strip_code(self.raw)
+        # rule -> set of line numbers (1-based) the allowance covers.
+        self.allowed: dict[str, set[int]] = collections.defaultdict(set)
+        # Every well-formed allowance, for --list-allows.
+        self.allowances: list[Allowance] = []
+        # Allowances missing their mandatory reason (reported, no shield).
+        self.reasonless_allows: list[Violation] = []
+        for idx, line in enumerate(self.raw):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            rule = m.group(1)
+            reason = (m.group(2) or "").strip()
+            if not reason:
+                self.reasonless_allows.append(
+                    Violation(
+                        path, idx + 1, "allow-reason",
+                        f"allow({rule}) carries no reason: every escape "
+                        "hatch must say why the exception is safe",
+                    )
+                )
+                continue  # a reasonless allowance shields nothing
+            self.allowances.append(Allowance(path, idx + 1, rule, reason))
+            # An allowance covers its own line and the next one (so a
+            # comment-only line shields the statement below it).
+            self.allowed[rule].add(idx + 1)
+            self.allowed[rule].add(idx + 2)
+
+    def is_allowed(self, rule: str, lineno: int) -> bool:
+        return lineno in self.allowed.get(rule, set())
