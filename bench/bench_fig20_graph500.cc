@@ -10,13 +10,16 @@
 
 namespace {
 
-apps::graph500::Result run_one(fabric::Candidate c) {
+apps::graph500::Result run_one(fabric::Candidate c,
+                               bench::BedOptions opts = {},
+                               int num_instances = 2) {
   sim::EventLoop loop;
-  auto bed = bench::make_bed(loop, c);
+  auto bed = bench::make_bed(loop, c, opts);
   apps::graph500::Config cfg;
   cfg.scale = 14;
   cfg.edge_factor = 16;
   cfg.num_ranks = 16;
+  cfg.num_instances = num_instances;
   cfg.num_roots = 3;
   return apps::graph500::run(*bed, cfg);
 }
@@ -46,5 +49,39 @@ int main() {
   bench::note("paper shape (scale 26): MasQ has almost no degradation vs "
               "Host-RDMA and matches SR-IOV on both kernels; absolute TEPS "
               "differ since the graph is scaled down");
+
+  // Fabric re-run (DESIGN.md §17): the same MasQ workload spread over 8
+  // hosts, one per leaf, so every rank exchange crosses the leaf-spine
+  // fabric — first with a full-rate core, then oversubscribed.
+  bench::title("Fig. 20 (fabric)", "Graph500 on MasQ, 16 ranks over 8 "
+                                   "hosts across a leaf-spine fabric");
+  std::printf("%-22s | %12s %12s | %10s %10s\n", "fabric", "BFS MTEPS",
+              "SSSP MTEPS", "BFS ok", "SSSP ok");
+  std::printf("%.76s\n",
+              "-----------------------------------------------------------"
+              "-----------------");
+  struct Variant {
+    const char* name;
+    std::optional<net::FabricConfig> topo;
+  } variants[] = {
+      {"direct wire", std::nullopt},
+      {"8 leaves x 2 @40G", bench::cross_leaf_fabric(8, 2, 40.0, 40.0)},
+      {"8 leaves x 1 @10G", bench::cross_leaf_fabric(8, 1, 40.0, 10.0)},
+  };
+  for (const auto& v : variants) {
+    bench::BedOptions opts;
+    opts.instances = 8;
+    opts.num_hosts = 8;
+    opts.topology = v.topo;
+    const auto r = run_one(fabric::Candidate::kMasq, opts, 8);
+    std::printf("%-22s | %12.1f %12.1f | %10s %10s\n", v.name,
+                r.bfs.teps / 1e6, r.sssp.teps / 1e6,
+                r.bfs.validated ? "valid" : "INVALID",
+                r.sssp.validated ? "valid" : "INVALID");
+  }
+  bench::note("a full-rate spine tier costs BFS/SSSP nothing (max-min "
+              "shares match the direct wire); only starving the core to "
+              "10 Gbps bends the curve — and validation still passes, the "
+              "fabric changes rates, never bytes");
   return 0;
 }

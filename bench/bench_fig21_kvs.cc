@@ -7,9 +7,9 @@
 
 namespace {
 
-double mops(fabric::Candidate c, int clients) {
+double mops(fabric::Candidate c, int clients, bench::BedOptions opts = {}) {
   sim::EventLoop loop;
-  auto bed = bench::make_bed(loop, c);
+  auto bed = bench::make_bed(loop, c, opts);
   apps::kvs::Config cfg;
   cfg.num_clients = clients;
   cfg.warmup = sim::milliseconds(1);
@@ -36,5 +36,34 @@ int main() {
   bench::note("paper: MasQ == Host-RDMA, peaking at 9.7 Mops with the RNIC "
               "as the bottleneck; SR-IOV ~1 Mops lower (IOMMU translation "
               "per DMA); FreeFlow flatlines ~1 Mops at the FFR");
+
+  // Fabric re-run (DESIGN.md §17): server and clients on hosts one leaf
+  // apart, so every GET/PUT crosses the spine tier.
+  bench::title("Fig. 21 (fabric)", "MasQ KVS across a leaf-spine fabric");
+  struct Variant {
+    const char* name;
+    std::optional<net::FabricConfig> topo;
+  } variants[] = {
+      {"direct", std::nullopt},
+      {"2x2@40G", bench::cross_leaf_fabric(2, 2, 40.0, 40.0)},
+      {"2x1@10G", bench::cross_leaf_fabric(2, 1, 40.0, 10.0)},
+  };
+  std::printf("%-10s", "fabric");
+  for (int n : clients) std::printf(" %7d", n);
+  std::printf("\n%.70s\n",
+              "-----------------------------------------------------------"
+              "-----------");
+  for (const auto& v : variants) {
+    bench::BedOptions opts;
+    opts.topology = v.topo;
+    std::printf("%-10s", v.name);
+    for (int n : clients) {
+      std::printf(" %7.2f", mops(fabric::Candidate::kMasq, n, opts));
+    }
+    std::printf("\n");
+  }
+  bench::note("small KVS messages are latency-bound, not rate-bound: the "
+              "full-rate fabric matches the direct wire and even the "
+              "starved 10 Gbps spine only clips the top of the curve");
   return 0;
 }

@@ -7,9 +7,10 @@
 
 namespace {
 
-apps::spark::JobResult job(fabric::Candidate c, apps::spark::Workload w) {
+apps::spark::JobResult job(fabric::Candidate c, apps::spark::Workload w,
+                           bench::BedOptions opts = {}) {
   sim::EventLoop loop;
-  auto bed = bench::make_bed(loop, c);
+  auto bed = bench::make_bed(loop, c, opts);
   return apps::spark::run(*bed, w, {});
 }
 
@@ -44,5 +45,34 @@ int main() {
               "network overhead eats its compute advantage, ending near "
               "MasQ — and MasQ spends zero CPU on networking while "
               "FreeFlow burns a core in the FFR");
+
+  // Fabric re-run (DESIGN.md §17): the shuffle is the all-to-all phase —
+  // exactly the traffic that crosses the spine when the two instances sit
+  // one leaf apart.
+  bench::title("Fig. 22 (fabric)", "MasQ GroupBy across a leaf-spine "
+                                   "fabric");
+  std::printf("%-10s | %10s | %10s %12s\n", "fabric", "total", "FlatMap",
+              "GroupByKey");
+  std::printf("%.50s\n",
+              "--------------------------------------------------");
+  struct Variant {
+    const char* name;
+    std::optional<net::FabricConfig> topo;
+  } variants[] = {
+      {"direct", std::nullopt},
+      {"2x2@40G", bench::cross_leaf_fabric(2, 2, 40.0, 40.0)},
+      {"2x1@10G", bench::cross_leaf_fabric(2, 1, 40.0, 10.0)},
+  };
+  for (const auto& v : variants) {
+    bench::BedOptions opts;
+    opts.topology = v.topo;
+    const auto r =
+        job(fabric::Candidate::kMasq, apps::spark::Workload::kGroupBy, opts);
+    std::printf("%-10s | %10.2f | %10.2f %12.2f\n", v.name, r.total_s,
+                r.flatmap_s, r.shuffle_s);
+  }
+  bench::note("FlatMap (compute) is fabric-invariant; the shuffle pays "
+              "only when the spine is oversubscribed — the full-rate Clos "
+              "reproduces the direct-wire job time");
   return 0;
 }

@@ -20,6 +20,10 @@ struct Config {
   int scale = 14;        // 2^scale vertices (paper: 26)
   int edge_factor = 16;  // paper: 16
   int num_ranks = 16;    // paper: 16 MPI processes on 2 VMs
+  // Ranks round-robin over the bed's first num_instances instances. The
+  // paper's placement is 2 VMs; the fabric benches spread ranks over more
+  // hosts so BFS/SSSP waves cross leaf and spine links (DESIGN.md §17).
+  int num_instances = 2;
   int num_roots = 3;     // paper: 5 runs averaged
   std::uint64_t seed = 42;
   // Host-level CPU per scanned edge / settled vertex. Calibrated so the

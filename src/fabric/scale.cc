@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "fabric/storm_schedule.h"
+#include "fabric/traffic.h"
 #include "net/addr.h"
 #include "sdn/controller.h"
 #include "sdn/host_agent.h"
@@ -262,6 +263,9 @@ ScaleReport run_scale_storm(const ScaleConfig& cfg) {
   r.sim_events = d.loop.events_executed();
   r.trace_hash = cfg.trace ? d.loop.trace_hash() : 0;
   r.engine_threads = 0;
+  // Fabric traffic phase: a pure function of (config, schedule), so the
+  // partitioned engine appends the identical block.
+  if (cfg.traffic.enabled) r.traffic = run_traffic_phase(cfg, sched);
   return r;
 }
 
@@ -300,6 +304,26 @@ std::string ScaleReport::json() const {
          "\"prefills\": %llu},\n",
          u64(warm_pooled), u64(warm_reused), u64(warm_cold),
          u64(warm_prefills));
+  }
+  // Fabric traffic phase: emitted only when it ran, so traffic-off reports
+  // byte-match the legacy schema. Topology shape (hosts/leaves/spines) is
+  // deliberately NOT serialized — the equivalence sweep byte-diffs a
+  // degenerate 1-leaf fabric against direct mode, and only the measured
+  // outcomes are required to coincide.
+  if (traffic.enabled) {
+    emit("  \"topology\": {\"flows\": %llu, \"bytes\": %llu, "
+         "\"elapsed_ms\": %.3f, \"agg_gbps\": %.3f,\n",
+         u64(traffic.flows), u64(traffic.total_bytes), traffic.elapsed_ms,
+         traffic.agg_gbps);
+    emit("    \"fct_us\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n",
+         traffic.fct_p50_us, traffic.fct_p99_us, traffic.fct_max_us);
+    emit("    \"ecmp_fold\": %llu, \"spine_crossings\": %zu, "
+         "\"ecn_marks\": %llu, \"recoveries\": %llu, \"throttled\": %llu,\n",
+         u64(traffic.ecmp_fold), traffic.spine_crossings,
+         u64(traffic.ecn_marks), u64(traffic.dcqcn_recoveries),
+         u64(traffic.throttled_flows));
+    emit("    \"peak_spine_util\": %.4f, \"peak_tenant_gbps\": %.3f},\n",
+         traffic.peak_spine_util, traffic.peak_tenant_gbps);
   }
   emit("  \"per_shard\": [\n");
   for (std::size_t s = 0; s < per_shard.size(); ++s) {

@@ -26,6 +26,76 @@
 
 namespace fabric {
 
+// Fabric traffic phase (DESIGN.md §17): after the control-plane storm, a
+// slice of the drawn connection schedule is replayed as data flows over a
+// leaf–spine Clos fabric (net::FabricTopology) with per-link max-min
+// sharing, ECMP placement, multi-hop DCQCN, and optional per-tenant rate
+// limiters. The phase is a pure function of (config, schedule) and runs on
+// its own single-threaded loop, so both storm engines produce the same
+// block at any thread count.
+struct TrafficConfig {
+  bool enabled = false;
+  // Topology. leaves == 0 selects direct mode: flows cross only the two
+  // per-host NIC links — the legacy 2-server wire generalized to H hosts —
+  // which is what the degenerate-equivalence sweep diffs a 1-leaf fabric
+  // against.
+  std::size_t leaves = 0;
+  std::size_t spines = 1;
+  double host_gbps = 25.0;   // NIC and host<->leaf link capacity
+  double spine_gbps = 40.0;  // leaf<->spine link capacity
+  // Workload: the first `flows` wave connections become data flows.
+  //   pairs  — src/dst hosts straight from the schedule;
+  //   incast — the first `incast_fanin` flows are redirected at host 0
+  //            (the fan-in victim); the rest stay background pairs.
+  std::string pattern = "pairs";
+  std::size_t flows = 256;
+  std::size_t incast_fanin = 32;
+  std::uint64_t flow_kb = 64;
+  // Elephant/mice mix: every Nth flow (by schedule index — no extra random
+  // draws) carries elephant_kb instead of flow_kb. 0 = mice only.
+  std::size_t elephant_every = 0;
+  std::uint64_t elephant_kb = 4096;
+  bool dcqcn = true;
+  // Per-tenant aggregate rate limiter (Fig. 12 semantics), modeled as one
+  // virtual link per tenant prepended to its flows' paths. 0 = off.
+  double tenant_gbps = 0;
+  // Leaf-affine (tenant-packed) host placement instead of the scattered
+  // schedule layout (sdn::leaf_affine_host) — the placement ablation.
+  bool placement = false;
+  // Spine outage: spine `fail_spine`'s links drop to zero capacity over
+  // [fail_from, fail_until) — flows crossing it stall and must recover.
+  int fail_spine = -1;
+  sim::Time fail_from = 0;
+  sim::Time fail_until = 0;
+};
+
+struct TrafficReport {
+  bool enabled = false;
+  std::uint64_t flows = 0;
+  std::uint64_t total_bytes = 0;
+  double elapsed_ms = 0;  // first start to last completion
+  double agg_gbps = 0;    // total_bytes over elapsed
+  // Flow-completion times (µs).
+  double fct_p50_us = 0;
+  double fct_p99_us = 0;
+  double fct_max_us = 0;
+  // ECMP determinism: FNV-1a fold of every flow's (index, spine) choice;
+  // -1 folds for intra-leaf flows. Identical across reruns and engines.
+  std::uint64_t ecmp_fold = 0;
+  std::size_t spine_crossings = 0;  // flows that traversed a spine
+  // Congestion outcomes.
+  std::uint64_t ecn_marks = 0;          // CNPs delivered by DCQCN
+  std::uint64_t dcqcn_recoveries = 0;   // completed post-cut recoveries
+  std::uint64_t throttled_flows = 0;    // flows that took >= 1 mark
+  double peak_spine_util = 0;   // max leaf<->spine utilization sampled
+  double peak_tenant_gbps = 0;  // max per-tenant aggregate rate sampled
+  // NOT serialized (differs between direct and degenerate-fabric runs the
+  // equivalence sweep byte-diffs): echoed topology shape.
+  std::size_t hosts = 0;
+  std::size_t leaves = 0;
+  std::size_t spines = 0;
+};
+
 struct ScaleConfig {
   // Topology: tenants × hosts × VMs-per-host. Total VMs = hosts * vms.
   std::size_t tenants = 10;
@@ -91,6 +161,12 @@ struct ScaleConfig {
   // determinism tests turn it on to prove thread-count invariance.
   bool trace = false;
 
+  // Fabric traffic phase appended after the storm (TrafficConfig above).
+  // Disabled by default; the "topology" JSON block is emitted only when
+  // enabled, so traffic-off reports stay byte-identical to the legacy
+  // schema.
+  TrafficConfig traffic;
+
   // Arm the partition-ownership auditor (check::PartitionOwnershipAuditor)
   // in the partitioned engine: every loop access and tagged hot-table
   // access is validated against the DESIGN.md §16 ownership model, and a
@@ -149,6 +225,10 @@ struct ScaleReport {
   std::uint64_t warm_reused = 0;    // paid warm_reuse_cost (parked pair)
   std::uint64_t warm_cold = 0;      // pool empty: full ladder_cost
   std::uint64_t warm_prefills = 0;  // mappings pushed ahead of any miss
+
+  // Fabric traffic phase (cfg.traffic.enabled only; the "topology" block
+  // is emitted only when it ran).
+  TrafficReport traffic;
 
   std::vector<ShardReport> per_shard;
 

@@ -37,6 +37,7 @@
 #include "check/ownership_audit.h"
 #include "fabric/scale.h"
 #include "fabric/storm_schedule.h"
+#include "fabric/traffic.h"
 #include "net/addr.h"
 #include "sdn/controller.h"
 #include "sdn/host_agent.h"
@@ -450,6 +451,10 @@ ScaleReport run_scale_storm_parallel(const ScaleConfig& cfg,
   r.sim_events = group.total_events();
   r.trace_hash = cfg.trace ? group.combined_trace_hash() : 0;
   r.engine_threads = group.threads();
+  // Fabric traffic phase: pure function of (config, schedule) on its own
+  // single-threaded loop — byte-identical to the single-loop engine's
+  // block at any worker-thread count.
+  if (cfg.traffic.enabled) r.traffic = run_traffic_phase(cfg, sched);
   return r;
 }
 

@@ -57,6 +57,7 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
     rnic::RnicDevice& dev = host->add_rnic(dc);
     dev.attach(this);
     by_underlay_ip_[dc.ip] = &dev;
+    host_of_ip_[dc.ip] = static_cast<std::size_t>(h);
 
     if (config_.candidate == Candidate::kMasq) {
       masq::BackendConfig bc;
@@ -80,6 +81,12 @@ Testbed::Testbed(sim::EventLoop& loop, TestbedConfig config)
     }
     hosts_.push_back(std::move(host));
     vf_in_use_.push_back(0);
+  }
+
+  if (config_.topology.has_value()) {
+    net::FabricConfig fc = *config_.topology;
+    fc.hosts = static_cast<std::size_t>(config_.num_hosts);
+    fabric_ = std::make_unique<net::FabricTopology>(fluid_, fc);
   }
 
   if (config_.check_invariants) {
@@ -138,6 +145,24 @@ baselines::FfRouter& Testbed::ffr(std::size_t host_idx) {
 rnic::RnicDevice* Testbed::device_by_ip(net::Ipv4Addr underlay_ip) {
   auto it = by_underlay_ip_.find(underlay_ip);
   return it == by_underlay_ip_.end() ? nullptr : it->second;
+}
+
+std::vector<net::LinkId> Testbed::fabric_path(net::Ipv4Addr src_ip,
+                                              net::Ipv4Addr dst_ip,
+                                              rnic::Qpn src_qpn,
+                                              rnic::Qpn dst_qpn) {
+  if (fabric_ == nullptr) return {};
+  const auto src = host_of_ip_.find(src_ip);
+  const auto dst = host_of_ip_.find(dst_ip);
+  if (src == host_of_ip_.end() || dst == host_of_ip_.end()) return {};
+  net::EcmpKey key;
+  key.src_ip = src_ip.value;
+  key.dst_ip = dst_ip.value;
+  // RoCEv2 spreads flows by varying the UDP source port per QP pair; fold
+  // the 24-bit QPNs into the 16-bit port fields the same way.
+  key.src_port = static_cast<std::uint16_t>(src_qpn ^ (src_qpn >> 16));
+  key.dst_port = static_cast<std::uint16_t>(dst_qpn ^ (dst_qpn >> 16));
+  return fabric_->path(src->second, dst->second, key);
 }
 
 net::Ipv4Addr Testbed::next_vip(std::uint32_t vni) {
@@ -350,6 +375,15 @@ sim::Task<rnic::Status> Testbed::migrate_vm(std::size_t i,
   env.device_by_pgid = [this](net::Gid pgid) -> rnic::RnicDevice* {
     for (auto& host : hosts_) {
       if (host->rnic(0).gid(rnic::kPf) == pgid) return &host->rnic(0);
+    }
+    return nullptr;
+  };
+  // QPN spaces are disjoint per device (dc.id_space above), so a QP is
+  // hosted by at most one device — scan for it. Concurrent migrations use
+  // this to chase a paused peer QP that moved while they held it.
+  env.device_by_qpn = [this](rnic::Qpn qpn) -> rnic::RnicDevice* {
+    for (auto& host : hosts_) {
+      if (host->rnic(0).qp_exists(qpn)) return &host->rnic(0);
     }
     return nullptr;
   };

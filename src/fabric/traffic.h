@@ -1,0 +1,21 @@
+// Fabric traffic phase (DESIGN.md §17): replays a slice of the storm
+// schedule as data flows over a leaf–spine Clos fabric with ECMP placement,
+// multi-hop DCQCN, per-tenant rate limiters, and scenario presets (incast
+// fan-in, elephant/mice, spine outage).
+//
+// The phase is a pure function of (config, schedule): it runs on a fresh
+// single-threaded event loop after the storm, consumes no randomness beyond
+// DCQCN's own seeded marking stream, and produces the same TrafficReport
+// from both storm engines at any thread count — which is what lets the CI
+// fabric job byte-diff 1-thread against 4-thread runs.
+#pragma once
+
+#include "fabric/scale.h"
+#include "fabric/storm_schedule.h"
+
+namespace fabric {
+
+TrafficReport run_traffic_phase(const ScaleConfig& cfg,
+                                const storm::StormSchedule& sched);
+
+}  // namespace fabric

@@ -83,12 +83,22 @@ sim::Task<rnic::Status> Migrator::run() {
     }
   };
   auto& vq = ctx.virtqueue();
+  // A paused peer can change devices mid-migration: if the far end is
+  // migrating concurrently, its atomic move re-homes the QP (same QPN,
+  // new device) between our pause and our resume. Follow it — acting on
+  // the recorded device would silently skip the QP and strand it in SQD.
+  auto peer_dev = [&](const PeerRef& p) -> rnic::RnicDevice* {
+    if (p.dev->qp_exists(p.qpn)) return p.dev;
+    return env_.device_by_qpn ? env_.device_by_qpn(p.qpn) : nullptr;
+  };
   auto drained = [&]() {
     for (rnic::Qpn q : old_session.owned_qps()) {
       if (src_dev.qp_exists(q) && !src_dev.qp_quiescent(q)) return false;
     }
     for (const PeerRef& p : peer_paused) {
-      if (p.dev->qp_exists(p.qpn) && !p.dev->qp_quiescent(p.qpn)) {
+      rnic::RnicDevice* dev = peer_dev(p);
+      if (dev != nullptr && dev->qp_exists(p.qpn) &&
+          !dev->qp_quiescent(p.qpn)) {
         return false;
       }
     }
@@ -108,9 +118,10 @@ sim::Task<rnic::Status> Migrator::run() {
         }
       }
       for (const PeerRef& p : peer_paused) {
-        if (p.dev->qp_exists(p.qpn) &&
-            p.dev->qp_state(p.qpn) == rnic::QpState::kSqd) {
-          (void)p.dev->modify_qp(p.qpn, rts, rnic::kAttrState);
+        rnic::RnicDevice* dev = peer_dev(p);
+        if (dev != nullptr && dev->qp_exists(p.qpn) &&
+            dev->qp_state(p.qpn) == rnic::QpState::kSqd) {
+          (void)dev->modify_qp(p.qpn, rts, rnic::kAttrState);
         }
       }
       ctx.end_migration();
@@ -396,9 +407,10 @@ sim::Task<rnic::Status> Migrator::run() {
     }
   }
   for (const PeerRef& p : peer_paused) {
-    if (p.dev->qp_exists(p.qpn) &&
-        p.dev->qp_state(p.qpn) == rnic::QpState::kSqd) {
-      note_error(p.dev->modify_qp(p.qpn, rts, rnic::kAttrState));
+    rnic::RnicDevice* dev = peer_dev(p);
+    if (dev != nullptr && dev->qp_exists(p.qpn) &&
+        dev->qp_state(p.qpn) == rnic::QpState::kSqd) {
+      note_error(dev->modify_qp(p.qpn, rts, rnic::kAttrState));
     }
   }
   ctx.end_migration();

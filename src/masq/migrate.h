@@ -99,6 +99,14 @@ class Migrator {
     // Resolves a *physical* GID to the device behind it (peer QPC
     // rewrite). The testbed implements it from its underlay-IP router.
     std::function<rnic::RnicDevice*(net::Gid)> device_by_pgid;
+    // Locates the device *currently* hosting a QP, wherever concurrent
+    // migrations have moved it (QPN spaces are disjoint per device, so the
+    // lookup is unambiguous). Needed when both ends of a connection
+    // migrate at once: a peer QP this migration paused can change devices
+    // before this migration resumes it — resuming (or rollback-resuming)
+    // through the stale device pointer would leave it in SQD forever.
+    // May be null: peers then resume only if still in place.
+    std::function<rnic::RnicDevice*(rnic::Qpn)> device_by_qpn;
     std::function<void(std::string_view invariant, std::string_view point,
                        std::string diagnostic)>
         report_violation;

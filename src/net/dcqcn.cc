@@ -9,6 +9,10 @@ void DcqcnController::manage(FlowId flow, double line_rate_gbps) {
   rp.rc = line_rate_gbps;
   rp.rt = line_rate_gbps;
   rp.line_rate = line_rate_gbps;
+  // Born at line rate with rc == rt: fast recovery and additive increase
+  // both leave that fixpoint, so starting past the recovery window changes
+  // no rate — it just keeps recoveries() meaning "recovered after a cut".
+  rp.recovery_round = params_.fast_recovery_rounds;
   rp_[flow] = rp;
   net_.set_flow_cap(flow, rp.rc);
   // Deterministic per-flow phase offset de-synchronizes RP timers.
@@ -22,6 +26,11 @@ void DcqcnController::unmanage(FlowId flow) { rp_.erase(flow); }
 double DcqcnController::current_rate_gbps(FlowId flow) const {
   auto it = rp_.find(flow);
   return it == rp_.end() ? 0.0 : it->second.rc;
+}
+
+std::uint64_t DcqcnController::marks_for(FlowId flow) const {
+  auto it = mark_counts_.find(flow);
+  return it == mark_counts_.end() ? 0 : it->second;
 }
 
 double DcqcnController::mark_probability(FlowId flow) const {
@@ -53,9 +62,12 @@ void DcqcnController::tick(FlowId flow) {
     return;
   }
   Rp& rp = it->second;
+  const double old_rc = rp.rc;
+  const bool was_recovering = rp.recovery_round < params_.fast_recovery_rounds;
   if (rng_.next_bool(mark_probability(flow))) {
     // CNP received: remember the target, cut multiplicatively, bump alpha.
     ++marks_;
+    ++mark_counts_[flow];
     rp.rt = rp.rc;
     rp.rc = std::max(params_.min_rate_gbps, rp.rc * (1.0 - rp.alpha / 2.0));
     rp.alpha = (1.0 - params_.g) * rp.alpha + params_.g;
@@ -66,6 +78,10 @@ void DcqcnController::tick(FlowId flow) {
     if (rp.recovery_round < params_.fast_recovery_rounds) {
       rp.rc = (rp.rc + rp.rt) / 2.0;
       ++rp.recovery_round;
+      if (was_recovering &&
+          rp.recovery_round == params_.fast_recovery_rounds) {
+        ++recoveries_;  // fast recovery done; next quiet tick is AI
+      }
     } else {
       rp.rt += params_.rai_gbps;
       rp.rc = (rp.rc + rp.rt) / 2.0;
@@ -73,7 +89,10 @@ void DcqcnController::tick(FlowId flow) {
     rp.rc = std::min(rp.rc, rp.line_rate);
     rp.rt = std::min(rp.rt, rp.line_rate);
   }
-  net_.set_flow_cap(flow, rp.rc);
+  // Reprogramming an unchanged cap would re-run the allocator (and re-arm
+  // its completion timer) for no observable rate change — a flow cruising
+  // at line rate costs nothing per tick.
+  if (rp.rc != old_rc) net_.set_flow_cap(flow, rp.rc);
   loop_.schedule_after(params_.tick, [this, flow] { tick(flow); });
 }
 

@@ -47,6 +47,14 @@ class DcqcnController {
   bool managing(FlowId flow) const { return rp_.count(flow) != 0; }
   double current_rate_gbps(FlowId flow) const;
   std::uint64_t marks_delivered() const { return marks_; }
+  // Marks this flow received over its whole lifetime (persists past
+  // unmanage, so post-run assertions can check which flows a congested
+  // link throttled and which it left alone).
+  std::uint64_t marks_for(FlowId flow) const;
+  // Completed recoveries: a flow finished its fast-recovery rounds after a
+  // cut and re-entered additive increase. Zero means the recovery path was
+  // never exercised.
+  std::uint64_t recoveries() const { return recoveries_; }
 
  private:
   // Reaction-point state, one per managed flow (DCQCN's RP).
@@ -71,6 +79,8 @@ class DcqcnController {
   sim::FlatMap<FlowId, Rp> rp_;
   sim::Rng rng_;
   std::uint64_t marks_ = 0;
+  std::uint64_t recoveries_ = 0;
+  sim::FlatMap<FlowId, std::uint64_t> mark_counts_;  // never erased
 };
 
 }  // namespace net

@@ -1,0 +1,106 @@
+// Parameterized leaf–spine Clos fabric over the fluid model (DESIGN.md §17).
+//
+// Hosts attach to leaves in contiguous blocks; every leaf attaches to every
+// spine. Each physical hop is a unidirectional FluidNet link, so the same
+// progressive-filling allocator that shares the 2-server direct link shares
+// every fabric link — congestion on one spine link throttles exactly the
+// flows crossing it, which is what the multi-hop DCQCN tests pin.
+//
+// ECMP: a flow's spine is FNV-1a over its 5-tuple, modulo the spine count.
+// Spines are enumerated in construction (insertion) order and the hash is a
+// pure function of the key bytes, so placement is identical across reruns,
+// thread counts, and machines — traces stay replayable.
+//
+// Degenerate equivalence: with one leaf (any spine count) no flow crosses a
+// spine, so a path is exactly {host-up, host-down} at link capacity. Those
+// two links carry the same flow sets as the sender's NIC-tx and receiver's
+// NIC-rx links, so progressive filling computes the same bottleneck minimum
+// over a duplicated constraint set and assigns bit-identical rates — the
+// sweep tests diff the resulting reports byte-for-byte against the legacy
+// direct-link wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fluid.h"
+#include "sim/time.h"
+
+namespace net {
+
+struct FabricConfig {
+  std::size_t hosts = 2;
+  std::size_t leaves = 1;
+  std::size_t spines = 1;
+  double host_gbps = 100.0;   // host<->leaf link capacity
+  double spine_gbps = 100.0;  // leaf<->spine link capacity
+  sim::Time link_delay = 0;   // per-hop propagation
+};
+
+// The 5-tuple ECMP hashes over. RoCEv2 rides UDP, so transports map the
+// QPNs into the port fields.
+struct EcmpKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 4791;  // RoCEv2
+  std::uint8_t proto = 17;        // UDP
+};
+
+// FNV-1a over the key's fields in declaration order, least-significant byte
+// first, at their declared widths. No struct padding is hashed.
+std::uint64_t ecmp_hash(const EcmpKey& key);
+
+class FabricTopology {
+ public:
+  // Adds every fabric link to `net` in a fixed order: per host the up then
+  // the down link (host 0 first), then per leaf (leaf-major) per spine the
+  // leaf->spine then the spine->leaf link. That order is the documented
+  // ECMP tie-break: spine_for() indexes into it.
+  FabricTopology(FluidNet& net, FabricConfig cfg);
+
+  const FabricConfig& config() const { return cfg_; }
+
+  // Hosts attach to leaves in contiguous blocks of ceil(hosts/leaves).
+  std::size_t leaf_of(std::size_t host) const {
+    return host / hosts_per_leaf_;
+  }
+  std::size_t spine_for(const EcmpKey& key) const {
+    return ecmp_hash(key) % cfg_.spines;
+  }
+
+  // The fabric links a frame crosses from src_host to dst_host: up, then
+  // (for inter-leaf pairs) the ECMP-chosen spine crossing, then down.
+  // Empty when src_host == dst_host — intra-host traffic never leaves the
+  // NIC, matching the direct-link wire.
+  std::vector<LinkId> path(std::size_t src_host, std::size_t dst_host,
+                           const EcmpKey& key) const;
+
+  LinkId host_up(std::size_t host) const { return up_.at(host); }
+  LinkId host_down(std::size_t host) const { return down_.at(host); }
+  LinkId leaf_to_spine(std::size_t leaf, std::size_t spine) const {
+    return ls_.at(leaf * cfg_.spines + spine);
+  }
+  LinkId spine_to_leaf(std::size_t spine, std::size_t leaf) const {
+    return sl_.at(leaf * cfg_.spines + spine);
+  }
+
+  // Every fabric link, in construction order (property tests sweep these
+  // for capacity conservation).
+  const std::vector<LinkId>& all_links() const { return all_; }
+  // The spine-layer links only (both directions of every leaf<->spine
+  // pair) — the ECN watchpoints for multi-hop congestion assertions.
+  std::vector<LinkId> spine_links(std::size_t spine) const;
+
+ private:
+  FluidNet& net_;
+  FabricConfig cfg_;
+  std::size_t hosts_per_leaf_ = 1;
+  std::vector<LinkId> up_;    // host -> leaf, indexed by host
+  std::vector<LinkId> down_;  // leaf -> host, indexed by host
+  std::vector<LinkId> ls_;    // leaf -> spine, leaf-major
+  std::vector<LinkId> sl_;    // spine -> leaf, leaf-major
+  std::vector<LinkId> all_;
+};
+
+}  // namespace net

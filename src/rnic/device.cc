@@ -826,6 +826,12 @@ void RnicDevice::transmit(Qp& qp, Message msg, bool expect_ack) {
   std::vector<net::LinkId> path;
   if (f.is_vf) path.push_back(f.limiter_link);
   path.push_back(tx_link_);
+  // Leaf/spine hops between the two NICs (empty without a configured
+  // topology). remote != nullptr implies router_ != nullptr.
+  for (net::LinkId l : router_->fabric_path(fns_.at(kPf).ip, underlay_dst,
+                                            qpn, msg.frame.bth.dest_qpn)) {
+    path.push_back(l);
+  }
   path.push_back(remote->rx_link());
 
   auto flow_slot = std::make_shared<net::FlowId>(0);

@@ -1,0 +1,18 @@
+#include "sdn/placement.h"
+
+namespace sdn {
+
+std::size_t leaf_affine_host(std::size_t tenants, std::size_t total_vms,
+                             std::size_t vms_per_host, std::size_t vm) {
+  if (tenants == 0 || vms_per_host == 0 || total_vms == 0) return 0;
+  const std::size_t t = vm % tenants;      // tenant
+  const std::size_t k = vm / tenants;      // index within the tenant
+  // Tenant populations under round-robin assignment: the first
+  // (total_vms % tenants) tenants hold one extra VM.
+  const std::size_t full = total_vms / tenants;
+  const std::size_t rem = total_vms % tenants;
+  const std::size_t offset = t * full + (t < rem ? t : rem);
+  return (offset + k) / vms_per_host;
+}
+
+}  // namespace sdn

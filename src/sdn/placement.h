@@ -1,0 +1,47 @@
+// Topology-aware host placement (DESIGN.md §17).
+//
+// The storm harness scatters a tenant's VMs round-robin across every host
+// (vm % tenants picks the tenant), so same-tenant traffic crosses leaves —
+// and therefore spines — almost every time. A placement-aware controller
+// does better: it packs each tenant's VMs onto contiguous hosts, which the
+// leaf tiers of a Clos fabric absorb locally. Leaf-affine placement is the
+// permutation that realizes this packing without changing any per-host VM
+// count, so the control-plane load (agents, caches, shard queues) is
+// untouched — only the data-plane locality moves.
+//
+// Everything here is a pure function of the workload shape: placement is
+// deterministic, replayable, and identical across thread counts.
+#pragma once
+
+#include <cstddef>
+
+namespace sdn {
+
+// The host a VM lands on under leaf-affine (tenant-packed) placement.
+// Tenant t owns VMs {t, t+T, t+2T, ...}; its k-th VM is assigned global
+// rank offset(t) + k and hosts are filled rank-contiguously, so a tenant's
+// VMs occupy a contiguous host block. A bijection over VMs: per-host
+// populations are identical to the scattered (vm / vms_per_host) layout.
+std::size_t leaf_affine_host(std::size_t tenants, std::size_t total_vms,
+                             std::size_t vms_per_host, std::size_t vm);
+
+// Fraction of `pairs` (src_host, dst_host) endpoints that land on different
+// leaves, given contiguous leaf blocks of `hosts_per_leaf` — the
+// spine-crossing rate the placement ablation reports.
+struct CrossingCounter {
+  std::size_t hosts_per_leaf = 1;
+  std::size_t total = 0;
+  std::size_t crossings = 0;
+
+  void add(std::size_t src_host, std::size_t dst_host) {
+    ++total;
+    if (src_host / hosts_per_leaf != dst_host / hosts_per_leaf) ++crossings;
+  }
+  double rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(crossings) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace sdn

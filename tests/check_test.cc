@@ -11,11 +11,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/common.h"
 #include "check/auditors.h"
 #include "check/invariant.h"
 #include "fabric/testbed.h"
+#include "net/topology.h"
 #include "rnic/device.h"
 
 using namespace sim::literals;
@@ -280,6 +282,146 @@ TEST(CheckTest, QuiesceAuditCleanAfterDrainedRun) {
   bed->checks()->audit("quiesce");
   EXPECT_TRUE(bed->checks()->violations().empty()) << bed->checks()->report();
   EXPECT_GT(bed->checks()->checks_run(), 0u);
+}
+
+// ------------------------------------------- (6) spine-outage schedule
+
+// A testbed on a 2-leaf/1-spine fabric (DESIGN.md §17): hosts 0 and 1 land
+// on different leaves, so cutting the only spine severs every data path
+// between them.
+std::unique_ptr<fabric::Testbed> spine_bed(sim::EventLoop& loop) {
+  fabric::TestbedConfig cfg;
+  cfg.candidate = fabric::Candidate::kMasq;
+  cfg.num_hosts = 2;
+  cfg.cal.host_dram_bytes = 32ull << 30;
+  cfg.cal.vm_mem_bytes = 512ull << 20;
+  cfg.check_invariants = true;
+  cfg.check_audit_every = 32;
+  net::FabricConfig fc;
+  fc.leaves = 2;
+  fc.spines = 1;
+  fc.host_gbps = 40.0;  // == cal.link_gbps
+  fc.spine_gbps = 40.0;
+  cfg.topology = fc;
+  auto bed = std::make_unique<fabric::Testbed>(loop, cfg);
+  bed->add_instances(2);
+  return bed;
+}
+
+// Drops the spine's links to zero capacity over [from, until) — a fabric
+// outage the RC retransmission budget (7 x 4 ms) must outlast.
+sim::Task<void> spine_outage(fabric::Testbed* bed, sim::Time from,
+                             sim::Time until) {
+  co_await sim::delay(bed->loop(), from);
+  for (net::LinkId l : bed->topology()->spine_links(0)) {
+    bed->fluid().set_link_capacity(l, 0);
+  }
+  co_await sim::delay(bed->loop(), until - from);
+  for (net::LinkId l : bed->topology()->spine_links(0)) {
+    bed->fluid().set_link_capacity(l, 40.0);
+  }
+}
+
+// A paced cross-leaf stream whose middle messages land inside the outage
+// window; each completion time is recorded so the test can prove traffic
+// actually stalled and recovered rather than finishing early.
+sim::Task<void> spine_stream(fabric::Testbed* bed, std::size_t msgs,
+                             std::vector<sim::Time>* done, bool* finished) {
+  struct Srv {
+    static sim::Task<void> run(fabric::Testbed* bed, std::size_t msgs) {
+      auto ep = co_await apps::setup_endpoint(bed->ctx(1));
+      (void)co_await apps::connect_server(bed->ctx(1), ep,
+                                          bed->instance_vip(0), 9100);
+      for (std::size_t i = 0; i < msgs; ++i) {
+        rnic::RecvWr wr;
+        wr.wr_id = i;
+        wr.sge = {ep.buf + i * 1024, 1024, ep.mr.lkey};
+        EXPECT_EQ(bed->ctx(1).post_recv(ep.qp, wr), rnic::Status::kOk);
+      }
+    }
+  };
+  bed->loop().spawn(Srv::run(bed, msgs));
+  auto ep = co_await apps::setup_endpoint(bed->ctx(0));
+  const auto st = co_await apps::connect_client(bed->ctx(0), ep,
+                                                bed->instance_vip(1), 9100);
+  EXPECT_EQ(st, rnic::Status::kOk);
+  if (st != rnic::Status::kOk) co_return;
+  co_await sim::delay(bed->loop(), 50_us);
+  for (std::size_t i = 0; i < msgs; ++i) {
+    apps::put_string(bed->ctx(0), ep, i * 1024, "spine-" + std::to_string(i));
+    EXPECT_EQ(co_await apps::send_and_wait(bed->ctx(0), ep, i * 1024, 64),
+              rnic::WcStatus::kSuccess)
+        << "send " << i;
+    done->push_back(bed->loop().now());
+    co_await sim::delay(bed->loop(), 1_ms);
+  }
+  *finished = true;
+}
+
+TEST(CheckTest, SpineOutageKeepsAuditorsSilent) {
+  // The incast/outage recovery path is legal behavior, not corruption: a
+  // 10 ms spine outage (inside the 28 ms RC retry budget) stalls the
+  // stream, retransmission carries it across, and the cache-coherence and
+  // QP-FSM auditors must stay silent the whole way — the default policy
+  // throws out of loop.run() if any fires.
+  sim::EventLoop loop;
+  auto bed = spine_bed(loop);
+  std::vector<sim::Time> done;
+  bool finished = false;
+  loop.spawn(spine_stream(bed.get(), 8, &done, &finished));
+  loop.spawn(spine_outage(bed.get(), 4_ms, 14_ms));
+  loop.run();
+
+  EXPECT_TRUE(finished);
+  ASSERT_EQ(done.size(), 8u);
+  // The outage really bit: at least one message could only complete after
+  // the spine came back.
+  EXPECT_GT(done.back(), 14_ms);
+  bool stalled = false;
+  for (const sim::Time t : done) stalled |= (t >= 14_ms);
+  EXPECT_TRUE(stalled);
+  // And auditing saw a healthy system throughout and at quiescence.
+  EXPECT_GT(bed->checks()->audits_run(), 0u);
+  bed->checks()->audit("after-outage");
+  EXPECT_TRUE(bed->checks()->violations().empty()) << bed->checks()->report();
+}
+
+TEST(CheckTest, SpineOutageCorruptionStillTrips) {
+  // The silence above means something only if the same schedule can fire:
+  // corrupt one cached mapping mid-outage and the cache auditor must flag
+  // it — an outage is no excuse for ignoring divergence from controller
+  // truth (only an SDN outage buffers broadcasts; the spine is data plane).
+  sim::EventLoop loop;
+  auto bed = spine_bed(loop);
+  bed->checks()->set_policy(check::ViolationPolicy::kRecord);
+  std::vector<sim::Time> done;
+  bool finished = false;
+  loop.spawn(spine_stream(bed.get(), 8, &done, &finished));
+  loop.spawn(spine_outage(bed.get(), 4_ms, 14_ms));
+  struct Corrupt {
+    static sim::Task<void> go(fabric::Testbed* bed) {
+      co_await sim::delay(bed->loop(), 8_ms);  // inside the outage window
+      const net::Gid vgid = net::Gid::from_ipv4(bed->instance_vip(1));
+      const net::Gid bogus = net::Gid::from_ipv4(ip("10.99.99.99"));
+      bed->masq_backend(bed->instance_host(0))
+          .mapping_cache()
+          .corrupt_entry_for_test(bed->instance_vni(1), vgid, bogus);
+      bed->checks()->audit("mid-outage-corruption");
+    }
+  };
+  loop.spawn(Corrupt::go(bed.get()));
+  loop.run();
+
+  EXPECT_TRUE(finished);
+  bool cache_fired = false;
+  for (const check::Violation& v : bed->checks()->violations()) {
+    if (v.invariant == "cache" && v.point == "mid-outage-corruption") {
+      cache_fired = true;
+      EXPECT_NE(v.diagnostic.find("controller truth"), std::string::npos)
+          << v.diagnostic;
+    }
+  }
+  EXPECT_TRUE(cache_fired) << "cache auditor silent under the fault schedule";
 }
 
 TEST(CheckTest, RecordPolicyCollectsInsteadOfThrowing) {

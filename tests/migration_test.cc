@@ -732,6 +732,117 @@ TEST(MigrationTest, UnusedMigrationKeepsEventStreamBitExact) {
   EXPECT_EQ(run_hash(false), run_hash(true));
 }
 
+// ------------------------------------ concurrent both-ends migration
+
+TEST(MigrationTest, ConcurrentBothEndsMigrationZeroResets) {
+  // Both ends of one established connection migrate at the same instant:
+  // the server VM to host 2 and the client VM to host 3, gates closing in
+  // the same event-loop tick, every auditor armed. This is the interleaving
+  // where migration A pauses the peer's QP, migration B then moves that QP
+  // to a new device, and A's resume runs against a stale device pointer —
+  // the Env::device_by_qpn re-resolution must find the QP wherever it lives
+  // now, or one end is stranded in SQD and the stream never finishes.
+  sim::EventLoop loop;
+  BedOpts o;
+  o.num_hosts = 4;
+  o.check = true;
+  auto bed = make_bed(loop, o);
+  ASSERT_NE(bed->checks(), nullptr);
+
+  constexpr std::size_t kMsgs = 12;
+  Transcript t;
+  Transcript server_move, client_move;
+  loop.spawn(stream_server(bed.get(), kMsgs, 7480, &t));
+  loop.spawn(stream_client(bed.get(), 9, kMsgs, 7480, 100_us, &t));
+  loop.spawn(migrate_at(bed.get(), 5_ms, 1, 2, &server_move));
+  loop.spawn(migrate_at(bed.get(), 5_ms, 0, 3, &client_move));
+  loop.run();  // an auditor violation throws out of run()
+
+  EXPECT_EQ(server_move.migrate, rnic::Status::kOk);
+  EXPECT_EQ(client_move.migrate, rnic::Status::kOk);
+  EXPECT_TRUE(server_move.report.ok);
+  EXPECT_TRUE(client_move.report.ok);
+  EXPECT_EQ(bed->instance_host(1), 2u);
+  EXPECT_EQ(bed->instance_host(0), 3u);
+
+  // The stream crossed BOTH moves with zero resets and exactly-once,
+  // in-order delivery.
+  EXPECT_TRUE(t.client_done);
+  EXPECT_TRUE(t.server_done);
+  ASSERT_EQ(t.client_cqes.size(), kMsgs);
+  ASSERT_EQ(t.server_rx.size(), kMsgs);
+  for (std::size_t i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(t.client_cqes[i], rnic::WcStatus::kSuccess) << "send " << i;
+    EXPECT_EQ(t.server_cqes[i], rnic::WcStatus::kSuccess) << "recv " << i;
+    EXPECT_EQ(t.server_rx[i], payload_for(9, i, t.server_rx[i].size()))
+        << "message " << i;
+  }
+
+  // No QP on either destination device is stranded in SQD: every owned QP
+  // of both sessions is back at RTS where its VM now lives.
+  for (std::size_t inst : {std::size_t{0}, std::size_t{1}}) {
+    masq::Backend::Session& s = masq_ctx(*bed, inst).session();
+    const std::size_t host = bed->instance_host(inst);
+    EXPECT_EQ(&s.backend(), &bed->masq_backend(host));
+    for (rnic::Qpn q : s.owned_qps()) {
+      EXPECT_TRUE(bed->device(host).qp_exists(q))
+          << "instance " << inst << " qp " << q;
+      EXPECT_EQ(bed->device(host).qp_state(q), rnic::QpState::kRts)
+          << "instance " << inst << " qp " << q;
+    }
+  }
+}
+
+TEST(MigrationTest, ConcurrentBothEndsDigestMatchesBaseline) {
+  // Digest equality under the race: for several seeds the both-ends-moved
+  // run must deliver the byte-identical payload sequence of a run that
+  // never migrates, with every CQE a success.
+  for (std::uint64_t seed : {2ull, 5ull, 11ull}) {
+    auto run = [&](bool migrate, Transcript* out) {
+      sim::EventLoop loop;
+      BedOpts o;
+      o.num_hosts = 4;
+      o.check = true;
+      o.seed = seed;
+      auto bed = make_bed(loop, o);
+      Rng rng{seed};
+      const std::size_t msgs = 6 + rng.next(6);
+      const sim::Time think = sim::microseconds(60 + rng.next(120));
+      const sim::Time when = sim::microseconds(200 + rng.next(400));
+      const std::uint16_t port = static_cast<std::uint16_t>(7600 + seed);
+      Transcript server_move, client_move;
+      loop.spawn(stream_server(bed.get(), msgs, port, out));
+      loop.spawn(stream_client(bed.get(), seed, msgs, port, think, out));
+      if (migrate) {
+        loop.spawn(migrate_at(bed.get(), when, 1, 2, &server_move));
+        loop.spawn(migrate_at(bed.get(), when, 0, 3, &client_move));
+      }
+      loop.run();
+      EXPECT_TRUE(out->client_done) << "seed " << seed;
+      EXPECT_TRUE(out->server_done) << "seed " << seed;
+      if (migrate) {
+        EXPECT_EQ(server_move.migrate, rnic::Status::kOk) << "seed " << seed;
+        EXPECT_EQ(client_move.migrate, rnic::Status::kOk) << "seed " << seed;
+      }
+    };
+    Transcript base, moved;
+    run(false, &base);
+    run(true, &moved);
+    ASSERT_EQ(moved.server_rx.size(), base.server_rx.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < base.server_rx.size(); ++i) {
+      EXPECT_EQ(moved.server_rx[i], base.server_rx[i])
+          << "seed " << seed << " message " << i;
+    }
+    for (const rnic::WcStatus st : moved.client_cqes) {
+      EXPECT_EQ(st, rnic::WcStatus::kSuccess) << "seed " << seed;
+    }
+    for (const rnic::WcStatus st : moved.server_cqes) {
+      EXPECT_EQ(st, rnic::WcStatus::kSuccess) << "seed " << seed;
+    }
+  }
+}
+
 // ------------------------------------------------ seed-sweep equivalence
 
 void run_seeded_workload(std::uint64_t seed, bool migrate, Transcript* out) {

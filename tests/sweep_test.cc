@@ -6,23 +6,42 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <tuple>
 
 #include "apps/common.h"
 #include "apps/perftest.h"
+#include "fabric/scale.h"
 #include "fabric/testbed.h"
+#include "net/topology.h"
 
 namespace {
 
 using fabric::Candidate;
 
-double lat_us(Candidate c, apps::perftest::Op op, std::uint32_t size) {
+// A 1-leaf fabric whose links match the wire's 40 G calibration: every
+// added hop duplicates an existing constraint, so progressive filling must
+// assign bit-identical rates (net/topology.h's degenerate-equivalence
+// argument). The tests below hold the repo to "must".
+net::FabricConfig degenerate_fabric() {
+  net::FabricConfig fc;
+  fc.leaves = 1;
+  fc.spines = 1;
+  fc.host_gbps = 40.0;  // == TestbedConfig::cal.link_gbps
+  fc.spine_gbps = 40.0;
+  return fc;
+}
+
+double lat_us(Candidate c, apps::perftest::Op op, std::uint32_t size,
+              std::optional<net::FabricConfig> topo = std::nullopt) {
   sim::EventLoop loop;
   fabric::TestbedConfig cfg;
   cfg.candidate = c;
   cfg.cal.host_dram_bytes = 16ull << 30;
+  cfg.topology = topo;
   fabric::Testbed bed(loop, cfg);
   bed.add_instances(2);
   apps::perftest::LatConfig lc;
@@ -32,11 +51,13 @@ double lat_us(Candidate c, apps::perftest::Op op, std::uint32_t size) {
   return apps::perftest::run_lat(bed, lc).mean();
 }
 
-double bw_gbps(Candidate c, std::uint32_t size) {
+double bw_gbps(Candidate c, std::uint32_t size,
+               std::optional<net::FabricConfig> topo = std::nullopt) {
   sim::EventLoop loop;
   fabric::TestbedConfig cfg;
   cfg.candidate = c;
   cfg.cal.host_dram_bytes = 16ull << 30;
+  cfg.topology = topo;
   fabric::Testbed bed(loop, cfg);
   bed.add_instances(2);
   apps::perftest::BwConfig bc;
@@ -195,12 +216,14 @@ sim::Task<void> golden_server(fabric::Testbed* bed) {
   (void)co_await ctx.oob().send(bed->instance_vip(0), 7101, reply);
 }
 
-SetupBreakdown conn_setup(Candidate c) {
+SetupBreakdown conn_setup(Candidate c,
+                          std::optional<net::FabricConfig> topo = std::nullopt) {
   sim::EventLoop loop;
   fabric::TestbedConfig cfg;
   cfg.candidate = c;
   cfg.cal.host_dram_bytes = 48ull << 30;
   cfg.cal.vm_mem_bytes = 8ull << 30;
+  cfg.topology = topo;
   fabric::Testbed bed(loop, cfg);
   bed.add_instances(2);
   SetupBreakdown out;
@@ -256,6 +279,101 @@ TEST(OrderingTest, TwoByteLatencyRankingMatchesFig8a) {
   EXPECT_LT(l[Candidate::kSriov], l[Candidate::kFreeFlow]);
   // MasQ within 0.5 us of bare metal — "almost the same performance".
   EXPECT_LT(l[Candidate::kMasq] - l[Candidate::kHostRdma], 0.5);
+}
+
+// ---- degenerate fabric == direct wire, bit for bit -----------------------
+
+// The leaf-spine generalization (DESIGN.md §17) must not move a single
+// golden number when it degenerates to the legacy wire: a 1-leaf fabric at
+// the wire's capacity adds only duplicated constraints.
+
+TEST(GoldenNumbersTest, DegenerateFabricKeepsFig15Totals) {
+  EXPECT_EQ(round2(conn_setup(Candidate::kHostRdma, degenerate_fabric())
+                       .total_ms),
+            0.80);
+  EXPECT_EQ(round2(conn_setup(Candidate::kFreeFlow, degenerate_fabric())
+                       .total_ms),
+            4.13);
+  EXPECT_EQ(round2(conn_setup(Candidate::kSriov, degenerate_fabric())
+                       .total_ms),
+            1.89);
+  EXPECT_EQ(round2(conn_setup(Candidate::kMasq, degenerate_fabric())
+                       .total_ms),
+            1.98);
+}
+
+TEST(GoldenNumbersTest, DegenerateFabricKeepsTable1Exact) {
+  const SetupBreakdown direct = conn_setup(Candidate::kHostRdma);
+  const SetupBreakdown fab =
+      conn_setup(Candidate::kHostRdma, degenerate_fabric());
+  ASSERT_EQ(direct.us.size(), fab.us.size());
+  for (const auto& [verb, us] : direct.us) {
+    EXPECT_EQ(us, fab.us.at(verb)) << verb;  // exact doubles, not rounded
+  }
+}
+
+TEST(GoldenNumbersTest, DegenerateFabricIsBitExactOnTheWire) {
+  for (Candidate c : {Candidate::kHostRdma, Candidate::kMasq}) {
+    for (std::uint32_t size : {2u, 4096u}) {
+      EXPECT_EQ(lat_us(c, apps::perftest::Op::kSend, size),
+                lat_us(c, apps::perftest::Op::kSend, size,
+                       degenerate_fabric()))
+          << fabric::to_string(c) << " latency moved at " << size;
+    }
+    EXPECT_EQ(bw_gbps(c, 32768), bw_gbps(c, 32768, degenerate_fabric()))
+        << fabric::to_string(c) << " bandwidth moved";
+  }
+}
+
+// ---- 100-seed scale-report equivalence sweep -----------------------------
+
+fabric::ScaleConfig sweep_cfg(std::uint64_t seed, std::size_t leaves) {
+  fabric::ScaleConfig cfg;
+  cfg.hosts = 4;
+  cfg.vms_per_host = 4;
+  cfg.tenants = 2;
+  cfg.waves = 1;
+  cfg.shards = 2;
+  cfg.ip_changes = 0;
+  cfg.rule_resets = 0;
+  cfg.seed = seed;
+  cfg.traffic.enabled = true;
+  cfg.traffic.leaves = leaves;  // 0 = direct, 1 = degenerate fabric
+  cfg.traffic.spines = 1;
+  cfg.traffic.host_gbps = 25;
+  cfg.traffic.spine_gbps = 25;
+  cfg.traffic.flows = 24;
+  cfg.traffic.flow_kb = 64;
+  return cfg;
+}
+
+TEST(DegenerateSweepTest, HundredSeedsByteIdenticalReports) {
+  // BENCH_scale.json is the whole contract: the degenerate 1-leaf fabric
+  // must serialize byte-identically to direct mode at every seed.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const std::string direct =
+        fabric::run_scale_storm(sweep_cfg(seed, 0)).json();
+    const std::string degen =
+        fabric::run_scale_storm(sweep_cfg(seed, 1)).json();
+    EXPECT_EQ(direct, degen) << "reports diverged at seed " << seed;
+    if (direct != degen) break;  // one diff is enough diagnostics
+  }
+}
+
+TEST(DegenerateSweepTest, ByteIdenticalAcrossThreadCounts) {
+  // And the partitioned engine agrees at 1/2/4 workers: the traffic phase
+  // is a pure function of (config, schedule), whichever engine ran first.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::string direct =
+        fabric::run_scale_storm(sweep_cfg(seed, 0)).json();
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      const std::string degen =
+          fabric::run_scale_storm_parallel(sweep_cfg(seed, 1), threads)
+              .json();
+      EXPECT_EQ(direct, degen)
+          << "seed " << seed << " diverged at " << threads << " threads";
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,295 @@
+// Leaf–spine fabric properties (DESIGN.md §17): max-min allocations
+// conserve every link's capacity at every seed, ECMP placement is a pure
+// function of the 5-tuple (identical across reruns, engines and thread
+// counts), flow departure never leaves a stale share behind, and multi-hop
+// DCQCN throttles exactly the flows crossing a congested link.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/scale.h"
+#include "fabric/storm_schedule.h"
+#include "fabric/traffic.h"
+#include "net/dcqcn.h"
+#include "net/fluid.h"
+#include "net/topology.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace {
+
+net::EcmpKey key_for(std::size_t src, std::size_t dst, std::uint16_t port) {
+  net::EcmpKey k;
+  k.src_ip = static_cast<std::uint32_t>(src);
+  k.dst_ip = static_cast<std::uint32_t>(dst);
+  k.src_port = port;
+  return k;
+}
+
+// ---- topology shape ------------------------------------------------------
+
+TEST(TopologyTest, PathShapesMatchTheClos) {
+  sim::EventLoop loop;
+  net::FluidNet net(loop);
+  net::FabricConfig fc;
+  fc.hosts = 8;
+  fc.leaves = 2;
+  fc.spines = 2;
+  net::FabricTopology topo(net, fc);
+
+  // Intra-host: never leaves the NIC.
+  EXPECT_TRUE(topo.path(3, 3, key_for(3, 3, 0)).empty());
+
+  // Intra-leaf (hosts 0..3 on leaf 0): up then down, no spine.
+  const auto intra = topo.path(1, 2, key_for(1, 2, 0));
+  ASSERT_EQ(intra.size(), 2u);
+  EXPECT_EQ(intra[0], topo.host_up(1));
+  EXPECT_EQ(intra[1], topo.host_down(2));
+
+  // Inter-leaf: up, leaf->spine, spine->leaf, down, with the ECMP spine.
+  const net::EcmpKey k = key_for(1, 6, 7);
+  const auto inter = topo.path(1, 6, k);
+  ASSERT_EQ(inter.size(), 4u);
+  const std::size_t spine = topo.spine_for(k);
+  EXPECT_EQ(inter[0], topo.host_up(1));
+  EXPECT_EQ(inter[1], topo.leaf_to_spine(0, spine));
+  EXPECT_EQ(inter[2], topo.spine_to_leaf(spine, 1));
+  EXPECT_EQ(inter[3], topo.host_down(6));
+
+  // Hosts attach to leaves in contiguous, monotone blocks.
+  std::size_t prev = 0;
+  for (std::size_t h = 0; h < fc.hosts; ++h) {
+    const std::size_t leaf = topo.leaf_of(h);
+    EXPECT_LT(leaf, fc.leaves);
+    EXPECT_GE(leaf, prev);
+    prev = leaf;
+  }
+}
+
+TEST(TopologyTest, EcmpIsDeterministicAndCoversAllSpines) {
+  // The hash is a pure function of the key bytes: equal keys agree across
+  // independently constructed topologies (and therefore across reruns,
+  // engines and machines); any byte flipped picks independently.
+  sim::EventLoop loop;
+  net::FluidNet net_a(loop), net_b(loop);
+  net::FabricConfig fc;
+  fc.hosts = 16;
+  fc.leaves = 4;
+  fc.spines = 4;
+  net::FabricTopology a(net_a, fc), b(net_b, fc);
+
+  std::vector<bool> hit(fc.spines, false);
+  for (std::size_t i = 0; i < 256; ++i) {
+    const net::EcmpKey k =
+        key_for(i * 131, i * 257 + 1, static_cast<std::uint16_t>(i));
+    EXPECT_EQ(net::ecmp_hash(k), net::ecmp_hash(k));
+    EXPECT_EQ(a.spine_for(k), b.spine_for(k));
+    hit[a.spine_for(k)] = true;
+  }
+  for (std::size_t s = 0; s < fc.spines; ++s) {
+    EXPECT_TRUE(hit[s]) << "spine " << s << " never chosen over 256 keys";
+  }
+}
+
+// ---- max-min conservation, every link, every seed ------------------------
+
+TEST(TopologyPropertyTest, AllocationsConserveEveryLinkCapacity) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::EventLoop loop;
+    net::FluidNet net(loop);
+    net::FabricConfig fc;
+    fc.hosts = 16;
+    fc.leaves = 4;
+    fc.spines = 2;
+    fc.host_gbps = 10;
+    fc.spine_gbps = 25;
+    net::FabricTopology topo(net, fc);
+
+    // Seeded random unbounded flows (src != dst so no path is empty).
+    sim::Rng rng(seed);
+    std::vector<net::FlowId> flows;
+    std::vector<std::vector<net::LinkId>> paths;
+    for (std::size_t i = 0; i < 40; ++i) {
+      const std::size_t src = rng.next_below(fc.hosts);
+      std::size_t dst = rng.next_below(fc.hosts - 1);
+      if (dst >= src) ++dst;
+      paths.push_back(topo.path(src, dst,
+                                key_for(src, dst,
+                                        static_cast<std::uint16_t>(i))));
+      flows.push_back(net.start_flow(paths.back(), 0, net::kUncapped, {}));
+    }
+
+    auto assert_conserved = [&](const char* when) {
+      for (net::LinkId l : topo.all_links()) {
+        double load = 0;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          if (!net.has_flow(flows[i])) continue;
+          for (net::LinkId pl : paths[i]) {
+            if (pl == l) load += net.current_rate_gbps(flows[i]);
+          }
+        }
+        EXPECT_LE(load, net.link_capacity_gbps(l) + 1e-9)
+            << when << ": link " << l << " oversubscribed at seed " << seed;
+        EXPECT_DOUBLE_EQ(load, net.link_load_gbps(l))
+            << when << ": stale share on link " << l << " at seed " << seed;
+      }
+    };
+
+    assert_conserved("all flows up");
+    for (std::size_t i = 0; i < flows.size(); i += 2) {
+      net.cancel_flow(flows[i]);
+    }
+    assert_conserved("half departed");
+    for (std::size_t i = 1; i < flows.size(); i += 2) {
+      net.cancel_flow(flows[i]);
+    }
+    // Departure leaves no residue: every link drains to exactly zero.
+    for (net::LinkId l : topo.all_links()) {
+      EXPECT_EQ(net.link_load_gbps(l), 0.0) << "link " << l;
+    }
+  }
+}
+
+TEST(TopologyPropertyTest, SurvivorInheritsTheFreedShare) {
+  // Two flows share one host-up link at 10 G; when one departs the other's
+  // allocation immediately grows to the full link — no stale half-share.
+  sim::EventLoop loop;
+  net::FluidNet net(loop);
+  net::FabricConfig fc;
+  fc.hosts = 4;
+  fc.leaves = 1;
+  fc.host_gbps = 10;
+  net::FabricTopology topo(net, fc);
+  const auto path_a = topo.path(0, 1, key_for(0, 1, 0));
+  const auto path_b = topo.path(0, 2, key_for(0, 2, 1));
+  const net::FlowId a = net.start_flow(path_a, 0, net::kUncapped, {});
+  const net::FlowId b = net.start_flow(path_b, 0, net::kUncapped, {});
+  EXPECT_DOUBLE_EQ(net.current_rate_gbps(a), 5.0);
+  EXPECT_DOUBLE_EQ(net.current_rate_gbps(b), 5.0);
+  net.cancel_flow(a);
+  EXPECT_DOUBLE_EQ(net.current_rate_gbps(b), 10.0);
+}
+
+// ---- multi-hop DCQCN selectivity -----------------------------------------
+
+TEST(TopologyDcqcnTest, IncastThrottlesOnlyTheCongestedFlows) {
+  // Four long senders in leaf 1 converge on host 0's 25 G down-link; one
+  // short background pair runs inside leaf 0. The incast flows live at a
+  // saturated link for hundreds of RP ticks and must take marks; the
+  // background flow finishes before its first tick and must take none —
+  // congestion on the shared links throttles exactly the flows crossing
+  // them.
+  sim::EventLoop loop;
+  net::FluidNet net(loop);
+  net::FabricConfig fc;
+  fc.hosts = 8;
+  fc.leaves = 2;
+  fc.spines = 2;
+  fc.host_gbps = 25;
+  fc.spine_gbps = 40;
+  net::FabricTopology topo(net, fc);
+  std::vector<net::LinkId> tx, rx;
+  for (std::size_t h = 0; h < fc.hosts; ++h) {
+    tx.push_back(net.add_link(fc.host_gbps, 0));
+    rx.push_back(net.add_link(fc.host_gbps, 0));
+  }
+  net::DcqcnParams dp;
+  dp.seed = 42;
+  net::DcqcnController dcqcn(loop, net, dp);
+
+  auto start = [&](std::size_t src, std::size_t dst, std::uint64_t bytes,
+                   std::uint16_t port) {
+    std::vector<net::LinkId> path;
+    path.push_back(tx[src]);
+    for (net::LinkId l : topo.path(src, dst, key_for(src, dst, port))) {
+      path.push_back(l);
+    }
+    path.push_back(rx[dst]);
+    const net::FlowId f = net.start_flow(path, bytes, net::kUncapped, {});
+    dcqcn.manage(f, fc.host_gbps);
+    return f;
+  };
+
+  std::vector<net::FlowId> incast;
+  for (std::size_t s = 4; s < 8; ++s) {
+    incast.push_back(start(s, 0, 512 * 1024, static_cast<std::uint16_t>(s)));
+  }
+  const net::FlowId mouse = start(1, 2, 64 * 1024, 99);
+  loop.run();
+
+  for (net::FlowId f : incast) {
+    EXPECT_GT(dcqcn.marks_for(f), 0u) << "incast flow " << f << " unmarked";
+  }
+  EXPECT_EQ(dcqcn.marks_for(mouse), 0u)
+      << "background flow marked despite crossing no congested link";
+  // The cut flows walked back up through fast recovery at least once.
+  EXPECT_GT(dcqcn.recoveries(), 0u);
+}
+
+// ---- traffic phase: determinism and tenant isolation ---------------------
+
+fabric::ScaleConfig traffic_cfg() {
+  fabric::ScaleConfig cfg;
+  cfg.hosts = 8;
+  cfg.vms_per_host = 8;
+  cfg.tenants = 4;
+  cfg.waves = 2;
+  cfg.shards = 4;
+  cfg.ip_changes = 0;
+  cfg.rule_resets = 0;
+  cfg.seed = 7;
+  cfg.traffic.enabled = true;
+  cfg.traffic.leaves = 2;
+  cfg.traffic.spines = 2;
+  cfg.traffic.host_gbps = 25;
+  cfg.traffic.spine_gbps = 40;
+  cfg.traffic.flows = 64;
+  cfg.traffic.flow_kb = 64;
+  return cfg;
+}
+
+TEST(TrafficPhaseTest, EcmpPlacementStableAcrossRerunsAndThreadCounts) {
+  const fabric::ScaleConfig cfg = traffic_cfg();
+  const auto sched = fabric::storm::StormSchedule::draw(cfg);
+  const fabric::TrafficReport a = fabric::run_traffic_phase(cfg, sched);
+  const fabric::TrafficReport b = fabric::run_traffic_phase(cfg, sched);
+  EXPECT_EQ(a.ecmp_fold, b.ecmp_fold);
+  EXPECT_EQ(a.spine_crossings, b.spine_crossings);
+  EXPECT_EQ(a.ecn_marks, b.ecn_marks);
+  EXPECT_GT(a.spine_crossings, 0u);
+
+  // Both storm engines append the identical block at any thread count: the
+  // full report (storm + topology) serializes byte-identically.
+  const std::string single = fabric::run_scale_storm(cfg).json();
+  const std::string one = fabric::run_scale_storm_parallel(cfg, 1).json();
+  const std::string four = fabric::run_scale_storm_parallel(cfg, 4).json();
+  EXPECT_EQ(single, one);
+  EXPECT_EQ(single, four);
+  EXPECT_NE(single.find("\"topology\""), std::string::npos);
+}
+
+TEST(TrafficPhaseTest, TenantRateLimitHoldsUnderIncast) {
+  // Fig. 12 semantics on the fabric: with per-tenant limiter links in every
+  // path, no tenant's aggregate ever exceeds its cap — even while the
+  // incast congests the victim's down-link and DCQCN churns flow rates.
+  fabric::ScaleConfig cfg = traffic_cfg();
+  cfg.traffic.pattern = "incast";
+  cfg.traffic.incast_fanin = 16;
+  cfg.traffic.flow_kb = 256;
+  cfg.traffic.tenant_gbps = 5.0;
+  const auto sched = fabric::storm::StormSchedule::draw(cfg);
+  const fabric::TrafficReport r = fabric::run_traffic_phase(cfg, sched);
+  EXPECT_EQ(r.flows, 64u);
+  EXPECT_GT(r.peak_tenant_gbps, 0.0);
+  EXPECT_LE(r.peak_tenant_gbps, cfg.traffic.tenant_gbps + 1e-9);
+  EXPECT_GT(r.ecn_marks, 0u);
+  // Every tenant's limiter link is saturated here, so every flow lives at
+  // a congested link and legitimately takes marks; the selectivity claim
+  // (uncongested flows stay unmarked) is IncastThrottlesOnlyTheCongested-
+  // Flows' job.
+  EXPECT_GT(r.throttled_flows, 0u);
+  EXPECT_LE(r.throttled_flows, r.flows);
+}
+
+}  // namespace

@@ -28,6 +28,28 @@
 //                         lifetimes (6 waves, 10 ms apart). Applied after
 //                         all other flags, so it composes with --smoke;
 //                         the report gains a "warm" JSON block.
+//
+//   Fabric traffic phase (DESIGN.md §17) — replays a slice of the storm
+//   schedule as data flows over a leaf-spine Clos fabric with ECMP +
+//   multi-hop DCQCN; the report gains a "topology" JSON block:
+//     --topology <mode>   direct | leafspine (enables the phase)
+//     --leaves <n> --spines <n>          fabric shape  (default: 8 / 2)
+//     --host-gbps <g> --spine-gbps <g>   link rates    (default: 25 / 40)
+//     --pattern <p>       pairs | incast                (default: pairs)
+//     --flows <n>         schedule conns replayed       (default: 256)
+//     --fanin <n>         incast fan-in width           (default: 32)
+//     --flow-kb <n>       flow size                     (default: 64)
+//     --elephant-every <n>  every Nth flow is an elephant (0 = off)
+//     --elephant-kb <n>   elephant size                 (default: 4096)
+//     --tenant-gbps <g>   per-tenant rate limiter       (0 = off)
+//     --placement         leaf-affine (tenant-packed) host placement
+//     --no-dcqcn          ideal max-min only, no congestion control
+//     --fail-spine <i> --fail-from <ms> --fail-until <ms>  spine outage
+//     --incast            128-host incast fan-in preset
+//     --mice              128-host elephant/mice preset
+//     --overspine         128-host oversubscribed-spine preset
+//                         (presets apply in place, like --smoke: flags
+//                         given after a preset override its fields)
 //     -h, --help
 //
 // The default configuration is the 10k-VM storm (16 hosts x 625 VMs):
@@ -61,7 +83,13 @@ void usage(const char* argv0) {
       "          [--ip-changes n] [--rule-resets n]\n"
       "          [--down-shard i] [--down-from ms] [--down-until ms]\n"
       "          [--seed n] [--threads n] [--trace] [-o file] [--smoke]\n"
-      "          [--churn]\n",
+      "          [--churn]\n"
+      "          [--topology direct|leafspine] [--leaves n] [--spines n]\n"
+      "          [--host-gbps g] [--spine-gbps g] [--pattern pairs|incast]\n"
+      "          [--flows n] [--fanin n] [--flow-kb n] [--elephant-every n]\n"
+      "          [--elephant-kb n] [--tenant-gbps g] [--placement]\n"
+      "          [--no-dcqcn] [--fail-spine i] [--fail-from ms]\n"
+      "          [--fail-until ms] [--incast] [--mice] [--overspine]\n",
       argv0);
 }
 
@@ -80,6 +108,25 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_scale.json";
   std::size_t threads = 0;  // 0 = single-loop engine
   bool churn = false;
+  // Shared base of the fabric presets (--incast/--mice/--overspine): 128
+  // hosts on an 8-leaf/2-spine Clos with a cheap control-plane storm (the
+  // phase under test is the data plane, not the 10k-VM resolve storm).
+  // Presets apply inline like --smoke, so later flags still override.
+  auto fabric_preset_base = [&cfg] {
+    cfg.hosts = 128;
+    cfg.vms_per_host = 4;
+    cfg.tenants = 16;
+    cfg.waves = 2;
+    cfg.ip_changes = 32;
+    cfg.rule_resets = 1;
+    cfg.traffic.enabled = true;
+    cfg.traffic.leaves = 8;
+    cfg.traffic.spines = 2;
+    cfg.traffic.host_gbps = 25.0;
+    cfg.traffic.spine_gbps = 40.0;
+    cfg.traffic.dcqcn = true;
+    cfg.traffic.tenant_gbps = 5.0;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -144,6 +191,80 @@ int main(int argc, char** argv) {
       cfg.rule_resets = 1;
     } else if (a == "--churn") {
       churn = true;
+    } else if (a == "--topology") {
+      const std::string mode = next();
+      cfg.traffic.enabled = true;
+      if (mode == "direct") {
+        cfg.traffic.leaves = 0;
+      } else if (mode == "leafspine") {
+        if (cfg.traffic.leaves == 0) cfg.traffic.leaves = 8;
+        if (cfg.traffic.spines == 0) cfg.traffic.spines = 2;
+      } else {
+        std::fprintf(stderr, "unknown topology: %s\n", mode.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (a == "--leaves") {
+      cfg.traffic.leaves = next_zu();
+    } else if (a == "--spines") {
+      cfg.traffic.spines = next_zu();
+    } else if (a == "--host-gbps") {
+      cfg.traffic.host_gbps = std::atof(next());
+    } else if (a == "--spine-gbps") {
+      cfg.traffic.spine_gbps = std::atof(next());
+    } else if (a == "--pattern") {
+      cfg.traffic.pattern = next();
+    } else if (a == "--flows") {
+      cfg.traffic.flows = next_zu();
+    } else if (a == "--fanin") {
+      cfg.traffic.incast_fanin = next_zu();
+    } else if (a == "--flow-kb") {
+      cfg.traffic.flow_kb = next_zu();
+    } else if (a == "--elephant-every") {
+      cfg.traffic.elephant_every = next_zu();
+    } else if (a == "--elephant-kb") {
+      cfg.traffic.elephant_kb = next_zu();
+    } else if (a == "--tenant-gbps") {
+      cfg.traffic.tenant_gbps = std::atof(next());
+    } else if (a == "--placement") {
+      cfg.traffic.placement = true;
+    } else if (a == "--no-dcqcn") {
+      cfg.traffic.dcqcn = false;
+    } else if (a == "--fail-spine") {
+      cfg.traffic.fail_spine = std::atoi(next());
+    } else if (a == "--fail-from") {
+      cfg.traffic.fail_from = sim::milliseconds(std::atof(next()));
+    } else if (a == "--fail-until") {
+      cfg.traffic.fail_until = sim::milliseconds(std::atof(next()));
+    } else if (a == "--incast") {
+      // Incast fan-in: 48 senders converge on host 0. The victim's
+      // leaf->host link saturates, so DCQCN must cut the senders and walk
+      // them back up through fast recovery; 256 KB flows keep the fan-in
+      // congested for many RP ticks.
+      fabric_preset_base();
+      cfg.traffic.pattern = "incast";
+      cfg.traffic.incast_fanin = 48;
+      cfg.traffic.flows = 256;
+      cfg.traffic.flow_kb = 256;
+    } else if (a == "--mice") {
+      // Elephant/mice mix: mostly 16 KB mice with a 2 MB elephant every
+      // 8th flow — max-min sharing must keep mice FCTs flat under the
+      // elephants.
+      fabric_preset_base();
+      cfg.traffic.pattern = "pairs";
+      cfg.traffic.flows = 512;
+      cfg.traffic.flow_kb = 16;
+      cfg.traffic.elephant_every = 8;
+      cfg.traffic.elephant_kb = 2048;
+    } else if (a == "--overspine") {
+      // Oversubscribed spine: one 10 G spine under 128 hosts of pair
+      // traffic — every cross-leaf flow shares one bottleneck.
+      fabric_preset_base();
+      cfg.traffic.pattern = "pairs";
+      cfg.traffic.spines = 1;
+      cfg.traffic.spine_gbps = 10.0;
+      cfg.traffic.flows = 384;
+      cfg.traffic.flow_kb = 64;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage(argv[0]);
@@ -209,6 +330,37 @@ int main(int argc, char** argv) {
                 sr.max_queue_depth,
                 static_cast<unsigned long long>(sr.degraded_serves),
                 sr.table_size);
+  }
+  if (r.traffic.enabled) {
+    // Topology shape is printed here, NOT serialized into the JSON: the
+    // degenerate-equivalence sweep byte-diffs a 1-leaf fabric report
+    // against a direct-mode one (DESIGN.md §17).
+    const fabric::TrafficReport& t = r.traffic;
+    if (t.leaves > 0) {
+      std::printf("topology: %zu hosts over %zu leaves x %zu spines "
+                  "(%.0f/%.0f Gbps), pattern %s\n",
+                  t.hosts, t.leaves, t.spines, cfg.traffic.host_gbps,
+                  cfg.traffic.spine_gbps, cfg.traffic.pattern.c_str());
+    } else {
+      std::printf("topology: %zu hosts, direct links (%.0f Gbps), "
+                  "pattern %s\n",
+                  t.hosts, cfg.traffic.host_gbps,
+                  cfg.traffic.pattern.c_str());
+    }
+    std::printf("traffic: %llu flows, %.1f MB in %.3f ms (%.3f Gbps agg); "
+                "fct p50 %.1f us, p99 %.1f us, max %.1f us\n",
+                static_cast<unsigned long long>(t.flows),
+                static_cast<double>(t.total_bytes) / 1e6, t.elapsed_ms,
+                t.agg_gbps, t.fct_p50_us, t.fct_p99_us, t.fct_max_us);
+    std::printf("fabric: %zu spine crossings (ecmp fold 0x%016llx), "
+                "%llu ECN marks on %llu flows, %llu recoveries, peak spine "
+                "util %.3f, peak tenant %.3f Gbps\n",
+                t.spine_crossings,
+                static_cast<unsigned long long>(t.ecmp_fold),
+                static_cast<unsigned long long>(t.ecn_marks),
+                static_cast<unsigned long long>(t.throttled_flows),
+                static_cast<unsigned long long>(t.dcqcn_recoveries),
+                t.peak_spine_util, t.peak_tenant_gbps);
   }
   const long rss_kb = peak_rss_kb();
   const double events_per_sec =
